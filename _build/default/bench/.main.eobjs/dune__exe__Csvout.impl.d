@@ -1,0 +1,1 @@
+bench/csvout.ml: Array Filename Format String Sys

@@ -1,0 +1,45 @@
+(* Optional CSV emission for the reproduction harness: when the harness is
+   run as `bench/main.exe --csv DIR`, every figure/table also lands in
+   DIR/<id>.csv for plotting outside the terminal. *)
+
+let directory = ref None
+
+let configure () =
+  let rec scan i =
+    if i >= Array.length Sys.argv then ()
+    else if Sys.argv.(i) = "--csv" && i + 1 < Array.length Sys.argv then begin
+      let dir = Sys.argv.(i + 1) in
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      directory := Some dir
+    end
+    else scan (i + 1)
+  in
+  scan 1
+
+(* [table "fig4a" ~header emit] calls [emit] with a row writer; rows go to
+   <dir>/fig4a.csv when --csv is active and are dropped otherwise. *)
+let table name ~header emit =
+  match !directory with
+  | None ->
+    emit (fun _ -> ());
+    None
+  | Some dir ->
+    let path = Filename.concat dir (name ^ ".csv") in
+    let oc = open_out path in
+    output_string oc (String.concat "," header);
+    output_char oc '\n';
+    let row cells =
+      output_string oc (String.concat "," cells);
+      output_char oc '\n'
+    in
+    (try emit row
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    close_out oc;
+    Some path
+
+let note () =
+  match !directory with
+  | None -> ()
+  | Some dir -> Format.printf "(CSV data written to %s/)@." dir

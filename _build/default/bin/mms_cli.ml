@@ -1,0 +1,452 @@
+(* Command-line front end for the latency-tolerance toolkit.
+
+   Subcommands:
+     solve       evaluate the analytical model on one configuration
+     tolerance   tolerance indices (network and memory)
+     bottleneck  closed-form analysis (Eqs. 4 and 5)
+     sweep       sweep one parameter, CSV to stdout
+     simulate    run the DES or STPN simulator
+     partition   thread-partitioning table for a work budget
+     sensitivity rank parameters by their effect on U_p
+     report      everything above in one analysis
+
+   Examples:
+     mms_cli solve -k 4 --threads 8 --p-remote 0.2
+     mms_cli sweep --param p_remote --from 0 --to 1 --steps 21
+     mms_cli simulate --engine stpn --horizon 20000 --p-remote 0.5
+     mms_cli sensitivity -k 6 --threads 8
+*)
+
+open Cmdliner
+open Lattol_core
+
+(* Verbosity: -v enables solver diagnostics on stderr. *)
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_term =
+  let arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print solver diagnostics.")
+  in
+  Term.(const setup_logs $ arg)
+
+(* ------------------------------------------------------------------ *)
+(* Shared parameter terms *)
+
+let k_arg =
+  Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"Nodes per torus dimension.")
+
+let dimensions_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "d"; "dimensions" ] ~docv:"D"
+        ~doc:"Network dimensionality: 1 = ring, 2 = torus, 3 = cube, ...")
+
+let threads_arg =
+  Arg.(
+    value
+    & opt int 8
+    & info [ "t"; "threads" ] ~docv:"N" ~doc:"Threads per processor (n_t).")
+
+let runlength_arg =
+  Arg.(
+    value
+    & opt float 1.
+    & info [ "R"; "runlength" ] ~docv:"R" ~doc:"Mean thread runlength.")
+
+let context_switch_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "C"; "context-switch" ] ~docv:"C" ~doc:"Context switch time.")
+
+let p_remote_arg =
+  Arg.(
+    value
+    & opt float 0.2
+    & info [ "p"; "p-remote" ] ~docv:"P" ~doc:"Remote access probability.")
+
+let p_sw_arg =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "p-sw" ] ~docv:"PSW"
+        ~doc:"Geometric locality parameter (ignored with $(b,--uniform)).")
+
+let uniform_arg =
+  Arg.(
+    value & flag
+    & info [ "uniform" ] ~doc:"Uniform remote access pattern instead of geometric.")
+
+let l_mem_arg =
+  Arg.(value & opt float 1. & info [ "L"; "mem" ] ~docv:"L" ~doc:"Memory service time.")
+
+let mem_ports_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "mem-ports" ] ~docv:"C"
+        ~doc:"Concurrent accesses a memory module serves (multiporting).")
+
+let s_switch_arg =
+  Arg.(
+    value & opt float 1. & info [ "S"; "switch" ] ~docv:"S" ~doc:"Switch service time.")
+
+let switch_pipeline_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "pipeline" ] ~docv:"D"
+        ~doc:"Switch pipeline depth (concurrent messages per switch).")
+
+let sync_unit_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "su"; "sync-unit" ] ~docv:"T"
+        ~doc:
+          "EARTH-style synchronization unit service time per remote touch \
+           (0 = no SU).")
+
+let mesh_arg =
+  Arg.(value & flag & info [ "mesh" ] ~doc:"Open mesh instead of a torus.")
+
+let params_term =
+  let open Lattol_topology in
+  let make k dimensions n_t runlength context_switch p_remote p_sw uniform
+      l_mem mem_ports s_switch switch_pipeline sync_unit mesh =
+    let pattern = if uniform then Access.Uniform else Access.Geometric p_sw in
+    let topology = if mesh then Topology.Mesh else Topology.Torus in
+    match
+      Params.validate
+        {
+          Params.topology;
+          k;
+          dimensions;
+          n_t;
+          runlength;
+          context_switch;
+          p_remote;
+          pattern;
+          l_mem;
+          mem_ports;
+          s_switch;
+          switch_pipeline;
+          sync_unit;
+        }
+    with
+    | Ok p -> `Ok p
+    | Error msg -> `Error (false, msg)
+  in
+  Term.(
+    ret
+      (const make $ k_arg $ dimensions_arg $ threads_arg $ runlength_arg
+     $ context_switch_arg $ p_remote_arg $ p_sw_arg $ uniform_arg $ l_mem_arg
+     $ mem_ports_arg $ s_switch_arg $ switch_pipeline_arg $ sync_unit_arg
+     $ mesh_arg))
+
+let solver_term =
+  let conv_solver = function
+    | "symmetric" -> Ok Mms.Symmetric_amva
+    | "amva" -> Ok Mms.General_amva
+    | "linearizer" -> Ok Mms.Linearizer_amva
+    | "exact" -> Ok Mms.Exact_mva
+    | s -> Error (`Msg (Printf.sprintf "unknown solver %S" s))
+  in
+  let parser s = conv_solver s in
+  let printer ppf = function
+    | Mms.Symmetric_amva -> Fmt.string ppf "symmetric"
+    | Mms.General_amva -> Fmt.string ppf "amva"
+    | Mms.Linearizer_amva -> Fmt.string ppf "linearizer"
+    | Mms.Exact_mva -> Fmt.string ppf "exact"
+  in
+  Arg.(
+    value
+    & opt (some (conv (parser, printer))) None
+    & info [ "solver" ] ~docv:"SOLVER"
+        ~doc:
+          "Solver: $(b,symmetric) (default on torus), $(b,amva), \
+           $(b,linearizer), or $(b,exact).")
+
+(* ------------------------------------------------------------------ *)
+(* solve *)
+
+let solve_cmd =
+  let run () params solver =
+    Format.printf "%a@.@." Params.pp params;
+    let m = Mms.solve ?solver params in
+    Format.printf "%a@." Measures.pp m
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Evaluate the analytical model once")
+    Term.(const run $ verbose_term $ params_term $ solver_term)
+
+(* ------------------------------------------------------------------ *)
+(* tolerance *)
+
+let tolerance_cmd =
+  let method_arg =
+    Arg.(
+      value
+      & opt (enum [ ("zero-delay", Tolerance.Zero_delay); ("zero-remote", Tolerance.Zero_remote) ])
+          Tolerance.Zero_remote
+      & info [ "method" ] ~docv:"METHOD"
+          ~doc:"Ideal-network method: $(b,zero-delay) or $(b,zero-remote).")
+  in
+  let run () params solver meth =
+    Format.printf "%a@.@." Params.pp params;
+    let net = Tolerance.network ?solver ~ideal_method:meth params in
+    let mem = Tolerance.memory ?solver params in
+    Format.printf "%a@.%a@." Tolerance.pp_report net Tolerance.pp_report mem
+  in
+  Cmd.v
+    (Cmd.info "tolerance" ~doc:"Tolerance indices for network and memory")
+    Term.(const run $ verbose_term $ params_term $ solver_term $ method_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bottleneck *)
+
+let bottleneck_cmd =
+  let run params =
+    Format.printf "%a@.%a@." Params.pp params Bottleneck.pp
+      (Bottleneck.analyze params)
+  in
+  Cmd.v
+    (Cmd.info "bottleneck" ~doc:"Closed-form bottleneck analysis (Eqs. 4 and 5)")
+    Term.(const run $ params_term)
+
+(* ------------------------------------------------------------------ *)
+(* sweep *)
+
+type sweep_param = P_remote | N_threads | Runlength | K | P_sw | L_mem | S_switch
+
+let sweep_cmd =
+  let param_arg =
+    Arg.(
+      required
+      & opt
+          (some
+             (enum
+                [ ("p_remote", P_remote); ("n_t", N_threads); ("runlength", Runlength);
+                  ("k", K); ("p_sw", P_sw); ("l_mem", L_mem); ("s_switch", S_switch) ]))
+          None
+      & info [ "param" ] ~docv:"PARAM"
+          ~doc:
+            "Parameter to sweep: $(b,p_remote), $(b,n_t), $(b,runlength), \
+             $(b,k), $(b,p_sw), $(b,l_mem) or $(b,s_switch).")
+  in
+  let from_arg =
+    Arg.(required & opt (some float) None & info [ "from" ] ~docv:"LO" ~doc:"Start value.")
+  in
+  let to_arg =
+    Arg.(required & opt (some float) None & info [ "to" ] ~docv:"HI" ~doc:"End value.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 11 & info [ "steps" ] ~docv:"N" ~doc:"Number of points.")
+  in
+  let run params solver param lo hi steps =
+    if steps < 2 then `Error (false, "--steps must be at least 2")
+    else begin
+      Format.printf
+        "# %a@.param,value,u_p,lambda,lambda_net,s_obs,l_obs,tol_network,tol_memory@."
+        Params.pp params;
+      let name =
+        match param with
+        | P_remote -> "p_remote"
+        | N_threads -> "n_t"
+        | Runlength -> "runlength"
+        | K -> "k"
+        | P_sw -> "p_sw"
+        | L_mem -> "l_mem"
+        | S_switch -> "s_switch"
+      in
+      for i = 0 to steps - 1 do
+        let v = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (steps - 1)) in
+        let p =
+          match param with
+          | P_remote -> { params with Params.p_remote = v }
+          | N_threads -> { params with Params.n_t = int_of_float (Float.round v) }
+          | Runlength -> { params with Params.runlength = v }
+          | K -> { params with Params.k = int_of_float (Float.round v) }
+          | P_sw -> { params with Params.pattern = Lattol_topology.Access.Geometric v }
+          | L_mem -> { params with Params.l_mem = v }
+          | S_switch -> { params with Params.s_switch = v }
+        in
+        match Params.validate p with
+        | Error msg -> Format.printf "# skipped %s=%g: %s@." name v msg
+        | Ok p ->
+          let m = Mms.solve ?solver p in
+          let net = Tolerance.network ?solver p in
+          let mem = Tolerance.memory ?solver p in
+          Format.printf "%s,%g,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f@." name v
+            m.Measures.u_p m.Measures.lambda m.Measures.lambda_net
+            m.Measures.s_obs m.Measures.l_obs net.Tolerance.tol mem.Tolerance.tol
+      done;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep one parameter and print CSV")
+    Term.(
+      ret
+        (const run $ params_term $ solver_term $ param_arg $ from_arg $ to_arg
+       $ steps_arg))
+
+(* ------------------------------------------------------------------ *)
+(* simulate *)
+
+let simulate_cmd =
+  let engine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("des", `Des); ("stpn", `Stpn) ]) `Des
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Simulator: $(b,des) (discrete-event) or $(b,stpn) (Petri net).")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt float 100_000.
+      & info [ "horizon" ] ~docv:"T" ~doc:"Measured simulation time.")
+  in
+  let warmup_arg =
+    Arg.(
+      value & opt float 1_000.
+      & info [ "warmup" ] ~docv:"T" ~doc:"Warm-up time discarded before measuring.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let run params engine horizon warmup seed =
+    Format.printf "%a@.@." Params.pp params;
+    match engine with
+    | `Des ->
+      let r =
+        Lattol_sim.Mms_des.run
+          ~config:
+            {
+              Lattol_sim.Mms_des.default_config with
+              Lattol_sim.Mms_des.horizon;
+              warmup;
+              seed;
+            }
+          params
+      in
+      Format.printf "%a@." Measures.pp r.Lattol_sim.Mms_des.measures;
+      let mean, half = r.Lattol_sim.Mms_des.u_p_ci in
+      Format.printf "U_p 95%% CI: %.4f +- %.4f (%d events, %d remote trips)@."
+        mean half r.Lattol_sim.Mms_des.events r.Lattol_sim.Mms_des.remote_trips
+    | `Stpn ->
+      let r = Lattol_petri.Mms_stpn.run ~seed ~warmup ~horizon params in
+      Format.printf "%a@." Measures.pp r.Lattol_petri.Mms_stpn.measures;
+      Format.printf "%a, %d firings@." Lattol_petri.Petri.pp
+        r.Lattol_petri.Mms_stpn.layout.Lattol_petri.Mms_stpn.net
+        r.Lattol_petri.Mms_stpn.stats.Lattol_petri.Simulation.events
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate the machine (DES or STPN)")
+    Term.(const run $ params_term $ engine_arg $ horizon_arg $ warmup_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* partition *)
+
+let partition_cmd =
+  let work_arg =
+    Arg.(
+      value & opt float 8.
+      & info [ "work" ] ~docv:"W" ~doc:"Exposed computation budget n_t x R.")
+  in
+  let run params work =
+    let n_ts =
+      List.filter (fun n -> float_of_int n <= work *. 16.) [ 1; 2; 4; 8; 16; 32 ]
+    in
+    Format.printf "%a, work budget %g@.@." Params.pp params work;
+    let points = Partitioning.sweep params ~work ~n_ts in
+    List.iter (fun pt -> Format.printf "%a@." Partitioning.pp_point pt) points;
+    let best = Partitioning.best points in
+    Format.printf "best: n_t = %d, R = %g@." best.Partitioning.n_t
+      best.Partitioning.runlength
+  in
+  Cmd.v
+    (Cmd.info "partition" ~doc:"Thread-partitioning table for a work budget")
+    Term.(const run $ params_term $ work_arg)
+
+(* ------------------------------------------------------------------ *)
+(* kernels *)
+
+let kernels_cmd =
+  let compute_arg =
+    Arg.(
+      value & opt float 0.6
+      & info [ "compute" ] ~docv:"F"
+          ~doc:"Local (compute) fraction of each kernel's accesses.")
+  in
+  let run () params compute =
+    if compute < 0. || compute > 1. then
+      `Error (false, "--compute must lie in [0, 1]")
+    else begin
+      Format.printf "%a, kernel compute fraction %g@.@." Params.pp params
+        compute;
+      Format.printf "  %-22s %8s %10s %8s %8s@." "kernel" "U_p" "lambda_net"
+        "S_obs" "tol_net";
+      List.iter
+        (fun kernel ->
+          match
+            Kernels.compare_kernels ~base:params ~compute
+              ~runlength:params.Params.runlength [ kernel ]
+          with
+          | [ (k, m, tol) ] ->
+            Format.printf "  %-22s %8.4f %10.4f %8.3f %8.4f@."
+              (Kernels.kernel_to_string k)
+              m.Measures.u_p m.Measures.lambda_net m.Measures.s_obs tol
+          | _ -> ()
+          | exception Invalid_argument reason ->
+            Format.printf "  %-22s (skipped: %s)@."
+              (Kernels.kernel_to_string kernel)
+              reason)
+        (Kernels.all ~num_nodes:(Params.num_processors params));
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "kernels"
+       ~doc:"Evaluate the classic SPMD communication kernels on this machine")
+    Term.(ret (const run $ verbose_term $ params_term $ compute_arg))
+
+(* ------------------------------------------------------------------ *)
+(* report *)
+
+let report_cmd =
+  let run () params solver =
+    Format.printf "%a@." Report.pp (Report.analyze ?solver params)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Full analysis: measures, tolerance, bottlenecks, sensitivities")
+    Term.(const run $ verbose_term $ params_term $ solver_term)
+
+(* ------------------------------------------------------------------ *)
+(* sensitivity *)
+
+let sensitivity_cmd =
+  let run params solver =
+    Format.printf "%a@.@." Params.pp params;
+    List.iter
+      (fun d -> Format.printf "%a@." Sensitivity.pp_derivative d)
+      (Sensitivity.ranked ?solver params)
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Rank parameters by their effect on processor utilization")
+    Term.(const run $ params_term $ solver_term)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "latency-tolerance analysis of multithreaded architectures" in
+  Cmd.group
+    (Cmd.info "mms_cli" ~version:"1.0.0" ~doc)
+    [
+      solve_cmd; tolerance_cmd; bottleneck_cmd; sweep_cmd; simulate_cmd;
+      partition_cmd; sensitivity_cmd; report_cmd; kernels_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/architect_tradeoffs.ml: Access Cache_effects Format Lattol_core Lattol_topology List Measures Mms Params Sensitivity String Tolerance

@@ -1,0 +1,1 @@
+examples/architect_tradeoffs.mli:

@@ -1,0 +1,1 @@
+examples/mixed_workload.ml: Access Format Hetero Lattol_core Lattol_topology List Params

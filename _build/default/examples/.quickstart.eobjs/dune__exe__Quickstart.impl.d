@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bottleneck Format Lattol_core Measures Mms Params Tolerance

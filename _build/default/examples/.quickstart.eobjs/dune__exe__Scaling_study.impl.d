@@ -1,0 +1,1 @@
+examples/scaling_study.ml: Access Format Lattol_core Lattol_topology List Measures Params Scaling Tolerance

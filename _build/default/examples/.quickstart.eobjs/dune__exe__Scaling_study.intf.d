@@ -1,0 +1,1 @@
+examples/scaling_study.mli:

@@ -1,0 +1,1 @@
+examples/stencil_loop.ml: Format Lattol_core Lattol_topology List Measures Mms Params Printf Workload

@@ -1,0 +1,1 @@
+examples/thread_partitioning.ml: Format Lattol_core List Measures Params Partitioning String

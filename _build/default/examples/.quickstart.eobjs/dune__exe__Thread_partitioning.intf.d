@@ -1,0 +1,1 @@
+examples/thread_partitioning.mli:

@@ -1,0 +1,1 @@
+examples/validation.ml: Format Lattol_core Lattol_petri Lattol_sim Measures Mms Params

@@ -1,0 +1,1 @@
+examples/validation.mli:

@@ -1,0 +1,40 @@
+(* Quickstart: evaluate one multithreaded machine and read the tolerance
+   indices.
+
+   Build a 4x4 torus with the paper's default workload, solve the
+   analytical model, print the performance measures and ask the central
+   question of the paper: are the network and memory latencies tolerated?
+
+     dune exec examples/quickstart.exe
+*)
+
+open Lattol_core
+
+let () =
+  (* The paper's Table 1 machine: 16 processors, 8 threads each, runlength
+     1, 20% remote accesses with geometric locality (p_sw = 0.5), unit
+     memory and switch times. *)
+  let params = Params.default in
+  Format.printf "Machine under analysis:@.  %a@.@." Params.pp params;
+
+  (* Closed-form bottleneck analysis — no solving needed (Eqs. 4 and 5). *)
+  let b = Bottleneck.analyze params in
+  Format.printf "Bottleneck analysis:@.  %a@.@." Bottleneck.pp b;
+
+  (* Solve the closed queueing network (approximate MVA; exact symmetric
+     fixed point in O(P) per sweep). *)
+  let m = Mms.solve params in
+  Format.printf "Model solution:@.  %a@.@." Measures.pp m;
+
+  (* The paper's metric: how close is this machine to one with an ideal
+     network / an ideal memory? *)
+  let net = Tolerance.network params in
+  let mem = Tolerance.memory params in
+  Format.printf "Tolerance indices:@.  %a@.  %a@.@." Tolerance.pp_report net
+    Tolerance.pp_report mem;
+
+  (* A compiler-style takeaway: where is the knee for this machine? *)
+  Format.printf
+    "Guidance: keep p_remote below %.2f (Eq. 5) and expect no more than \
+     %.2f messages per cycle per processor on the network (Eq. 4).@."
+    b.Bottleneck.p_remote_critical b.Bottleneck.lambda_net_saturation

@@ -1,0 +1,1 @@
+lib/core/bottleneck.ml: Float Fmt Lattol_queueing Params

@@ -1,0 +1,1 @@
+lib/core/bottleneck.mli: Format Params

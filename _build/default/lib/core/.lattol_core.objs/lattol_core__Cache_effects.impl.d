@@ -1,0 +1,1 @@
+lib/core/cache_effects.ml: Float Fmt Format List Measures Params Tolerance

@@ -1,0 +1,1 @@
+lib/core/cache_effects.mli: Format Measures Mms Params

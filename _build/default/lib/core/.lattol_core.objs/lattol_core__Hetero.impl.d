@@ -1,0 +1,1 @@
+lib/core/hetero.ml: Access Amva Array Fmt Lattol_queueing Lattol_topology Linearizer List Mms Network Params Printf Solution

@@ -1,0 +1,1 @@
+lib/core/hetero.mli: Access Format Lattol_topology Params

@@ -1,0 +1,1 @@
+lib/core/kernels.ml: Access Array Fun Lattol_topology List Option Params Printf Tolerance Topology

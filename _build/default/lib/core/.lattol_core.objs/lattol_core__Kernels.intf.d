@@ -1,0 +1,1 @@
+lib/core/kernels.mli: Lattol_topology Measures Params Topology

@@ -1,0 +1,1 @@
+lib/core/mms.ml: Access Amva Array Float Fun Lattol_queueing Lattol_topology Linearizer List Logs Measures Mva Network Option Params Printf Solution Topology

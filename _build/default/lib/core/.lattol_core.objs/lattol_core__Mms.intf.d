@@ -1,0 +1,1 @@
+lib/core/mms.mli: Lattol_queueing Measures Network Params Solution

@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Fmt Format Hashtbl List Measures Params String Tolerance

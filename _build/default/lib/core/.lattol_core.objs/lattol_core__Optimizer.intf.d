@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Format Mms Params

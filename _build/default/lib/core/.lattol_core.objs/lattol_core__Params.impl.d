@@ -1,0 +1,1 @@
+lib/core/params.ml: Access Fmt Format Lattol_topology List Printf String Topology

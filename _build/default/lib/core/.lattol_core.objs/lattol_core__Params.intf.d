@@ -1,0 +1,1 @@
+lib/core/params.mli: Access Format Lattol_topology Topology

@@ -1,0 +1,1 @@
+lib/core/partitioning.ml: Fmt List Measures Params Tolerance

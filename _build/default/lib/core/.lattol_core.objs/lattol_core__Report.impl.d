@@ -1,0 +1,1 @@
+lib/core/report.ml: Bottleneck Fmt Format Lattol_topology List Measures Params Sensitivity String Tolerance

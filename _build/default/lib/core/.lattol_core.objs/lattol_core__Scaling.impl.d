@@ -1,0 +1,1 @@
+lib/core/scaling.ml: Access Bottleneck Fmt Lattol_topology List Measures Params Printf Tolerance

@@ -1,0 +1,1 @@
+lib/core/scaling.mli: Access Format Lattol_topology Measures Mms Params

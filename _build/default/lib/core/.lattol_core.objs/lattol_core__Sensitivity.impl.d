@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Access Float Fmt Fun Lattol_topology List Measures Mms Params

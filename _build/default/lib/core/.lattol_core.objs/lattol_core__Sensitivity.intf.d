@@ -1,0 +1,1 @@
+lib/core/sensitivity.mli: Format Mms Params

@@ -1,0 +1,1 @@
+lib/core/tolerance.ml: Fmt Lattol_topology Measures Mms Params

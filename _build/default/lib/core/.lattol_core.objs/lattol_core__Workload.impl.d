@@ -1,0 +1,1 @@
+lib/core/workload.ml: Access Array Format Lattol_topology List Option Params Printf Tolerance Topology

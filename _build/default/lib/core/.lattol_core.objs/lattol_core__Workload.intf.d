@@ -1,0 +1,1 @@
+lib/core/workload.mli: Lattol_topology Measures Params Topology

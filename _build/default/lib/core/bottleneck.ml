@@ -1,0 +1,130 @@
+type t = {
+  d_avg : float;
+  lambda_net_saturation : float;
+  p_remote_critical : float;
+  p_remote_saturation : float;
+  memory_demand : float;
+  memory_bound_u_p : float;
+}
+
+let clamp01 x = Float.max 0. (Float.min 1. x)
+
+(* d_avg is defined by the access pattern even when the experiment sweeps
+   p_remote; evaluate it at a nonzero remote fraction. *)
+let pattern_d_avg p =
+  let p = { p with Params.p_remote = 1. } in
+  if Params.num_processors p < 2 then nan else Params.d_avg p
+
+let analyze p =
+  let p = Params.validate_exn p in
+  let d_avg = pattern_d_avg p in
+  let s = p.Params.s_switch in
+  let l = p.Params.l_mem in
+  let r = Params.processor_occupancy p in
+  let depth = float_of_int p.Params.switch_pipeline in
+  let lambda_sat =
+    if s = 0. || Float.is_nan d_avg || d_avg = 0. then infinity
+    else depth /. (2. *. d_avg *. s)
+  in
+  let net_response_rate =
+    if s = 0. || Float.is_nan d_avg then infinity
+    else depth /. (2. *. (d_avg +. 1.) *. s)
+  in
+  let p_critical =
+    if net_response_rate = infinity then 1.
+    else if l = 0. then 1.
+    else clamp01 (1. +. (l /. (2. *. (d_avg +. 1.) *. s)) -. (l /. r))
+  in
+  {
+    d_avg;
+    lambda_net_saturation = lambda_sat;
+    p_remote_critical = p_critical;
+    p_remote_saturation = clamp01 (r *. lambda_sat);
+    memory_demand = l /. r;
+    memory_bound_u_p = (if l = 0. then 1. else Float.min 1. (r /. l));
+  }
+
+type open_view = {
+  lambda : float;
+  stable : bool;
+  util_memory : float;
+  util_switch_in : float;
+  util_switch_out : float;
+  l_obs_open : float;
+  s_obs_open : float;
+}
+
+let open_view p ~lambda =
+  let p = Params.validate_exn p in
+  if lambda < 0. then invalid_arg "Bottleneck.open_view: lambda >= 0";
+  let d_avg =
+    let d = pattern_d_avg p in
+    if Float.is_nan d then 0. else d
+  in
+  let pr = p.Params.p_remote in
+  (* Per-station aggregate arrival rates from the visit-ratio identities:
+     every memory module serves rate lambda; an outbound switch carries the
+     request and response legs (2 p_remote); an inbound switch the 2 d_avg
+     transit visits. *)
+  let station name servers service_time =
+    { Lattol_queueing.Jackson.name; servers; service_time }
+  in
+  let zero3 = [| [| 0.; 0.; 0. |]; [| 0.; 0.; 0. |]; [| 0.; 0.; 0. |] |] in
+  (* Degenerate zero-service stations (ideal subsystems) are excluded from
+     the Jackson model and reported as zero-latency. *)
+  let has_mem = p.Params.l_mem > 0. and has_sw = p.Params.s_switch > 0. in
+  let mem_service = if has_mem then p.Params.l_mem else 1. in
+  let sw_service = if has_sw then p.Params.s_switch else 1. in
+  let net =
+    Lattol_queueing.Jackson.make
+      ~stations:
+        [|
+          station "memory" p.Params.mem_ports mem_service;
+          station "inbound" p.Params.switch_pipeline sw_service;
+          station "outbound" p.Params.switch_pipeline sw_service;
+        |]
+      ~arrivals:
+        [|
+          (if has_mem then lambda else 0.);
+          (if has_sw then 2. *. d_avg *. pr *. lambda else 0.);
+          (if has_sw then 2. *. pr *. lambda else 0.);
+        |]
+      ~routing:zero3
+  in
+  let module J = Lattol_queueing.Jackson in
+  let util st = J.utilization net ~station:st in
+  let resp st = J.mean_response_time net ~station:st in
+  let stable = J.is_stable net in
+  let l_obs_open = if has_mem then resp 0 else 0. in
+  let s_obs_open =
+    if not has_sw then 0.
+    else if stable then resp 2 +. (d_avg *. resp 1)
+    else infinity
+  in
+  {
+    lambda;
+    stable;
+    util_memory = (if has_mem then util 0 else 0.);
+    util_switch_in = (if has_sw then util 1 else 0.);
+    util_switch_out = (if has_sw then util 2 else 0.);
+    l_obs_open;
+    s_obs_open;
+  }
+
+let pp_open_view ppf v =
+  Fmt.pf ppf
+    "@[lambda=%.4f %s util(mem=%.3f in=%.3f out=%.3f) L_open=%.3f S_open=%.3f@]"
+    v.lambda
+    (if v.stable then "stable" else "UNSTABLE")
+    v.util_memory v.util_switch_in v.util_switch_out v.l_obs_open v.s_obs_open
+
+let lambda_net_saturation p = (analyze p).lambda_net_saturation
+
+let p_remote_critical p = (analyze p).p_remote_critical
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[d_avg=%.3f lambda_net_sat=%.4f p_remote*: critical=%.3f saturation=%.3f \
+     mem demand=%.3f U_p cap=%.3f@]"
+    t.d_avg t.lambda_net_saturation t.p_remote_critical t.p_remote_saturation
+    t.memory_demand t.memory_bound_u_p

@@ -1,0 +1,66 @@
+(** The paper's closed-form bottleneck analysis (Equations 4 and 5).
+
+    These formulas explain the model's knees without solving it:
+
+    - Eq. (4): the IN routes at most
+      [lambda_net_saturation = 1 / (2 d_avg S)] messages per processor per
+      unit time — each remote round trip consumes [2 d_avg] inbound-switch
+      services of [S] each, and there is one inbound switch per processor.
+      (0.29 for [p_sw = 0.5], [S = 1] on the 4x4 torus.)
+    - Eq. (5): the processor keeps busy while its access rate [1/R] stays
+      below the combined response rate of the local memory and the network,
+      [(1 - p_remote)/L + 1/(2 (d_avg + 1) S)]; the critical remote fraction
+      is [p* = 1 + L/(2 (d_avg + 1) S) - L/R]  (0.18 at [R = 1], 0.68 at
+      [R = 2] for the default machine). *)
+
+type t = {
+  d_avg : float;
+  lambda_net_saturation : float;  (** Eq. (4); [infinity] if [S = 0] *)
+  p_remote_critical : float;
+      (** Eq. (5), clamped to [[0, 1]]; 1 when the network can always keep
+          up *)
+  p_remote_saturation : float;
+      (** remote fraction at which [lambda_net] would hit Eq. (4) assuming
+          a fully busy processor: [R * lambda_net_saturation], clamped to
+          [[0, 1]] *)
+  memory_demand : float;      (** [L / R]: memory utilization at [U_p = 1] *)
+  memory_bound_u_p : float;   (** [min 1 (R / L)]: utilization cap from memory *)
+}
+
+val analyze : Params.t -> t
+
+val lambda_net_saturation : Params.t -> float
+(** Eq. (4) alone. *)
+
+val p_remote_critical : Params.t -> float
+(** Eq. (5) alone. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Open-model view}
+
+    Equations 4 and 5 are statements about an {e open} system: subsystems
+    served by Poisson streams at the processor's offered rate.  This view
+    makes the latency build-up behind those equations explicit through
+    M/M/c stations ({!Lattol_queueing.Jackson}) at the per-processor access
+    rate [lambda]: by symmetry a memory module sees rate [lambda], an
+    outbound switch [2 p_remote lambda], and an inbound switch
+    [2 d_avg p_remote lambda] — so the inbound switches saturate exactly at
+    Eq. 4's [lambda_net = 1 / (2 d_avg S)]. *)
+
+type open_view = {
+  lambda : float;            (** per-processor access rate assumed *)
+  stable : bool;             (** all subsystems below saturation *)
+  util_memory : float;
+  util_switch_in : float;    (** reaches 1 at Eq. 4's ceiling *)
+  util_switch_out : float;
+  l_obs_open : float;        (** M/M/c response of a memory module *)
+  s_obs_open : float;
+      (** one-way network latency: one outbound plus [d_avg] inbound
+          responses; [infinity] when unstable *)
+}
+
+val open_view : Params.t -> lambda:float -> open_view
+(** Raises [Invalid_argument] for negative [lambda]. *)
+
+val pp_open_view : Format.formatter -> open_view -> unit

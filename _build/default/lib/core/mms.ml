@@ -1,0 +1,374 @@
+open Lattol_topology
+open Lattol_queueing
+
+let log_src = Logs.Src.create "lattol.mms" ~doc:"MMS model solver"
+
+module Log = (val Logs.src_log log_src)
+
+type solver = Symmetric_amva | General_amva | Linearizer_amva | Exact_mva
+
+let has_sync_unit p = p.Params.sync_unit > 0.
+
+let stations_per_node p = if has_sync_unit p then 5 else 4
+
+let num_stations p = stations_per_node p * Params.num_processors p
+
+let processor_station p ~node =
+  assert (node >= 0 && node < Params.num_processors p);
+  node
+
+let memory_station p ~node = Params.num_processors p + node
+
+let inbound_station p ~node = (2 * Params.num_processors p) + node
+
+let outbound_station p ~node = (3 * Params.num_processors p) + node
+
+let sync_station p ~node =
+  if not (has_sync_unit p) then
+    invalid_arg "Mms.sync_station: this machine has no synchronization unit";
+  (4 * Params.num_processors p) + node
+
+let class_visits p ~cls =
+  let topo = Params.make_topology p in
+  let access = Params.make_access p in
+  let n = Params.num_processors p in
+  if cls < 0 || cls >= n then invalid_arg "Mms.class_visits: class out of range";
+  let v = Array.make (num_stations p) 0. in
+  v.(processor_station p ~node:cls) <- 1.;
+  for dst = 0 to n - 1 do
+    let em = Access.prob access ~src:cls ~dst in
+    if em > 0. then begin
+      v.(memory_station p ~node:dst) <- em;
+      if dst <> cls then begin
+        (* With an SU the remote access is injected at the source SU,
+           handled at the destination SU, and completed at the source SU. *)
+        if has_sync_unit p then begin
+          v.(sync_station p ~node:cls) <- v.(sync_station p ~node:cls) +. (2. *. em);
+          v.(sync_station p ~node:dst) <- v.(sync_station p ~node:dst) +. em
+        end;
+        (* Request enters the IN at the source's outbound switch ... *)
+        v.(outbound_station p ~node:cls) <-
+          v.(outbound_station p ~node:cls) +. em;
+        (* ... and the response leaves the remote memory through the
+           destination's outbound switch. *)
+        v.(outbound_station p ~node:dst) <-
+          v.(outbound_station p ~node:dst) +. em;
+        (* Inbound switches along both directions of the round trip. *)
+        let charge src dst =
+          List.iter
+            (fun hop ->
+              v.(inbound_station p ~node:hop) <-
+                v.(inbound_station p ~node:hop) +. em)
+            (Topology.route topo ~src ~dst)
+        in
+        charge cls dst;
+        charge dst cls
+      end
+    end
+  done;
+  v
+
+let class_service p =
+  let n = Params.num_processors p in
+  let s = Array.make (num_stations p) 0. in
+  for node = 0 to n - 1 do
+    s.(processor_station p ~node) <- Params.processor_occupancy p;
+    s.(memory_station p ~node) <- p.Params.l_mem;
+    s.(inbound_station p ~node) <- p.Params.s_switch;
+    s.(outbound_station p ~node) <- p.Params.s_switch;
+    if has_sync_unit p then s.(sync_station p ~node) <- p.Params.sync_unit
+  done;
+  s
+
+let memory_kind p =
+  if p.Params.mem_ports > 1 then Network.Multi_server p.Params.mem_ports
+  else Network.Queueing
+
+let switch_kind p =
+  if p.Params.switch_pipeline > 1 then
+    Network.Multi_server p.Params.switch_pipeline
+  else Network.Queueing
+
+let station_spec p =
+  let n = Params.num_processors p in
+  Array.init (num_stations p) (fun m ->
+      let node = m mod n in
+      match m / n with
+      | 0 -> (Printf.sprintf "proc%d" node, Network.Queueing)
+      | 1 -> (Printf.sprintf "mem%d" node, memory_kind p)
+      | 2 -> (Printf.sprintf "in%d" node, switch_kind p)
+      | 3 -> (Printf.sprintf "out%d" node, switch_kind p)
+      | _ -> (Printf.sprintf "su%d" node, Network.Queueing))
+
+let build_network p =
+  let n = Params.num_processors p in
+  let service = class_service p in
+  let classes =
+    Array.init n (fun cls ->
+        {
+          Network.class_name = Printf.sprintf "pe%d" cls;
+          population = p.Params.n_t;
+          visits = class_visits p ~cls;
+          service = Array.copy service;
+        })
+  in
+  Network.make ~stations:(station_spec p) ~classes
+
+(* Torus translation: the station of the same type whose node is
+   [node - cls] in torus coordinates.  SPMD symmetry means class [cls]
+   sees station [m] exactly as class 0 sees [translate p topo m cls]. *)
+let translate p topo m cls =
+  let n = Params.num_processors p in
+  let kind = m / n and node = m mod n in
+  (kind * n) + Topology.subtract topo node ~by:cls
+
+let solve_symmetric ?(tolerance = 1e-10) ?(max_iterations = 100_000) p =
+  let n = Params.num_processors p in
+  let nst = num_stations p in
+  let visits = class_visits p ~cls:0 in
+  let service = class_service p in
+  let pop = float_of_int p.Params.n_t in
+  let q = Array.make nst 0. in
+  let visited = ref 0 in
+  Array.iter (fun v -> if v > 0. then incr visited) visits;
+  Array.iteri
+    (fun m v -> if v > 0. then q.(m) <- pop /. float_of_int !visited)
+    visits;
+  let w = Array.make nst 0. in
+  let residence0 = Array.make nst 0. in
+  let lambda = ref 0. in
+  let iterations = ref 0 in
+  let converged = ref false in
+  (* Per-type totals: by vertex transitivity the all-class queue at every
+     station of a type equals the sum of class-0 queues over that type. *)
+  let num_types = stations_per_node p in
+  let type_total = Array.make num_types 0. in
+  while (not !converged) && !iterations < max_iterations do
+    incr iterations;
+    Array.fill type_total 0 num_types 0.;
+    Array.iteri (fun m qm -> type_total.(m / n) <- type_total.(m / n) +. qm) q;
+    let cycle = ref 0. in
+    for m = 0 to nst - 1 do
+      if visits.(m) > 0. then begin
+        let seen = type_total.(m / n) -. (q.(m) /. pop) in
+        (* Memory and switch stations may be multiported/pipelined; use the
+           same conditional-wait form as the multi-class AMVA solver. *)
+        let ports =
+          match m / n with
+          | 1 -> p.Params.mem_ports
+          | 2 | 3 -> p.Params.switch_pipeline
+          | _ -> 1
+        in
+        if ports = 1 then w.(m) <- service.(m) *. (1. +. seen)
+        else begin
+          let cf = float_of_int ports in
+          let excess = Float.max 0. (seen -. (cf -. 1.)) in
+          w.(m) <- service.(m) +. (service.(m) /. cf *. excess)
+        end;
+        residence0.(m) <- visits.(m) *. w.(m);
+        cycle := !cycle +. residence0.(m)
+      end
+    done;
+    lambda := pop /. !cycle;
+    let max_delta = ref 0. in
+    for m = 0 to nst - 1 do
+      if visits.(m) > 0. then begin
+        let updated = !lambda *. residence0.(m) in
+        let delta = abs_float (updated -. q.(m)) in
+        if delta > !max_delta then max_delta := delta;
+        q.(m) <- updated
+      end
+    done;
+    if !max_delta < tolerance then converged := true
+  done;
+  if !converged then
+    Log.debug (fun m ->
+        m "symmetric fixed point in %d iterations (P = %d)" !iterations n)
+  else
+    Log.warn (fun m ->
+        m "symmetric solver hit the %d-iteration cap" max_iterations);
+  (* Expand the symmetric fixed point into a full multi-class solution. *)
+  let topo = Params.make_topology p in
+  let network = build_network p in
+  let throughput = Array.make n !lambda in
+  let residence =
+    Array.init n (fun cls ->
+        Array.init nst (fun m -> residence0.(translate p topo m cls)))
+  in
+  let queue =
+    Array.init n (fun cls ->
+        Array.init nst (fun m -> q.(translate p topo m cls)))
+  in
+  {
+    Solution.network;
+    throughput;
+    residence;
+    queue;
+    iterations = !iterations;
+    converged = !converged;
+  }
+
+let symmetric_applicable p =
+  Access.is_translation_invariant (Params.make_access p)
+
+let solve_network ?solver ?tolerance ?max_iterations p =
+  let solver =
+    match solver with
+    | Some s -> s
+    | None -> if symmetric_applicable p then Symmetric_amva else General_amva
+  in
+  let amva_options =
+    {
+      Amva.default_options with
+      Amva.tolerance =
+        Option.value tolerance ~default:Amva.default_options.Amva.tolerance;
+      max_iterations =
+        Option.value max_iterations
+          ~default:Amva.default_options.Amva.max_iterations;
+    }
+  in
+  match solver with
+  | Symmetric_amva ->
+    if not (symmetric_applicable p) then
+      invalid_arg
+        "Mms.solve_network: symmetric solver needs a torus with a \
+         translation-invariant access pattern";
+    solve_symmetric ?tolerance ?max_iterations p
+  | General_amva -> Amva.solve ~options:amva_options (build_network p)
+  | Linearizer_amva -> Linearizer.solve ~options:amva_options (build_network p)
+  | Exact_mva -> Mva.solve (build_network p)
+
+let measures_of_solution p solution =
+  let n = Params.num_processors p in
+  let access = Params.make_access p in
+  (* Per-class, per-range residence sums (memory = stations [n, 2n),
+     switches = [2n, 4n)). *)
+  let sum_range cls lo hi =
+    let acc = ref 0. in
+    for m = lo to hi - 1 do
+      acc := !acc +. solution.Solution.residence.(cls).(m)
+    done;
+    !acc
+  in
+  (* With a translation-invariant pattern every class is identical and
+     class 0 is exactly representative; otherwise average over classes,
+     weighting per-access quantities by class rates. *)
+  let classes =
+    if Access.is_translation_invariant access then [ 0 ]
+    else List.init n Fun.id
+  in
+  let count = float_of_int (List.length classes) in
+  let lambda_sum = ref 0. in
+  let remote_rate_sum = ref 0. in
+  let mem_time_rate = ref 0. in
+  let switch_time_rate = ref 0. in
+  let su_time_rate = ref 0. in
+  let cycle_sum = ref 0. in
+  List.iter
+    (fun cls ->
+      let lam = solution.Solution.throughput.(cls) in
+      lambda_sum := !lambda_sum +. lam;
+      remote_rate_sum :=
+        !remote_rate_sum +. (lam *. Access.remote_fraction access ~src:cls);
+      mem_time_rate := !mem_time_rate +. (lam *. sum_range cls n (2 * n));
+      switch_time_rate :=
+        !switch_time_rate +. (lam *. sum_range cls (2 * n) (4 * n));
+      if has_sync_unit p then
+        su_time_rate := !su_time_rate +. (lam *. sum_range cls (4 * n) (5 * n));
+      cycle_sum := !cycle_sum +. Solution.cycle_time solution ~cls)
+    classes;
+  let lambda = !lambda_sum /. count in
+  let lambda_net = !remote_rate_sum /. count in
+  let s_obs =
+    if !remote_rate_sum = 0. then nan
+    else !switch_time_rate /. (2. *. !remote_rate_sum)
+  in
+  let l_obs = if !lambda_sum = 0. then 0. else !mem_time_rate /. !lambda_sum in
+  let avg_station_stat f offset =
+    if List.compare_length_with classes 1 = 0 then f (offset 0)
+    else begin
+      let acc = ref 0. in
+      for node = 0 to n - 1 do
+        acc := !acc +. f (offset node)
+      done;
+      !acc /. float_of_int n
+    end
+  in
+  let queue_network = ref 0. in
+  List.iter
+    (fun cls ->
+      for m = 2 * n to (4 * n) - 1 do
+        queue_network := !queue_network +. solution.Solution.queue.(cls).(m)
+      done)
+    classes;
+  {
+    Measures.u_p = lambda *. Params.processor_occupancy p;
+    lambda;
+    lambda_net;
+    s_obs;
+    l_obs;
+    cycle_time = !cycle_sum /. count;
+    util_memory =
+      avg_station_stat
+        (fun st -> Solution.utilization solution ~station:st)
+        (fun node -> memory_station p ~node);
+    util_switch_in =
+      avg_station_stat
+        (fun st -> Solution.utilization solution ~station:st)
+        (fun node -> inbound_station p ~node);
+    util_switch_out =
+      avg_station_stat
+        (fun st -> Solution.utilization solution ~station:st)
+        (fun node -> outbound_station p ~node);
+    util_sync =
+      (if has_sync_unit p then
+         avg_station_stat
+           (fun st -> Solution.utilization solution ~station:st)
+           (fun node -> sync_station p ~node)
+       else 0.);
+    su_obs =
+      (if not (has_sync_unit p) then 0.
+       else if !remote_rate_sum = 0. then nan
+       else !su_time_rate /. !remote_rate_sum);
+    queue_processor =
+      (let acc = ref 0. in
+       List.iter
+         (fun cls ->
+           acc :=
+             !acc +. solution.Solution.queue.(cls).(processor_station p ~node:cls))
+         classes;
+       !acc /. count);
+    queue_memory =
+      avg_station_stat
+        (fun st -> Solution.queue_total solution ~station:st)
+        (fun node -> memory_station p ~node);
+    queue_network = !queue_network /. count;
+    iterations = solution.Solution.iterations;
+    converged = solution.Solution.converged;
+  }
+
+let zero_measures =
+  {
+    Measures.u_p = 0.;
+    lambda = 0.;
+    lambda_net = 0.;
+    s_obs = nan;
+    l_obs = 0.;
+    cycle_time = 0.;
+    util_memory = 0.;
+    util_switch_in = 0.;
+    util_switch_out = 0.;
+    util_sync = 0.;
+    su_obs = 0.;
+    queue_processor = 0.;
+    queue_memory = 0.;
+    queue_network = 0.;
+    iterations = 0;
+    converged = true;
+  }
+
+let solve ?solver ?tolerance ?max_iterations p =
+  let p = Params.validate_exn p in
+  if p.Params.n_t = 0 then zero_measures
+  else
+    measures_of_solution p (solve_network ?solver ?tolerance ?max_iterations p)

@@ -1,0 +1,79 @@
+(** The closed queueing network model of the multithreaded multiprocessor
+    system (Figure 2 of the paper) and its solvers.
+
+    Each processing element contributes four stations — processor, memory
+    module, inbound switch, outbound switch — and each processor's [n_t]
+    threads form one customer class.  A thread cycles as: execute at its
+    processor (service [R + C]), issue a memory access that visits either
+    the local memory or, via outbound switch / intermediate inbound switches
+    / destination memory / return path, a remote one, then becomes ready
+    again.
+
+    Visit ratios per cycle of a class-[i] thread (paper's notation):
+    - memory [j]: [em_{i,j}] = the access-pattern probability;
+    - outbound switch [j]: [p_remote] at [j = i] (requests entering the IN)
+      and [em_{i,j}] elsewhere (responses leaving memory [j]);
+    - inbound switch [j]: the probability mass of request routes [i -> d]
+      and response routes [d -> i] that pass through node [j] (dimension-
+      order routing; a route includes its destination, not its source).
+
+    A round trip at distance [h] therefore uses [2(h+1)] switch services,
+    matching the paper's bottleneck analysis. *)
+
+open Lattol_queueing
+
+type solver =
+  | Symmetric_amva
+      (** Bard-Schweitzer fixed point specialised to the vertex-transitive
+          (SPMD-on-torus) case: O(P) per sweep instead of O(P^3).  Only
+          valid on a torus; the default there. *)
+  | General_amva  (** the paper's Figure 3 algorithm on the full network *)
+  | Linearizer_amva
+      (** the Linearizer refinement on the full network: roughly [P + 1]
+          times costlier than [General_amva], several times more accurate *)
+  | Exact_mva
+      (** exact MVA on the full network — exponential in [P * n_t], for
+          validation on tiny configurations only *)
+
+val stations_per_node : Params.t -> int
+(** 4 (processor, memory, inbound switch, outbound switch), or 5 when the
+    machine has a synchronization unit. *)
+
+(* Station indices within the flat station array. *)
+
+val processor_station : Params.t -> node:int -> int
+val memory_station : Params.t -> node:int -> int
+val inbound_station : Params.t -> node:int -> int
+val outbound_station : Params.t -> node:int -> int
+val sync_station : Params.t -> node:int -> int
+(** Raises [Invalid_argument] when the machine has no SU. *)
+
+val class_visits : Params.t -> cls:int -> float array
+(** Per-cycle visit ratios of class [cls] over the [4 P] stations. *)
+
+val class_service : Params.t -> float array
+(** Per-visit mean service times over the [4 P] stations (class-
+    independent). *)
+
+val build_network : Params.t -> Network.t
+(** Full multi-class network ([P] classes, [4 P] stations). *)
+
+val solve_network :
+  ?solver:solver -> ?tolerance:float -> ?max_iterations:int -> Params.t ->
+  Solution.t
+(** Solve with the chosen solver (default [Symmetric_amva] on a torus with
+    a translation-invariant pattern, [General_amva] otherwise).  The
+    symmetric solver returns a full [Solution.t] with every class filled
+    in by translation.  [tolerance] (default 1e-8 general / 1e-10
+    symmetric) and [max_iterations] (default 10_000 / 100_000) control the
+    fixed-point iteration; hitting the cap is reported through the
+    solution's [converged] flag, never an exception. *)
+
+val solve :
+  ?solver:solver -> ?tolerance:float -> ?max_iterations:int -> Params.t ->
+  Measures.t
+(** End-to-end: validate parameters, build, solve, extract the paper's
+    measures for (the representative) class 0. *)
+
+val measures_of_solution : Params.t -> Solution.t -> Measures.t
+(** Extract {!Measures.t} from a solution of {!build_network}'s layout. *)

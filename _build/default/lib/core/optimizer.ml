@@ -1,0 +1,139 @@
+type upgrade = {
+  description : string;
+  cost : float;
+  apply : Params.t -> Params.t;
+}
+
+let standard_upgrades () =
+  [
+    {
+      description = "memory port";
+      cost = 2.;
+      apply = (fun p -> { p with Params.mem_ports = p.Params.mem_ports + 1 });
+    };
+    {
+      description = "switch pipeline stage";
+      cost = 3.;
+      apply =
+        (fun p ->
+          { p with Params.switch_pipeline = p.Params.switch_pipeline + 1 });
+    };
+    {
+      description = "faster switches (S/2)";
+      cost = 4.;
+      apply = (fun p -> { p with Params.s_switch = p.Params.s_switch /. 2. });
+    };
+    {
+      description = "faster memory (L/2)";
+      cost = 4.;
+      apply = (fun p -> { p with Params.l_mem = p.Params.l_mem /. 2. });
+    };
+    {
+      description = "EARTH sync unit";
+      cost = 2.;
+      apply =
+        (fun p ->
+          if p.Params.sync_unit > 0. then p
+          else { p with Params.sync_unit = p.Params.s_switch /. 2. });
+    };
+  ]
+
+type configuration = {
+  params : Params.t;
+  applied : string list;
+  total_cost : float;
+  u_p : float;
+  tol_network : float;
+  tol_memory : float;
+}
+
+let max_repeat = 3
+
+let search ?solver ?(max_configurations = 2000) ~base ~budget upgrades =
+  if budget < 0. then invalid_arg "Optimizer.search: budget >= 0";
+  List.iter
+    (fun u ->
+      if u.cost <= 0. then
+        invalid_arg "Optimizer.search: upgrade costs must be positive")
+    upgrades;
+  let base = Params.validate_exn base in
+  (* Enumerate multisets of upgrades within the budget, depth-first over
+     the catalogue with a per-upgrade repetition cap. *)
+  let configurations = ref [] in
+  let count = ref 0 in
+  let rec enumerate remaining chosen spent params =
+    incr count;
+    if !count > max_configurations then
+      Format.kasprintf invalid_arg
+        "Optimizer.search: more than %d configurations; tighten the budget"
+        max_configurations;
+    configurations := (params, List.rev chosen, spent) :: !configurations;
+    match remaining with
+    | [] -> ()
+    | u :: rest ->
+      (* skip this upgrade entirely *)
+      enumerate rest chosen spent params;
+      (* or take it 1..max_repeat times *)
+      let rec take k spent params chosen =
+        if k > max_repeat then ()
+        else begin
+          let spent = spent +. u.cost in
+          if spent <= budget then begin
+            let params = u.apply params in
+            match Params.validate params with
+            | Error _ -> ()
+            | Ok params ->
+              let chosen = u.description :: chosen in
+              enumerate rest chosen spent params;
+              take (k + 1) spent params chosen
+          end
+        end
+      in
+      take 1 spent params chosen
+  in
+  enumerate upgrades [] 0. base;
+  (* Deduplicate identical parameter records (different orders of the same
+     multiset produce one entry each already; applying "SU" twice is a
+     no-op, so filter duplicates). *)
+  let seen = Hashtbl.create 64 in
+  let unique =
+    List.filter
+      (fun (params, _, _) ->
+        if Hashtbl.mem seen params then false
+        else begin
+          Hashtbl.replace seen params ();
+          true
+        end)
+      !configurations
+  in
+  let solved =
+    List.map
+      (fun (params, applied, total_cost) ->
+        let net = Tolerance.network ?solver params in
+        let mem = Tolerance.memory ?solver params in
+        {
+          params;
+          applied;
+          total_cost;
+          u_p = net.Tolerance.real.Measures.u_p;
+          tol_network = net.Tolerance.tol;
+          tol_memory = mem.Tolerance.tol;
+        })
+      unique
+  in
+  List.sort
+    (fun a b ->
+      match compare b.u_p a.u_p with
+      | 0 -> compare a.total_cost b.total_cost
+      | c -> c)
+    solved
+
+let best ?solver ~base ~budget upgrades =
+  match search ?solver ~base ~budget upgrades with
+  | best :: _ -> best
+  | [] -> assert false (* the base configuration is always present *)
+
+let pp_configuration ppf c =
+  Fmt.pf ppf "@[U_p=%.4f cost=%g tol(net %.3f, mem %.3f): %s@]" c.u_p
+    c.total_cost c.tol_network c.tol_memory
+    (if c.applied = [] then "(baseline)" else String.concat " + " c.applied)

@@ -1,0 +1,45 @@
+(** Design-space search under a hardware budget.
+
+    The paper's pitch to architects is that the tolerance index tells them
+    {e which} subsystem to spend on.  This module closes the loop: given a
+    base machine, a set of candidate upgrades with costs, and a budget, it
+    enumerates affordable configurations, solves each, and returns them
+    ranked by processor utilization.  Exhaustive (the space is tiny) and
+    deterministic. *)
+
+type upgrade = {
+  description : string;
+  cost : float;
+  apply : Params.t -> Params.t;
+}
+
+val standard_upgrades : unit -> upgrade list
+(** A representative catalogue: add a memory port (cost 2), add a pipeline
+    stage to every switch (cost 3), halve the switch service time (cost 4),
+    halve the memory service time (cost 4), add an EARTH SU at half the
+    switch time (cost 2).  Each can be taken at most once per search except
+    ports/pipeline which may repeat. *)
+
+type configuration = {
+  params : Params.t;
+  applied : string list;       (** descriptions of chosen upgrades *)
+  total_cost : float;
+  u_p : float;
+  tol_network : float;
+  tol_memory : float;
+}
+
+val search :
+  ?solver:Mms.solver -> ?max_configurations:int -> base:Params.t ->
+  budget:float -> upgrade list -> configuration list
+(** All affordable upgrade subsets (with repetition capped at 3 per
+    upgrade), solved and sorted by decreasing [u_p]; the base
+    configuration is always included.  Raises [Invalid_argument] on a
+    negative budget, an upgrade with non-positive cost, or a search space
+    larger than [max_configurations] (default 2000). *)
+
+val best : ?solver:Mms.solver -> base:Params.t -> budget:float ->
+  upgrade list -> configuration
+(** Head of {!search}. *)
+
+val pp_configuration : Format.formatter -> configuration -> unit

@@ -1,0 +1,108 @@
+open Lattol_topology
+
+type t = {
+  topology : Topology.kind;
+  k : int;
+  dimensions : int;
+  n_t : int;
+  runlength : float;
+  context_switch : float;
+  p_remote : float;
+  pattern : Access.pattern;
+  l_mem : float;
+  mem_ports : int;
+  s_switch : float;
+  switch_pipeline : int;
+  sync_unit : float;
+}
+
+let default =
+  {
+    topology = Topology.Torus;
+    k = 4;
+    dimensions = 2;
+    n_t = 8;
+    runlength = 1.;
+    context_switch = 0.;
+    p_remote = 0.2;
+    pattern = Access.Geometric 0.5;
+    l_mem = 1.;
+    mem_ports = 1;
+    s_switch = 1.;
+    switch_pipeline = 1;
+    sync_unit = 0.;
+  }
+
+let validate t =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if t.k < 1 then err "k = %d must be >= 1" t.k
+  else if t.dimensions < 1 then err "dimensions = %d must be >= 1" t.dimensions
+  else if t.n_t < 0 then err "n_t = %d must be >= 0" t.n_t
+  else if t.runlength <= 0. then err "runlength %g must be > 0" t.runlength
+  else if t.context_switch < 0. then
+    err "context switch time %g must be >= 0" t.context_switch
+  else if t.p_remote < 0. || t.p_remote > 1. then
+    err "p_remote %g must lie in [0, 1]" t.p_remote
+  else if t.l_mem < 0. then err "memory latency %g must be >= 0" t.l_mem
+  else if t.mem_ports < 1 then err "mem_ports %d must be >= 1" t.mem_ports
+  else if t.s_switch < 0. then err "switch delay %g must be >= 0" t.s_switch
+  else if t.switch_pipeline < 1 then
+    err "switch pipeline depth %d must be >= 1" t.switch_pipeline
+  else if t.sync_unit < 0. then err "SU service %g must be >= 0" t.sync_unit
+  else if t.p_remote > 0. && t.k = 1 then
+    err "p_remote > 0 requires more than one node (k >= 2)"
+  else
+    match t.pattern with
+    | Access.Geometric p_sw when p_sw <= 0. || p_sw >= 1. ->
+      err "p_sw %g must lie in (0, 1)" p_sw
+    | Access.Geometric _ | Access.Uniform -> Ok t
+    | Access.Explicit _ -> (
+      (* The matrix defines the remote fraction; normalize the record so
+         downstream consumers can keep reading [p_remote]. *)
+      let topo =
+        Topology.create_nd t.topology
+          ~dims:(List.init t.dimensions (fun _ -> t.k))
+      in
+      match Access.create topo t.pattern ~p_remote:t.p_remote with
+      | access -> Ok { t with p_remote = Access.p_remote access }
+      | exception Invalid_argument msg -> Error msg)
+
+let validate_exn t =
+  match validate t with Ok t -> t | Error msg -> invalid_arg ("Params: " ^ msg)
+
+let num_processors t =
+  let acc = ref 1 in
+  for _ = 1 to t.dimensions do
+    acc := !acc * t.k
+  done;
+  !acc
+
+let processor_occupancy t = t.runlength +. t.context_switch
+
+let make_topology t =
+  Topology.create_nd t.topology ~dims:(List.init t.dimensions (fun _ -> t.k))
+
+let make_access t = Access.create (make_topology t) t.pattern ~p_remote:t.p_remote
+
+let d_avg t =
+  if t.p_remote = 0. then nan
+  else Access.average_distance (make_access t) ~src:0
+
+let pp ppf t =
+  let pattern =
+    match t.pattern with
+    | Access.Geometric p_sw -> Printf.sprintf "geometric(p_sw=%g)" p_sw
+    | Access.Uniform -> "uniform"
+    | Access.Explicit _ -> "explicit"
+  in
+  let shape =
+    String.concat "x" (List.init t.dimensions (fun _ -> string_of_int t.k))
+  in
+  Fmt.pf ppf
+    "@[MMS %s %s: n_t=%d R=%g C=%g p_remote=%g %s L=%g%s S=%g@]"
+    (match t.topology with Topology.Torus -> "torus" | Topology.Mesh -> "mesh")
+    shape t.n_t t.runlength t.context_switch t.p_remote pattern t.l_mem
+    (if t.mem_ports > 1 then Printf.sprintf " (x%d ports)" t.mem_ports else "")
+    t.s_switch;
+  if t.switch_pipeline > 1 then Fmt.pf ppf " (pipe %d)" t.switch_pipeline;
+  if t.sync_unit > 0. then Fmt.pf ppf " SU=%g" t.sync_unit

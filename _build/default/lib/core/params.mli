@@ -1,0 +1,76 @@
+(** Model parameters of the multithreaded multiprocessor system (MMS).
+
+    One record gathers the paper's workload parameters ([n_t], [R],
+    [p_remote], remote-access pattern) and architectural parameters ([L],
+    [S], topology, [k]); Table 1 of the paper is {!default}.  All analysis
+    entry points take this record, so experiments are plain OCaml values
+    that can be swept, printed and compared. *)
+
+open Lattol_topology
+
+type t = {
+  topology : Topology.kind;  (** torus (paper default) or open mesh *)
+  k : int;                   (** nodes per dimension *)
+  dimensions : int;
+      (** network dimensionality: 1 = ring, 2 = the paper's torus/mesh,
+          3 = cube, ...; [P = k ^ dimensions] *)
+  n_t : int;                 (** threads per processor *)
+  runlength : float;         (** R: mean computation time per thread activation *)
+  context_switch : float;
+      (** C: time to switch to the next ready thread, added to the
+          processor occupancy of each activation (paper folds it into R;
+          default 0) *)
+  p_remote : float;          (** probability a memory access is remote *)
+  pattern : Access.pattern;  (** remote-access pattern (geometric/uniform) *)
+  l_mem : float;             (** L: memory service time per access *)
+  mem_ports : int;
+      (** number of concurrent accesses a memory module serves (Section 7's
+          "multiporting/pipelining the memory can be of help"); 1 = the
+          paper's baseline single-ported module *)
+  s_switch : float;          (** S: switch routing time per message *)
+  switch_pipeline : int;
+      (** pipeline depth of each switch: up to this many messages progress
+          concurrently, each still taking [S] end to end (a [Multi_server]
+          station).  1 (the default) is the paper's non-pipelined switch;
+          deeper values address the limitation the paper itself notes —
+          "this method works well, except to achieve the low latency of
+          pipelined networks in the presence of a light network traffic" —
+          and raise Eq. 4's ceiling to [depth / (2 d_avg S)] *)
+  sync_unit : float;
+      (** service time of an EARTH-style synchronization unit (SU) per
+          remote-operation touch; 0 (the default) removes the SU and gives
+          the paper's plain PE.  When present, every remote access visits
+          the source SU to inject, the destination SU to be handled, and
+          the source SU again on completion — offloading communication
+          handling from the processor (the EARTH EU/SU split the paper's
+          execution model comes from) *)
+}
+
+val default : t
+(** The paper's Table 1 defaults: 4x4 torus, [n_t = 8], [R = 1],
+    [p_remote = 0.2], geometric pattern with [p_sw = 0.5] (so
+    [d_avg = 1.733]), [L = 1], [S = 1], [C = 0]. *)
+
+val validate : t -> (t, string) result
+(** Checks ranges ([k >= 1], [n_t >= 0], non-negative times, probability
+    bounds).  Returns the record unchanged when valid. *)
+
+val validate_exn : t -> t
+(** Like {!validate} but raises [Invalid_argument]. *)
+
+val num_processors : t -> int
+(** [k ^ dimensions]. *)
+
+val processor_occupancy : t -> float
+(** [runlength + context_switch]: the processor service time per thread
+    activation used by the model. *)
+
+val make_topology : t -> Topology.t
+
+val make_access : t -> Access.t
+
+val d_avg : t -> float
+(** Mean hops of a remote access under these parameters ([nan] when
+    [p_remote = 0]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+type verdict = Network_bound | Memory_bound | Compute_bound
+
+type t = {
+  params : Params.t;
+  measures : Measures.t;
+  network : Tolerance.report;
+  memory : Tolerance.report;
+  bottleneck : Bottleneck.t;
+  open_view : Bottleneck.open_view;
+  sensitivities : Sensitivity.derivative list;
+  verdict : verdict;
+  recommendations : string list;
+}
+
+let verdict_to_string = function
+  | Network_bound -> "network-bound"
+  | Memory_bound -> "memory-bound"
+  | Compute_bound -> "compute-bound (latencies tolerated)"
+
+let recommend params verdict bottleneck (network : Tolerance.report)
+    (memory : Tolerance.report) sensitivities =
+  let recs = ref [] in
+  let add fmt = Format.kasprintf (fun s -> recs := s :: !recs) fmt in
+  (match verdict with
+  | Compute_bound ->
+    add
+      "both latencies are tolerated; only more computation per thread or \
+       faster processors help"
+  | Network_bound ->
+    if params.Params.p_remote > bottleneck.Bottleneck.p_remote_critical then
+      add
+        "p_remote = %.2f exceeds the critical %.2f (Eq. 5): redistribute \
+         data/computation to cut remote accesses"
+        params.Params.p_remote bottleneck.Bottleneck.p_remote_critical;
+    (match params.Params.pattern with
+    | Lattol_topology.Access.Uniform ->
+      add "the uniform pattern has no locality: a geometric-like placement \
+           would shorten routes"
+    | Lattol_topology.Access.Geometric _ | Lattol_topology.Access.Explicit _ ->
+      ());
+    add
+      "longer runlengths tolerate the network better: coalesce threads \
+       (keep n_t >= 2) before adding more"
+  | Memory_bound ->
+    if params.Params.mem_ports = 1 then
+      add
+        "the memory module saturates (demand L/R = %.2f): multiporting \
+         (mem_ports > 1) removes this wall"
+        bottleneck.Bottleneck.memory_demand;
+    add "raising the runlength R relative to L relieves the memory");
+  (if network.Tolerance.zone = Tolerance.Tolerated
+   && memory.Tolerance.zone = Tolerance.Tolerated
+   && params.Params.n_t > 8
+  then
+     add
+       "most gains arrive by 4-8 threads; n_t = %d mainly adds queueing \
+        (and cache pressure)"
+       params.Params.n_t);
+  (match sensitivities with
+  | top :: _ ->
+    add "most sensitive knob at this point: %s (elasticity %+.2f)"
+      top.Sensitivity.param top.Sensitivity.elasticity
+  | [] -> ());
+  List.rev !recs
+
+let analyze ?solver params =
+  let params = Params.validate_exn params in
+  let network = Tolerance.network ?solver params in
+  let memory = Tolerance.memory ?solver params in
+  let measures = network.Tolerance.real in
+  let bottleneck = Bottleneck.analyze params in
+  let open_view = Bottleneck.open_view params ~lambda:measures.Measures.lambda in
+  let sensitivities = Sensitivity.ranked ?solver params in
+  let verdict =
+    if
+      network.Tolerance.zone = Tolerance.Tolerated
+      && memory.Tolerance.zone = Tolerance.Tolerated
+    then Compute_bound
+    else if network.Tolerance.tol <= memory.Tolerance.tol then Network_bound
+    else Memory_bound
+  in
+  let recommendations =
+    recommend params verdict bottleneck network memory sensitivities
+  in
+  {
+    params;
+    measures;
+    network;
+    memory;
+    bottleneck;
+    open_view;
+    sensitivities;
+    verdict;
+    recommendations;
+  }
+
+let pp ppf r =
+  let bar = String.make 72 '-' in
+  Fmt.pf ppf "@[<v>%s@,LATENCY TOLERANCE REPORT@,%s@," bar bar;
+  Fmt.pf ppf "machine     %a@," Params.pp r.params;
+  Fmt.pf ppf "verdict     %s@,@," (verdict_to_string r.verdict);
+  Fmt.pf ppf "measures@,  %a@,@," Measures.pp r.measures;
+  Fmt.pf ppf "tolerance@,  %a@,  %a@,@," Tolerance.pp_report r.network
+    Tolerance.pp_report r.memory;
+  Fmt.pf ppf "bottleneck (closed form)@,  %a@,@," Bottleneck.pp r.bottleneck;
+  Fmt.pf ppf "open-model view at the operating point@,  %a@,@,"
+    Bottleneck.pp_open_view r.open_view;
+  Fmt.pf ppf "sensitivities (ranked)@,";
+  List.iter
+    (fun d -> Fmt.pf ppf "  %a@," Sensitivity.pp_derivative d)
+    r.sensitivities;
+  Fmt.pf ppf "@,recommendations@,";
+  List.iter (fun s -> Fmt.pf ppf "  - %s@," s) r.recommendations;
+  Fmt.pf ppf "%s@]" bar

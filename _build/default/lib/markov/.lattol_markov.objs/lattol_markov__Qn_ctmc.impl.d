@@ -1,0 +1,1 @@
+lib/markov/qn_ctmc.ml: Array Ctmc Format Fun Hashtbl Lattol_queueing List

@@ -1,0 +1,1 @@
+lib/markov/qn_ctmc.mli: Lattol_queueing

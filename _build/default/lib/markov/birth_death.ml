@@ -1,0 +1,32 @@
+let check ~births ~deaths =
+  let n = Array.length births in
+  if Array.length deaths <> n then
+    invalid_arg "Birth_death: births and deaths must have equal length";
+  if n = 0 then invalid_arg "Birth_death: empty chain";
+  Array.iter
+    (fun r ->
+      if r <= 0. then invalid_arg "Birth_death: rates must be positive")
+    births;
+  Array.iter
+    (fun r ->
+      if r <= 0. then invalid_arg "Birth_death: rates must be positive")
+    deaths;
+  n
+
+let steady_state ~births ~deaths =
+  let n = check ~births ~deaths in
+  let pi = Array.make (n + 1) 1. in
+  for i = 0 to n - 1 do
+    pi.(i + 1) <- pi.(i) *. births.(i) /. deaths.(i)
+  done;
+  let total = Array.fold_left ( +. ) 0. pi in
+  Array.map (fun p -> p /. total) pi
+
+let to_ctmc ~births ~deaths =
+  let n = check ~births ~deaths in
+  let chain = Ctmc.create (n + 1) in
+  for i = 0 to n - 1 do
+    Ctmc.add_rate chain ~src:i ~dst:(i + 1) births.(i);
+    Ctmc.add_rate chain ~src:(i + 1) ~dst:i deaths.(i)
+  done;
+  chain

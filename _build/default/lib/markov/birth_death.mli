@@ -1,0 +1,14 @@
+(** Closed-form birth-death chains.
+
+    The classic analytic solutions (M/M/1/N-style product ladders) used as
+    an independent oracle for both {!Ctmc.steady_state} and the queueing
+    solvers on two-station models. *)
+
+val steady_state : births:float array -> deaths:float array -> float array
+(** [steady_state ~births ~deaths] for a chain on states [0..n]:
+    [births.(i)] is the rate [i -> i+1] (length [n]), [deaths.(i)] the rate
+    [i+1 -> i] (length [n]).  Returns the stationary distribution of length
+    [n + 1]. *)
+
+val to_ctmc : births:float array -> deaths:float array -> Ctmc.t
+(** Same chain as an explicit {!Ctmc.t} (for cross-checking the solver). *)

@@ -1,0 +1,161 @@
+type t = {
+  n : int;
+  (* outgoing.(s) maps destination -> rate *)
+  outgoing : (int, float) Hashtbl.t array;
+}
+
+let create n =
+  if n < 1 then invalid_arg "Ctmc.create: need at least one state";
+  { n; outgoing = Array.init n (fun _ -> Hashtbl.create 4) }
+
+let num_states t = t.n
+
+let check_state t s name =
+  if s < 0 || s >= t.n then
+    Format.kasprintf invalid_arg "Ctmc: %s state %d out of range [0, %d)" name
+      s t.n
+
+let add_rate t ~src ~dst r =
+  check_state t src "source";
+  check_state t dst "destination";
+  if src = dst then invalid_arg "Ctmc.add_rate: src = dst";
+  if r < 0. || not (Float.is_finite r) then
+    invalid_arg "Ctmc.add_rate: rate must be finite and >= 0";
+  if r > 0. then begin
+    let tbl = t.outgoing.(src) in
+    let prev = Option.value (Hashtbl.find_opt tbl dst) ~default:0. in
+    Hashtbl.replace tbl dst (prev +. r)
+  end
+
+let rate t ~src ~dst =
+  check_state t src "source";
+  check_state t dst "destination";
+  Option.value (Hashtbl.find_opt t.outgoing.(src) dst) ~default:0.
+
+let exit_rate t s =
+  check_state t s "state";
+  Hashtbl.fold (fun _ r acc -> acc +. r) t.outgoing.(s) 0.
+
+let steady_state ?(tolerance = 1e-12) ?(max_iterations = 100_000) t =
+  (* Incoming adjacency: for pi Q = 0 we need, per state i, the flows
+     pi_j * q_{j,i}. *)
+  let incoming = Array.make t.n [] in
+  Array.iteri
+    (fun src tbl ->
+      Hashtbl.iter (fun dst r -> incoming.(dst) <- (src, r) :: incoming.(dst)) tbl)
+    t.outgoing;
+  let exits = Array.init t.n (fun s -> exit_rate t s) in
+  Array.iteri
+    (fun s e ->
+      if e = 0. && incoming.(s) <> [] then
+        Format.kasprintf failwith "Ctmc.steady_state: state %d is absorbing" s)
+    exits;
+  let pi = Array.make t.n (1. /. float_of_int t.n) in
+  let iteration = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iteration < max_iterations do
+    incr iteration;
+    let delta = ref 0. in
+    for i = 0 to t.n - 1 do
+      if exits.(i) > 0. then begin
+        let inflow =
+          List.fold_left (fun acc (j, r) -> acc +. (pi.(j) *. r)) 0. incoming.(i)
+        in
+        let updated = inflow /. exits.(i) in
+        delta := Float.max !delta (abs_float (updated -. pi.(i)));
+        pi.(i) <- updated
+      end
+      else pi.(i) <- 0.
+    done;
+    let total = Array.fold_left ( +. ) 0. pi in
+    if total <= 0. then failwith "Ctmc.steady_state: probability mass vanished";
+    for i = 0 to t.n - 1 do
+      pi.(i) <- pi.(i) /. total
+    done;
+    if !delta < tolerance then converged := true
+  done;
+  if not !converged then
+    Format.kasprintf failwith
+      "Ctmc.steady_state: no convergence after %d iterations" max_iterations;
+  pi
+
+let transient ?(epsilon = 1e-10) t ~initial ~time =
+  if Array.length initial <> t.n then
+    invalid_arg "Ctmc.transient: initial distribution size mismatch";
+  if time < 0. then invalid_arg "Ctmc.transient: negative time";
+  let total = Array.fold_left ( +. ) 0. initial in
+  if abs_float (total -. 1.) > 1e-9 then
+    invalid_arg "Ctmc.transient: initial distribution must sum to 1";
+  if time = 0. then Array.copy initial
+  else begin
+    (* Uniformization rate: a hair above the largest exit rate. *)
+    let lambda = ref 0. in
+    for s = 0 to t.n - 1 do
+      let e = exit_rate t s in
+      if e > !lambda then lambda := e
+    done;
+    if !lambda = 0. then Array.copy initial
+    else begin
+      let lambda = !lambda *. 1.02 in
+      (* One step of the uniformized DTMC: v P where
+         P = I + Q / lambda. *)
+      let step v =
+        let out = Array.make t.n 0. in
+        for s = 0 to t.n - 1 do
+          if v.(s) > 0. then begin
+            let stay = 1. -. (exit_rate t s /. lambda) in
+            out.(s) <- out.(s) +. (v.(s) *. stay);
+            Hashtbl.iter
+              (fun dst r -> out.(dst) <- out.(dst) +. (v.(s) *. r /. lambda))
+              t.outgoing.(s)
+          end
+        done;
+        out
+      in
+      let result = Array.make t.n 0. in
+      let v = ref (Array.copy initial) in
+      (* Poisson(lambda t) weights computed iteratively; stop when the
+         accumulated mass reaches 1 - epsilon. *)
+      let lt = lambda *. time in
+      let weight = ref (exp (-.lt)) in
+      let accumulated = ref 0. in
+      let k = ref 0 in
+      (* Guard against underflow of the k = 0 term for large lt: scale by
+         tracking log-weight instead when needed. *)
+      let log_weight = ref (-.lt) in
+      while !accumulated < 1. -. epsilon && !k < 100_000 do
+        weight := exp !log_weight;
+        if !weight > 0. then begin
+          accumulated := !accumulated +. !weight;
+          for s = 0 to t.n - 1 do
+            result.(s) <- result.(s) +. (!weight *. !v.(s))
+          done
+        end;
+        incr k;
+        log_weight := !log_weight +. log (lt /. float_of_int !k);
+        v := step !v
+      done;
+      (* Renormalize the truncated expansion. *)
+      let mass = Array.fold_left ( +. ) 0. result in
+      if mass > 0. then Array.map (fun x -> x /. mass) result else result
+    end
+  end
+
+let expected t ~pi ~f =
+  if Array.length pi <> t.n then invalid_arg "Ctmc.expected: pi size mismatch";
+  let acc = ref 0. in
+  for i = 0 to t.n - 1 do
+    acc := !acc +. (pi.(i) *. f i)
+  done;
+  !acc
+
+let flow t ~pi ~select =
+  if Array.length pi <> t.n then invalid_arg "Ctmc.flow: pi size mismatch";
+  let acc = ref 0. in
+  Array.iteri
+    (fun src tbl ->
+      Hashtbl.iter
+        (fun dst r -> if select ~src ~dst then acc := !acc +. (pi.(src) *. r))
+        tbl)
+    t.outgoing;
+  !acc

@@ -1,0 +1,217 @@
+module Network = Lattol_queueing.Network
+module Solution = Lattol_queueing.Solution
+
+(* All length-[parts] vectors of non-negative ints summing to [n]. *)
+let compositions n parts =
+  if parts = 0 then (if n = 0 then [ [||] ] else [])
+  else begin
+    let acc = ref [] in
+    let current = Array.make parts 0 in
+    let rec go idx remaining =
+      if idx = parts - 1 then begin
+        current.(idx) <- remaining;
+        acc := Array.copy current :: !acc
+      end
+      else
+        for v = 0 to remaining do
+          current.(idx) <- v;
+          go (idx + 1) (remaining - v)
+        done
+    in
+    go 0 n;
+    List.rev !acc
+  end
+
+let binomial n k =
+  let k = min k (n - k) in
+  if k < 0 then 0
+  else begin
+    let acc = ref 1 in
+    for i = 1 to k do
+      acc := !acc * (n - k + i) / i
+    done;
+    !acc
+  end
+
+type layout = {
+  visited : int array array; (* visited.(c): stations class c visits *)
+  comps : int array array array; (* comps.(c): compositions over visited.(c) *)
+  strides : int array;
+  total : int;
+}
+
+let layout_of network =
+  let num_cls = Network.num_classes network in
+  let num_st = Network.num_stations network in
+  let visited =
+    Array.init num_cls (fun c ->
+        List.filter
+          (fun m -> Network.visit network ~cls:c ~station:m > 0.)
+          (List.init num_st Fun.id)
+        |> Array.of_list)
+  in
+  let comps =
+    Array.init num_cls (fun c ->
+        Array.of_list
+          (compositions (Network.population network c) (Array.length visited.(c))))
+  in
+  let strides = Array.make num_cls 1 in
+  for c = 1 to num_cls - 1 do
+    strides.(c) <- strides.(c - 1) * Array.length comps.(c - 1)
+  done;
+  let total =
+    Array.fold_left (fun acc per_cls -> acc * Array.length per_cls) 1 comps
+  in
+  { visited; comps; strides; total }
+
+let num_states network =
+  let num_st = Network.num_stations network in
+  let acc = ref 1 in
+  for c = 0 to Network.num_classes network - 1 do
+    let parts = ref 0 in
+    for m = 0 to num_st - 1 do
+      if Network.visit network ~cls:c ~station:m > 0. then incr parts
+    done;
+    acc := !acc * binomial (Network.population network c + !parts - 1) (!parts - 1)
+  done;
+  !acc
+
+let solve ?(max_states = 200_000) network =
+  let num_cls = Network.num_classes network in
+  let num_st = Network.num_stations network in
+  (* Queueing stations must have class-independent service times. *)
+  for m = 0 to num_st - 1 do
+    let shared_queue =
+      match Network.station_kind network m with
+      | Network.Queueing | Network.Multi_server _ -> true
+      | Network.Delay -> false
+    in
+    if shared_queue then begin
+      let s = ref None in
+      for c = 0 to num_cls - 1 do
+        if Network.visit network ~cls:c ~station:m > 0. then begin
+          let sc = Network.service_time network ~cls:c ~station:m in
+          match !s with
+          | None -> s := Some sc
+          | Some s0 ->
+            if abs_float (s0 -. sc) > 1e-12 then
+              Format.kasprintf invalid_arg
+                "Qn_ctmc.solve: station %d has class-dependent FCFS service" m
+        end
+      done
+    end
+  done;
+  let lay = layout_of network in
+  if lay.total > max_states then
+    Format.kasprintf invalid_arg
+      "Qn_ctmc.solve: %d states exceed the %d cap" lay.total max_states;
+  (* occupancy of class c at station m in global state idx *)
+  let occupancy idx c m =
+    let comp = lay.comps.(c).(idx / lay.strides.(c) mod Array.length lay.comps.(c)) in
+    let rec find i =
+      if i = Array.length lay.visited.(c) then 0
+      else if lay.visited.(c).(i) = m then comp.(i)
+      else find (i + 1)
+    in
+    find 0
+  in
+  let index_with idx c comp_idx =
+    let old = idx / lay.strides.(c) mod Array.length lay.comps.(c) in
+    idx + ((comp_idx - old) * lay.strides.(c))
+  in
+  (* For moving one customer between slots of class c we need the index of
+     the perturbed composition; build a lookup from composition to index. *)
+  let comp_index =
+    Array.map
+      (fun per_cls ->
+        let tbl = Hashtbl.create (Array.length per_cls * 2) in
+        Array.iteri (fun i comp -> Hashtbl.replace tbl comp i) per_cls;
+        tbl)
+      lay.comps
+  in
+  let chain = Ctmc.create lay.total in
+  let total_visits c =
+    Array.fold_left
+      (fun acc m -> acc +. Network.visit network ~cls:c ~station:m)
+      0. lay.visited.(c)
+  in
+  let v_totals = Array.init num_cls total_visits in
+  (* completion rate of class c at station m in state idx *)
+  let completion_rate idx c m =
+    let n_cm = occupancy idx c m in
+    if n_cm = 0 then 0.
+    else
+      match Network.station_kind network m with
+      | Network.Delay ->
+        float_of_int n_cm /. Network.service_time network ~cls:c ~station:m
+      | Network.Queueing | Network.Multi_server _ ->
+        let n_m = ref 0 in
+        for j = 0 to num_cls - 1 do
+          n_m := !n_m + occupancy idx j m
+        done;
+        let active =
+          match Network.station_kind network m with
+          | Network.Multi_server servers -> min !n_m servers
+          | Network.Queueing | Network.Delay -> 1
+        in
+        float_of_int active *. float_of_int n_cm /. float_of_int !n_m
+        /. Network.service_time network ~cls:c ~station:m
+  in
+  for idx = 0 to lay.total - 1 do
+    for c = 0 to num_cls - 1 do
+      let stations = lay.visited.(c) in
+      let comp_idx = idx / lay.strides.(c) mod Array.length lay.comps.(c) in
+      let comp = lay.comps.(c).(comp_idx) in
+      Array.iteri
+        (fun slot_src m_src ->
+          if comp.(slot_src) > 0 then begin
+            let rate = completion_rate idx c m_src in
+            Array.iteri
+              (fun slot_dst m_dst ->
+                if slot_dst <> slot_src then begin
+                  let p =
+                    Network.visit network ~cls:c ~station:m_dst /. v_totals.(c)
+                  in
+                  if p > 0. then begin
+                    let moved = Array.copy comp in
+                    moved.(slot_src) <- moved.(slot_src) - 1;
+                    moved.(slot_dst) <- moved.(slot_dst) + 1;
+                    let comp_idx' = Hashtbl.find comp_index.(c) moved in
+                    let idx' = index_with idx c comp_idx' in
+                    Ctmc.add_rate chain ~src:idx ~dst:idx' (rate *. p)
+                  end
+                end)
+              stations
+          end)
+        stations
+    done
+  done;
+  let pi = Ctmc.steady_state chain in
+  let throughput = Array.make num_cls 0. in
+  let queue = Array.make_matrix num_cls num_st 0. in
+  let residence = Array.make_matrix num_cls num_st 0. in
+  for c = 0 to num_cls - 1 do
+    if Network.population network c > 0 then begin
+      let completion_flux =
+        Ctmc.expected chain ~pi ~f:(fun idx ->
+            Array.fold_left
+              (fun acc m -> acc +. completion_rate idx c m)
+              0. lay.visited.(c))
+      in
+      throughput.(c) <- completion_flux /. v_totals.(c);
+      for m = 0 to num_st - 1 do
+        queue.(c).(m) <-
+          Ctmc.expected chain ~pi ~f:(fun idx -> float_of_int (occupancy idx c m));
+        if throughput.(c) > 0. then
+          residence.(c).(m) <- queue.(c).(m) /. throughput.(c)
+      done
+    end
+  done;
+  {
+    Solution.network;
+    throughput;
+    residence;
+    queue;
+    iterations = 1;
+    converged = true;
+  }

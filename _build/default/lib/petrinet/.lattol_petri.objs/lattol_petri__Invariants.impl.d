@@ -1,0 +1,1 @@
+lib/petrinet/invariants.ml: Array Hashtbl List Petri

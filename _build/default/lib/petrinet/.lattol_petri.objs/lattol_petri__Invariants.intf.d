@@ -1,0 +1,1 @@
+lib/petrinet/invariants.mli: Petri

@@ -1,0 +1,1 @@
+lib/petrinet/mms_stpn.ml: Access Array Lattol_core Lattol_stats Lattol_topology List Measures Params Petri Printf Reachability Simulation Topology Variate

@@ -1,0 +1,1 @@
+lib/petrinet/mms_stpn.mli: Lattol_core Measures Params Petri Simulation

@@ -1,0 +1,1 @@
+lib/petrinet/petri.ml: Array Fmt Format Lattol_stats List

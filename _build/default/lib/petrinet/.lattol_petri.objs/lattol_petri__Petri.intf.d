@@ -1,0 +1,1 @@
+lib/petrinet/petri.mli: Format Lattol_stats

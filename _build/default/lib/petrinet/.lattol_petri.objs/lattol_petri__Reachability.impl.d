@@ -1,0 +1,1 @@
+lib/petrinet/reachability.ml: Array Format Hashtbl Lattol_markov Lattol_stats List Petri Queue

@@ -1,0 +1,1 @@
+lib/petrinet/reachability.mli: Lattol_markov Petri

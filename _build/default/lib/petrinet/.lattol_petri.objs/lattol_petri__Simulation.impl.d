@@ -1,0 +1,1 @@
+lib/petrinet/simulation.ml: Array Lattol_sim Lattol_stats List Petri Prng Variate

@@ -1,0 +1,1 @@
+lib/petrinet/simulation.mli: Petri

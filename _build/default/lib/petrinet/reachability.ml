@@ -1,0 +1,169 @@
+module Ctmc = Lattol_markov.Ctmc
+
+type t = {
+  net : Petri.t;
+  markings : int array array;
+  chain : Ctmc.t;
+  transition_flux : (int * Petri.transition * float) list array;
+}
+
+exception Unbounded of int
+
+exception Vanishing_loop
+
+(* Base rate of one service; Timed_infinite transitions scale it by the
+   enabling degree of the marking at hand. *)
+let base_rate net tr =
+  match Petri.timing net tr with
+  | Petri.Timed (Lattol_stats.Variate.Exponential mean)
+  | Petri.Timed_infinite (Lattol_stats.Variate.Exponential mean) ->
+    1. /. mean
+  | Petri.Timed d | Petri.Timed_infinite d ->
+    Format.kasprintf invalid_arg
+      "Reachability: transition %s has non-exponential timing %a"
+      (Petri.transition_name net tr)
+      Lattol_stats.Variate.pp d
+  | Petri.Immediate _ -> invalid_arg "Reachability.base_rate: immediate"
+
+let rate_in net tr marking =
+  match Petri.timing net tr with
+  | Petri.Timed _ -> base_rate net tr
+  | Petri.Timed_infinite _ ->
+    float_of_int (Petri.enabling_degree net ~marking tr) *. base_rate net tr
+  | Petri.Immediate _ -> invalid_arg "Reachability.rate_in: immediate"
+
+let enabled_list net marking pred =
+  let acc = ref [] in
+  for tr = Petri.num_transitions net - 1 downto 0 do
+    if pred (Petri.timing net tr) && Petri.enabled net ~marking tr then
+      acc := tr :: !acc
+  done;
+  !acc
+
+let enabled_immediates net marking =
+  enabled_list net marking (function
+    | Petri.Immediate _ -> true
+    | Petri.Timed _ | Petri.Timed_infinite _ -> false)
+
+let enabled_timed net marking =
+  enabled_list net marking (function
+    | Petri.Immediate _ -> false
+    | Petri.Timed _ | Petri.Timed_infinite _ -> true)
+
+(* Follow immediate firings until tangible markings, multiplying branch
+   probabilities.  [path] detects zero-time cycles. *)
+let rec resolve net path marking =
+  match enabled_immediates net marking with
+  | [] -> [ (marking, 1.) ]
+  | imms ->
+    if List.exists (fun m -> m = marking) path then raise Vanishing_loop;
+    let total =
+      List.fold_left
+        (fun acc tr ->
+          match Petri.timing net tr with
+          | Petri.Immediate w -> acc +. w
+          | Petri.Timed _ | Petri.Timed_infinite _ -> assert false)
+        0. imms
+    in
+    List.concat_map
+      (fun tr ->
+        let w =
+          match Petri.timing net tr with
+          | Petri.Immediate w -> w
+          | Petri.Timed _ | Petri.Timed_infinite _ -> assert false
+        in
+        let next = Array.copy marking in
+        Petri.fire net ~marking:next tr;
+        List.map
+          (fun (m, p) -> (m, p *. w /. total))
+          (resolve net (marking :: path) next))
+      imms
+
+let explore ?(max_states = 100_000) net =
+  (* Validate timings up front. *)
+  for tr = 0 to Petri.num_transitions net - 1 do
+    match Petri.timing net tr with
+    | Petri.Timed _ | Petri.Timed_infinite _ -> ignore (base_rate net tr)
+    | Petri.Immediate _ -> ()
+  done;
+  let index : (int array, int) Hashtbl.t = Hashtbl.create 1024 in
+  let markings = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let intern m =
+    match Hashtbl.find_opt index m with
+    | Some id -> id
+    | None ->
+      if !count >= max_states then raise (Unbounded max_states);
+      let id = !count in
+      incr count;
+      Hashtbl.replace index m id;
+      markings := m :: !markings;
+      Queue.add (id, m) queue;
+      id
+  in
+  let edges = ref [] in
+  List.iter
+    (fun (m, _) -> ignore (intern m))
+    (resolve net [] (Petri.initial_marking net));
+  while not (Queue.is_empty queue) do
+    let id, m = Queue.take queue in
+    List.iter
+      (fun tr ->
+        let rate = rate_in net tr m in
+        let next = Array.copy m in
+        Petri.fire net ~marking:next tr;
+        List.iter
+          (fun (tangible, p) ->
+            let id' = intern tangible in
+            edges := (id, tr, id', rate *. p) :: !edges)
+          (resolve net [] next))
+      (enabled_timed net m)
+  done;
+  let n = !count in
+  let chain = Ctmc.create n in
+  let flux = Array.make n [] in
+  List.iter
+    (fun (src, tr, dst, rate) ->
+      if src <> dst then Ctmc.add_rate chain ~src ~dst rate;
+      flux.(src) <- (dst, tr, rate) :: flux.(src))
+    !edges;
+  let marking_array = Array.of_list (List.rev !markings) in
+  { net; markings = marking_array; chain; transition_flux = flux }
+
+let num_states t = Array.length t.markings
+
+let steady_state t = Ctmc.steady_state t.chain
+
+let place_mean t ~pi p =
+  let acc = ref 0. in
+  Array.iteri
+    (fun s m -> acc := !acc +. (pi.(s) *. float_of_int m.(p)))
+    t.markings;
+  !acc
+
+let throughput t ~pi tr =
+  (match Petri.timing t.net tr with
+  | Petri.Immediate _ ->
+    invalid_arg "Reachability.throughput: only timed transitions"
+  | Petri.Timed _ | Petri.Timed_infinite _ -> ());
+  let acc = ref 0. in
+  Array.iteri
+    (fun s flux_s ->
+      List.iter
+        (fun (_, tr', rate) -> if tr' = tr then acc := !acc +. (pi.(s) *. rate))
+        flux_s)
+    t.transition_flux;
+  !acc
+
+let probability_nonempty t ~pi p =
+  let acc = ref 0. in
+  Array.iteri (fun s m -> if m.(p) > 0 then acc := !acc +. pi.(s)) t.markings;
+  !acc
+
+let deadlocks t =
+  let acc = ref [] in
+  Array.iteri
+    (fun s flux -> if flux = [] then acc := s :: !acc)
+    t.transition_flux;
+  List.rev !acc

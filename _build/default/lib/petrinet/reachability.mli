@@ -1,0 +1,51 @@
+(** Reachability analysis and exact CTMC solution of bounded STPNs.
+
+    For nets whose timed transitions are all exponential, the tangible
+    reachability graph is a continuous-time Markov chain: vanishing
+    markings (those enabling an immediate transition) are eliminated by
+    following immediate firings probabilistically until a tangible marking
+    is reached.  Solving that CTMC ({!Lattol_markov.Ctmc}) gives the exact
+    stationary behaviour of the net — the ground truth the test suite holds
+    the token-game simulator {!Simulation} against. *)
+
+type t = {
+  net : Petri.t;
+  markings : int array array;   (** tangible markings, index = CTMC state *)
+  chain : Lattol_markov.Ctmc.t;
+  transition_flux : (int * Petri.transition * float) list array;
+      (** per state: [(target, transition, rate)] with immediate firings
+          folded in — the immediate transition recorded is the {e timed}
+          one that initiated the move *)
+}
+
+exception Unbounded of int
+(** Raised (with the state cap) when exploration exceeds the cap. *)
+
+exception Vanishing_loop
+(** Raised when immediate transitions can cycle without time passing. *)
+
+val explore : ?max_states:int -> Petri.t -> t
+(** Build the tangible reachability graph from the initial marking
+    (default cap 100_000 tangible states).  Raises [Invalid_argument] if a
+    timed transition is not exponential, {!Unbounded}, or
+    {!Vanishing_loop}. *)
+
+val num_states : t -> int
+
+val steady_state : t -> float array
+(** Stationary distribution over tangible markings. *)
+
+val place_mean : t -> pi:float array -> Petri.place -> float
+(** Expected token count of a place. *)
+
+val throughput : t -> pi:float array -> Petri.transition -> float
+(** Mean firing rate of a {e timed} transition. *)
+
+val probability_nonempty : t -> pi:float array -> Petri.place -> float
+(** Stationary probability that the place holds at least one token. *)
+
+val deadlocks : t -> int list
+(** Tangible states with no outgoing transitions: markings from which the
+    net can never move again.  The paper assumes its execution model "does
+    not have inherent deadlocks"; this verifies that structurally on the
+    explored graph (the MMS nets must return []). *)

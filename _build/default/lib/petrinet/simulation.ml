@@ -1,0 +1,241 @@
+open Lattol_stats
+module Engine = Lattol_sim.Engine
+
+type stats = {
+  time : float;
+  events : int;
+  firings : int array;
+  rates : float array;
+  place_mean : float array;
+  busy : float array;
+}
+
+type state = {
+  net : Petri.t;
+  engine : Engine.t;
+  rng : Prng.t;
+  marking : int array;
+  (* timed-transition service state: one pending engine event per service
+     in progress (single-server transitions keep at most one) *)
+  handles : Engine.handle list array;
+  mutable enabled_imms : int list; (* lazily maintained; flags are exact *)
+  imm_flag : bool array;
+  (* statistics *)
+  firings : int array;
+  place_area : float array;
+  place_last : float array;
+  busy_area : float array; (* integral of in-progress services over time *)
+  busy_last : float array;
+  mutable stats_start : float;
+  mutable events : int;
+}
+
+let note_place st p =
+  let now = Engine.now st.engine in
+  st.place_area.(p) <-
+    st.place_area.(p)
+    +. (float_of_int st.marking.(p) *. (now -. st.place_last.(p)));
+  st.place_last.(p) <- now
+
+let note_busy st tr =
+  let now = Engine.now st.engine in
+  st.busy_area.(tr) <-
+    st.busy_area.(tr)
+    +. (float_of_int (List.length st.handles.(tr)) *. (now -. st.busy_last.(tr)));
+  st.busy_last.(tr) <- now
+
+(* The number of services transition [tr] should have in progress under the
+   current marking. *)
+let target_degree st tr =
+  match Petri.timing st.net tr with
+  | Petri.Immediate _ -> 0
+  | Petri.Timed _ ->
+    if Petri.enabled st.net ~marking:st.marking tr then 1 else 0
+  | Petri.Timed_infinite _ ->
+    if Petri.enabled st.net ~marking:st.marking tr then
+      Petri.enabling_degree st.net ~marking:st.marking tr
+    else 0
+
+let remove_handle st tr h =
+  st.handles.(tr) <- List.filter (fun h' -> h' != h) st.handles.(tr)
+
+(* Bring one transition's scheduling in line with the current marking. *)
+let rec refresh st tr =
+  match Petri.timing st.net tr with
+  | Petri.Immediate _ ->
+    let en = Petri.enabled st.net ~marking:st.marking tr in
+    if en && not st.imm_flag.(tr) then begin
+      st.imm_flag.(tr) <- true;
+      st.enabled_imms <- tr :: st.enabled_imms
+    end
+    else if (not en) && st.imm_flag.(tr) then st.imm_flag.(tr) <- false
+  | Petri.Timed dist | Petri.Timed_infinite dist ->
+    let target = target_degree st tr in
+    let active = List.length st.handles.(tr) in
+    if active <> target then begin
+      note_busy st tr;
+      if active < target then
+        for _ = active + 1 to target do
+          let cell = ref None in
+          let h =
+            Engine.schedule_cancellable st.engine
+              ~delay:(Variate.draw dist st.rng)
+              (fun () ->
+                (* Integrate the busy interval before dropping the handle,
+                   or the completed service would be accounted at degree
+                   zero. *)
+                note_busy st tr;
+                (match !cell with
+                | Some h -> remove_handle st tr h
+                | None -> ());
+                fire st tr)
+          in
+          cell := Some h;
+          st.handles.(tr) <- h :: st.handles.(tr)
+        done
+      else begin
+        (* Cancel the most recently started services (any choice is
+           equivalent for exponential timings; for others this is the
+           documented resampling approximation). *)
+        let rec drop n = function
+          | rest when n = 0 -> rest
+          | h :: rest ->
+            Engine.cancel st.engine h;
+            drop (n - 1) rest
+          | [] -> []
+        in
+        st.handles.(tr) <- drop (active - target) st.handles.(tr)
+      end
+    end
+
+(* Apply one firing: mutate the marking (with token-time accounting) and
+   refresh the scheduling of every transition connected to a changed
+   place.  Does not drain immediates — callers decide. *)
+and apply_firing_no_drain st tr =
+  st.events <- st.events + 1;
+  st.firings.(tr) <- st.firings.(tr) + 1;
+  let touched = ref [] in
+  Array.iter
+    (fun (p, mult) ->
+      note_place st p;
+      st.marking.(p) <- st.marking.(p) - mult;
+      touched := p :: !touched)
+    (Petri.inputs st.net tr);
+  Array.iter
+    (fun (p, mult) ->
+      note_place st p;
+      st.marking.(p) <- st.marking.(p) + mult;
+      touched := p :: !touched)
+    (Petri.outputs st.net tr);
+  List.iter
+    (fun p -> Array.iter (refresh st) (Petri.transitions_on_place st.net p))
+    !touched
+
+and fire st tr =
+  (* A timed service completed: busy time was integrated and the handle
+     removed by the engine callback. *)
+  apply_firing_no_drain st tr;
+  (* The transition itself may need rescheduling even if no connected
+     place-change triggered it (e.g. a pure token shuffle). *)
+  refresh st tr;
+  drain_immediates st
+
+and drain_immediates st =
+  let budget = ref 1_000_000 in
+  let rec loop () =
+    (* Compact the lazily maintained enabled list, collecting live
+       immediates and their total weight. *)
+    let live = ref [] and total = ref 0. in
+    List.iter
+      (fun tr ->
+        if st.imm_flag.(tr) && Petri.enabled st.net ~marking:st.marking tr
+        then begin
+          live := tr :: !live;
+          match Petri.timing st.net tr with
+          | Petri.Immediate w -> total := !total +. w
+          | Petri.Timed _ | Petri.Timed_infinite _ -> assert false
+        end
+        else st.imm_flag.(tr) <- false)
+      st.enabled_imms;
+    st.enabled_imms <- !live;
+    match !live with
+    | [] -> ()
+    | live_list ->
+      decr budget;
+      if !budget <= 0 then
+        failwith
+          "Simulation: immediate-transition livelock (1e6 firings at one instant)";
+      let x = Prng.float st.rng *. !total in
+      let rec pick acc = function
+        | [ tr ] -> tr
+        | tr :: rest ->
+          let w =
+            match Petri.timing st.net tr with
+            | Petri.Immediate w -> w
+            | Petri.Timed _ | Petri.Timed_infinite _ -> assert false
+          in
+          if x < acc +. w then tr else pick (acc +. w) rest
+        | [] -> assert false
+      in
+      let tr = pick 0. live_list in
+      st.imm_flag.(tr) <- false;
+      apply_firing_no_drain st tr;
+      loop ()
+  in
+  loop ()
+
+let reset_stats st =
+  let now = Engine.now st.engine in
+  st.stats_start <- now;
+  Array.fill st.firings 0 (Array.length st.firings) 0;
+  Array.fill st.place_area 0 (Array.length st.place_area) 0.;
+  Array.fill st.place_last 0 (Array.length st.place_last) now;
+  Array.fill st.busy_area 0 (Array.length st.busy_area) 0.;
+  Array.fill st.busy_last 0 (Array.length st.busy_last) now;
+  st.events <- 0
+
+let simulate ?(seed = 1) ?(warmup = 0.) ~horizon net =
+  if warmup < 0. || horizon <= 0. then
+    invalid_arg "Simulation.simulate: warmup >= 0, horizon > 0";
+  let engine = Engine.create () in
+  let np = Petri.num_places net and nt = Petri.num_transitions net in
+  let st =
+    {
+      net;
+      engine;
+      rng = Prng.create ~seed ();
+      marking = Petri.initial_marking net;
+      handles = Array.make nt [];
+      enabled_imms = [];
+      imm_flag = Array.make nt false;
+      firings = Array.make nt 0;
+      place_area = Array.make np 0.;
+      place_last = Array.make np 0.;
+      busy_area = Array.make nt 0.;
+      busy_last = Array.make nt 0.;
+      stats_start = 0.;
+      events = 0;
+    }
+  in
+  for tr = 0 to nt - 1 do
+    refresh st tr
+  done;
+  drain_immediates st;
+  Engine.run ~until:warmup engine;
+  reset_stats st;
+  Engine.run ~until:(warmup +. horizon) engine;
+  (* Flush running accumulators to the final clock. *)
+  for p = 0 to np - 1 do
+    note_place st p
+  done;
+  for tr = 0 to nt - 1 do
+    note_busy st tr
+  done;
+  {
+    time = horizon;
+    events = st.events;
+    firings = Array.copy st.firings;
+    rates = Array.map (fun f -> float_of_int f /. horizon) st.firings;
+    place_mean = Array.map (fun a -> a /. horizon) st.place_area;
+    busy = Array.map (fun a -> a /. horizon) st.busy_area;
+  }

@@ -1,0 +1,37 @@
+(** Token-game simulation of stochastic timed Petri nets.
+
+    Semantics:
+    - {e timed} transitions are single servers with race policy and
+      enabling memory: a newly enabled transition samples a service delay
+      and keeps it while it stays enabled; losing its tokens cancels the
+      service, and a transition that remains enabled after firing starts a
+      fresh service;
+    - {e timed infinite-server} transitions keep one independent service
+      per unit of enabling degree; when the degree drops, the most recently
+      started services are cancelled (exact for exponential timings, a
+      resampling approximation otherwise);
+    - {e immediate} transitions fire in zero time with priority over timed
+      ones; conflicts among simultaneously enabled immediates are resolved
+      at random, proportionally to their weights.
+
+    The stationary estimates this produces (time-averaged markings, firing
+    rates, busy fractions) are what the paper reports from its STPN runs. *)
+
+type stats = {
+  time : float;           (** measured (post-warm-up) simulated time *)
+  events : int;
+  firings : int array;    (** per transition, during measurement *)
+  rates : float array;    (** firings / time *)
+  place_mean : float array;  (** time-averaged token counts *)
+  busy : float array;
+      (** per timed transition: time-average number of services in progress
+          (for single-server transitions this is the busy fraction; 0 for
+          immediates) *)
+}
+
+val simulate :
+  ?seed:int -> ?warmup:float -> horizon:float -> Petri.t -> stats
+(** Simulate from the initial marking.  [warmup] (default 0) time units are
+    discarded before statistics accumulate over [horizon] time units.
+    Raises [Failure] if an unbounded cascade of immediate firings occurs
+    (more than 1e6 at one instant). *)

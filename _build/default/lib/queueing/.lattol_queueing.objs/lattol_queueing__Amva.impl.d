@@ -1,0 +1,1 @@
+lib/queueing/amva.ml: Array Float Logs Network Solution

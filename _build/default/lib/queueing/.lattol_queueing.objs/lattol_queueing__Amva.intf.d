@@ -1,0 +1,1 @@
+lib/queueing/amva.mli: Network Solution

@@ -1,0 +1,1 @@
+lib/queueing/bounds.ml: Float Fmt Network

@@ -1,0 +1,1 @@
+lib/queueing/bounds.mli: Format Network

@@ -1,0 +1,1 @@
+lib/queueing/convolution.ml: Array Network Solution

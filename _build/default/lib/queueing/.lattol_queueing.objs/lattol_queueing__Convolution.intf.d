@@ -1,0 +1,1 @@
+lib/queueing/convolution.mli: Network Solution

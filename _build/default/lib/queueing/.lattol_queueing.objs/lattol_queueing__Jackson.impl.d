@@ -1,0 +1,1 @@
+lib/queueing/jackson.ml: Array Float Fmt Format

@@ -1,0 +1,1 @@
+lib/queueing/linearizer.ml: Amva Array Float Network Solution

@@ -1,0 +1,1 @@
+lib/queueing/linearizer.mli: Amva Network Solution

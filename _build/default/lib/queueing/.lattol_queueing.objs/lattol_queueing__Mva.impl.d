@@ -1,0 +1,1 @@
+lib/queueing/mva.ml: Array Float Format Network Solution

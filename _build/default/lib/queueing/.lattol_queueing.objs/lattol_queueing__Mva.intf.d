@@ -1,0 +1,1 @@
+lib/queueing/mva.mli: Network Solution

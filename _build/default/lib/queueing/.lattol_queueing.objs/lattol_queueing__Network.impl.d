@@ -1,0 +1,1 @@
+lib/queueing/network.ml: Array Float Fmt Format

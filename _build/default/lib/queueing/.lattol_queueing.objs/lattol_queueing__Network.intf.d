@@ -1,0 +1,1 @@
+lib/queueing/network.mli: Format

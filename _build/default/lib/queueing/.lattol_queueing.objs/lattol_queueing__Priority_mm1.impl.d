@@ -1,0 +1,1 @@
+lib/queueing/priority_mm1.ml: Array Float Printf

@@ -1,0 +1,1 @@
+lib/queueing/solution.ml: Array Float Fmt Network

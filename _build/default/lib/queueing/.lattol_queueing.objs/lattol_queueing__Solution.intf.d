@@ -1,0 +1,1 @@
+lib/queueing/solution.mli: Format Network

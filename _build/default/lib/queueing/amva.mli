@@ -1,0 +1,31 @@
+(** Approximate Mean Value Analysis (Bard-Schweitzer), the paper's Figure 3
+    algorithm.
+
+    The exact MVA recursion needs every population vector below [N]; the
+    approximation replaces the queue lengths seen by an arriving class-[c]
+    customer with the fixed-point estimate
+
+    {v q_{j,m}(N - e_c)  ~=  q_{j,m}(N)            for j <> c
+   q_{c,m}(N - e_c)  ~=  q_{c,m}(N) (N_c - 1) / N_c v}
+
+    and iterates (queue lengths -> waiting times -> throughputs -> queue
+    lengths) to convergence.  Cost per sweep is [O(C^2 M)] regardless of the
+    populations, which is what makes the paper's 100-processor experiments
+    feasible. *)
+
+type options = {
+  tolerance : float;
+      (** stop when the largest queue-length change in a sweep is below
+          this (the paper's [difference > tolerance] test) *)
+  max_iterations : int;
+  damping : float;
+      (** new value = damping x old + (1 - damping) x update; 0 disables *)
+}
+
+val default_options : options
+(** tolerance 1e-8, 10_000 iterations, no damping. *)
+
+val solve : ?options:options -> Network.t -> Solution.t
+(** Fixed point of the Bard-Schweitzer iteration.  [converged] is false in
+    the result if the iteration cap was reached; the last iterate is still
+    returned so callers can inspect it. *)

@@ -1,0 +1,128 @@
+let the_class network =
+  let cls = ref None in
+  for c = 0 to Network.num_classes network - 1 do
+    if Network.population network c > 0 then
+      match !cls with
+      | None -> cls := Some c
+      | Some _ ->
+        invalid_arg "Convolution.solve: more than one non-empty class"
+  done;
+  match !cls with
+  | Some c -> c
+  | None -> invalid_arg "Convolution.solve: no customers"
+
+(* Per-station occupancy factor f(k) = (D/scale)^k / prod_{j=1..k} alpha(j),
+   where alpha is the load-dependent rate multiplier: 1 for a single
+   server, min(j, c) for c servers, j for a delay station. *)
+let rate_multiplier kind j =
+  match kind with
+  | Network.Queueing -> 1.
+  | Network.Multi_server c -> float_of_int (min j c)
+  | Network.Delay -> float_of_int j
+
+let occupancy_factors network cls scale m n =
+  let d = Network.demand network ~cls ~station:m /. scale in
+  let kind = Network.station_kind network m in
+  let f = Array.make (n + 1) 0. in
+  f.(0) <- 1.;
+  for k = 1 to n do
+    f.(k) <- f.(k - 1) *. d /. rate_multiplier kind k
+  done;
+  f
+
+(* G over jobs 0..n with demands rescaled by the max demand to keep the
+   recursion in floating-point range. *)
+let constants network cls =
+  let num_st = Network.num_stations network in
+  let n = Network.population network cls in
+  let scale = ref 0. in
+  for m = 0 to num_st - 1 do
+    let d = Network.demand network ~cls ~station:m in
+    if d > !scale then scale := d
+  done;
+  let scale = !scale in
+  let g = Array.make (n + 1) 0. in
+  g.(0) <- 1.;
+  for m = 0 to num_st - 1 do
+    if Network.demand network ~cls ~station:m > 0. then begin
+      match Network.station_kind network m with
+      | Network.Queueing ->
+        (* Single server: f(k) = r^k allows the in-place O(N) form
+           g_new(k) = g_old(k) + r * g_new(k-1). *)
+        let r = Network.demand network ~cls ~station:m /. scale in
+        for k = 1 to n do
+          g.(k) <- g.(k) +. (r *. g.(k - 1))
+        done
+      | Network.Delay | Network.Multi_server _ ->
+        let f = occupancy_factors network cls scale m n in
+        let prev = Array.copy g in
+        for k = 1 to n do
+          let acc = ref 0. in
+          for j = 0 to k do
+            acc := !acc +. (f.(j) *. prev.(k - j))
+          done;
+          g.(k) <- !acc
+        done
+    end
+  done;
+  (g, scale)
+
+(* Remove one station's contribution: g_without(k) =
+   g_with(k) - sum_{j>=1} f(j) g_without(k - j).  Exact deconvolution of
+   the normalizing-constant sequence. *)
+let deconvolve g f =
+  let n = Array.length g - 1 in
+  let out = Array.make (n + 1) 0. in
+  out.(0) <- g.(0);
+  for k = 1 to n do
+    let acc = ref g.(k) in
+    for j = 1 to k do
+      acc := !acc -. (f.(j) *. out.(k - j))
+    done;
+    out.(k) <- !acc
+  done;
+  out
+
+let normalizing_constants network =
+  let cls = the_class network in
+  fst (constants network cls)
+
+let solve network =
+  let cls = the_class network in
+  let num_cls = Network.num_classes network in
+  let num_st = Network.num_stations network in
+  let n = Network.population network cls in
+  let g, scale = constants network cls in
+  let x = g.(n - 1) /. g.(n) /. scale in
+  (* Queue lengths from the marginal distribution
+     P(n_m = k) = f_m(k) G_without_m(N - k) / G(N). *)
+  let queue = Array.make_matrix num_cls num_st 0. in
+  let residence = Array.make_matrix num_cls num_st 0. in
+  for m = 0 to num_st - 1 do
+    let d = Network.demand network ~cls ~station:m in
+    if d > 0. then begin
+      (match Network.station_kind network m with
+      | Network.Delay ->
+        (* Infinite server: mean customers = X * D directly. *)
+        queue.(cls).(m) <- x *. d
+      | Network.Queueing | Network.Multi_server _ ->
+        let f = occupancy_factors network cls scale m n in
+        let g_without = deconvolve g f in
+        let mean = ref 0. in
+        for k = 1 to n do
+          mean := !mean +. (float_of_int k *. f.(k) *. g_without.(n - k))
+        done;
+        queue.(cls).(m) <- !mean /. g.(n));
+      residence.(cls).(m) <- queue.(cls).(m) /. x
+    end
+  done;
+  let throughput = Array.make num_cls 0. in
+  throughput.(cls) <- x;
+  {
+    Solution.network;
+    throughput;
+    residence;
+    queue;
+    iterations = 1;
+    converged = true;
+  }

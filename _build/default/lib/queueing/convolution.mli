@@ -1,0 +1,20 @@
+(** Buzen's convolution algorithm (single class).
+
+    Computes the normalizing constant [G(n)] of a single-class closed
+    product-form network and derives throughput, utilizations and queue
+    lengths from it.  It is an independent exact method — a different
+    numerical route to the same answers as {!Mva} — used in the test suite
+    to cross-validate the solvers against each other.
+
+    Numerical note: [G] grows/shrinks geometrically, so demands are
+    internally rescaled by the largest demand to keep the recursion in
+    floating-point range. *)
+
+val solve : Network.t -> Solution.t
+(** Raises [Invalid_argument] if the network has more than one class with a
+    nonzero population. *)
+
+val normalizing_constants : Network.t -> float array
+(** [G(0); G(1); ...; G(N)] for the (rescaled) single-class network —
+    exposed for the unit tests.  The rescaling makes only ratios of
+    consecutive entries meaningful. *)

@@ -1,0 +1,100 @@
+let num_states network =
+  Array.fold_left
+    (fun acc n -> acc * (n + 1))
+    1
+    (Network.populations network)
+
+let solve ?(max_states = 2_000_000) network =
+  let num_cls = Network.num_classes network in
+  let num_st = Network.num_stations network in
+  let pops = Network.populations network in
+  let nvec = num_states network in
+  if nvec > max_states then
+    Format.kasprintf invalid_arg
+      "Mva.solve: %d population vectors exceed the %d cap; use Amva.solve"
+      nvec max_states;
+  (* Mixed-radix encoding of population vectors: digit c has radix
+     pops.(c) + 1 and stride strides.(c).  Counting order visits n - e_c
+     before n, so a single forward pass satisfies the recursion. *)
+  let strides = Array.make num_cls 1 in
+  for c = 1 to num_cls - 1 do
+    strides.(c) <- strides.(c - 1) * (pops.(c - 1) + 1)
+  done;
+  (* queues.(idx) holds q_{c,m} for the population vector encoded by idx. *)
+  let queues = Array.make nvec [||] in
+  let throughput = Array.make num_cls 0. in
+  let residence = Array.make_matrix num_cls num_st 0. in
+  let decode idx =
+    Array.init num_cls (fun c -> idx / strides.(c) mod (pops.(c) + 1))
+  in
+  for idx = 0 to nvec - 1 do
+    let n = decode idx in
+    let q = Array.make (num_cls * num_st) 0. in
+    let res = Array.make_matrix num_cls num_st 0. in
+    let lambda = Array.make num_cls 0. in
+    for c = 0 to num_cls - 1 do
+      if n.(c) > 0 then begin
+        let q_minus = queues.(idx - strides.(c)) in
+        (* Residence times by the arrival theorem. *)
+        let cycle = ref 0. in
+        for m = 0 to num_st - 1 do
+          let v = Network.visit network ~cls:c ~station:m in
+          if v > 0. then begin
+            let s = Network.service_time network ~cls:c ~station:m in
+            (* Arrival-theorem waiting time; Multi_server stations use
+               the Seidmann decomposition (queueing part with service s/c
+               plus a fixed delay s (c-1)/c). *)
+            let backlog scale =
+              let acc = ref 0. in
+              for j = 0 to num_cls - 1 do
+                acc :=
+                  !acc
+                  +. Network.service_time network ~cls:j ~station:m
+                     *. scale
+                     *. q_minus.((j * num_st) + m)
+              done;
+              !acc
+            in
+            let w =
+              match Network.station_kind network m with
+              | Network.Delay -> s
+              | Network.Queueing -> s +. backlog 1.
+              | Network.Multi_server servers ->
+                (* An arrival occupies a free server immediately unless all
+                   [c] are busy; the queueing excess beyond [c - 1] waiting
+                   customers is served at the pooled rate [c / s]. *)
+                let cf = float_of_int servers in
+                let excess = Float.max 0. (backlog (1. /. s) -. (cf -. 1.)) in
+                s +. (s /. cf *. excess)
+            in
+            res.(c).(m) <- v *. w;
+            cycle := !cycle +. res.(c).(m)
+          end
+        done;
+        lambda.(c) <- float_of_int n.(c) /. !cycle;
+        for m = 0 to num_st - 1 do
+          q.((c * num_st) + m) <- lambda.(c) *. res.(c).(m)
+        done
+      end
+    done;
+    queues.(idx) <- q;
+    if idx = nvec - 1 then begin
+      Array.blit lambda 0 throughput 0 num_cls;
+      for c = 0 to num_cls - 1 do
+        Array.blit res.(c) 0 residence.(c) 0 num_st
+      done
+    end
+  done;
+  let final_q = queues.(nvec - 1) in
+  let queue =
+    Array.init num_cls (fun c ->
+        Array.init num_st (fun m -> final_q.((c * num_st) + m)))
+  in
+  {
+    Solution.network;
+    throughput;
+    residence;
+    queue;
+    iterations = 1;
+    converged = true;
+  }

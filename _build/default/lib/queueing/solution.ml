@@ -1,0 +1,57 @@
+type t = {
+  network : Network.t;
+  throughput : float array;
+  residence : float array array;
+  queue : float array array;
+  iterations : int;
+  converged : bool;
+}
+
+let cycle_time t ~cls =
+  Array.fold_left ( +. ) 0. t.residence.(cls)
+
+let waiting_time t ~cls ~station =
+  let v = Network.visit t.network ~cls ~station in
+  if v = 0. then 0. else t.residence.(cls).(station) /. v
+
+let class_utilization t ~cls ~station =
+  t.throughput.(cls) *. Network.demand t.network ~cls ~station
+
+let utilization t ~station =
+  let acc = ref 0. in
+  for c = 0 to Network.num_classes t.network - 1 do
+    acc := !acc +. class_utilization t ~cls:c ~station
+  done;
+  !acc
+
+let queue_total t ~station =
+  let acc = ref 0. in
+  for c = 0 to Network.num_classes t.network - 1 do
+    acc := !acc +. t.queue.(c).(station)
+  done;
+  !acc
+
+let littles_law_residual t =
+  let worst = ref 0. in
+  for c = 0 to Network.num_classes t.network - 1 do
+    let n = float_of_int (Network.population t.network c) in
+    let via_little = t.throughput.(c) *. cycle_time t ~cls:c in
+    let residual = abs_float (n -. via_little) /. Float.max 1. n in
+    if residual > !worst then worst := residual
+  done;
+  !worst
+
+let pp ppf t =
+  let nw = t.network in
+  Fmt.pf ppf "@[<v>solution (%d iterations, %s):@,"
+    t.iterations
+    (if t.converged then "converged" else "NOT converged");
+  for c = 0 to Network.num_classes nw - 1 do
+    Fmt.pf ppf "  class %-10s X=%.5g cycle=%.5g@," (Network.class_name nw c)
+      t.throughput.(c) (cycle_time t ~cls:c)
+  done;
+  for m = 0 to Network.num_stations nw - 1 do
+    Fmt.pf ppf "  station %-10s U=%.4f Q=%.4f@," (Network.station_name nw m)
+      (utilization t ~station:m) (queue_total t ~station:m)
+  done;
+  Fmt.pf ppf "@]"

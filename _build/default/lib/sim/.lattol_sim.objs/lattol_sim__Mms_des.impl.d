@@ -1,0 +1,1 @@
+lib/sim/mms_des.ml: Access Array Engine Format Lattol_core Lattol_stats Lattol_topology List Measures Moments Option Params Printf Prng Station Topology Trace Variate

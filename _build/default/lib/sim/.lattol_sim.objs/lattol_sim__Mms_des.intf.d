@@ -1,0 +1,1 @@
+lib/sim/mms_des.mli: Lattol_core Measures Params Trace

@@ -1,0 +1,1 @@
+lib/sim/network_sim.ml: Array Engine Lattol_queueing Lattol_stats Network Prng Solution Station Variate

@@ -1,0 +1,1 @@
+lib/sim/network_sim.mli: Lattol_queueing Network Solution

@@ -1,0 +1,1 @@
+lib/sim/station.ml: Array Engine Lattol_stats Moments Prng Queue Variate

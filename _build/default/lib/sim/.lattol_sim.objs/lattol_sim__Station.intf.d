@@ -1,0 +1,1 @@
+lib/sim/station.mli: Engine Lattol_stats

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Float Format Hashtbl Lattol_core Lattol_topology List Option Params Workload

@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Lattol_core Lattol_topology Params Workload

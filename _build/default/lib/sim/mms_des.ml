@@ -1,0 +1,393 @@
+open Lattol_stats
+open Lattol_topology
+open Lattol_core
+
+type service_model = Exponential | Deterministic
+
+type config = {
+  seed : int;
+  warmup : float;
+  horizon : float;
+  batches : int;
+  proc_model : service_model;
+  mem_model : service_model;
+  switch_model : service_model;
+  local_memory_priority : bool;
+}
+
+let default_config =
+  {
+    seed = 1;
+    warmup = 1_000.;
+    horizon = 100_000.;
+    batches = 20;
+    proc_model = Exponential;
+    mem_model = Exponential;
+    switch_model = Exponential;
+    local_memory_priority = false;
+  }
+
+type result = {
+  measures : Measures.t;
+  lambda_ci : float * float;
+  u_p_ci : float * float;
+  remote_trips : int;
+  events : int;
+  sim_time : float;
+}
+
+let variate model mean =
+  match model with
+  | Exponential -> Variate.Exponential mean
+  | Deterministic -> Variate.Deterministic mean
+
+type state = {
+  engine : Engine.t;
+  topo : Topology.t;
+  probs : float array array;     (* access matrix rows *)
+  procs : unit Station.t array;  (* payloads are unit; flow lives in closures *)
+  mems : unit Station.t array;
+  sw_in : unit Station.t array;
+  sw_out : unit Station.t array;
+  sync_units : unit Station.t array option;
+      (* EARTH-style SUs; None on the paper's plain PE *)
+  trip_times : Moments.t;        (* one-way network trips *)
+  rng : Prng.t;
+  mutable completions : int;     (* thread activations finished (measured) *)
+  mutable remote_issued : int;
+  mutable measuring : bool;
+  mem_priority : bool;
+}
+
+let build config p =
+  let p = Params.validate_exn p in
+  let engine = Engine.create () in
+  let rng = Prng.create ~seed:config.seed () in
+  let topo = Params.make_topology p in
+  let n = Params.num_processors p in
+  let probs =
+    if p.Params.p_remote > 0. || n > 1 then Access.matrix (Params.make_access p)
+    else Array.make_matrix 1 1 1.
+  in
+  let mk ?servers prefix service =
+    Array.init n (fun node ->
+        Station.create ?servers engine ~rng:(Prng.split rng)
+          ~name:(Printf.sprintf "%s%d" prefix node)
+          ~service)
+  in
+  {
+    engine;
+    topo;
+    probs;
+    procs = mk "proc" (variate config.proc_model (Params.processor_occupancy p));
+    mems =
+      Array.init n (fun node ->
+          Station.create ~servers:p.Params.mem_ports
+            ~priority_levels:(if config.local_memory_priority then 2 else 1)
+            engine ~rng:(Prng.split rng)
+            ~name:(Printf.sprintf "mem%d" node)
+            ~service:(variate config.mem_model p.Params.l_mem));
+    sw_in =
+      mk ~servers:p.Params.switch_pipeline "in"
+        (variate config.switch_model p.Params.s_switch);
+    sw_out =
+      mk ~servers:p.Params.switch_pipeline "out"
+        (variate config.switch_model p.Params.s_switch);
+    sync_units =
+      (if p.Params.sync_unit > 0. then
+         Some (mk "su" (variate config.switch_model p.Params.sync_unit))
+       else None);
+    trip_times = Moments.create ();
+    rng;
+    completions = 0;
+    remote_issued = 0;
+    measuring = false;
+    mem_priority = config.local_memory_priority;
+  }
+
+(* Walk a message through the inbound switches along [route], then continue. *)
+let rec traverse st route k =
+  match route with
+  | [] -> k ()
+  | hop :: rest ->
+    Station.submit st.sw_in.(hop) () (fun () -> traverse st rest k)
+
+let record_trip st t0 =
+  if st.measuring then
+    Moments.add st.trip_times (Engine.now st.engine -. t0)
+
+(* Pass through the node's synchronization unit if the machine has one. *)
+let via_su st node k =
+  match st.sync_units with
+  | None -> k ()
+  | Some sus -> Station.submit sus.(node) () k
+
+(* Perform one memory access from [home] to [dst] and call [k] when the
+   response is back at the thread.  Remote accesses are injected at the
+   source SU, handled at the destination SU before the memory, and
+   completed at the source SU (no-ops without SUs). *)
+let access st home dst k =
+  if dst = home then
+    (* local accesses use the default (highest) priority level *)
+    Station.submit st.mems.(home) () k
+  else begin
+    if st.measuring then st.remote_issued <- st.remote_issued + 1;
+    via_su st home (fun () ->
+        let t0 = Engine.now st.engine in
+        Station.submit st.sw_out.(home) () (fun () ->
+            traverse st (Topology.route st.topo ~src:home ~dst) (fun () ->
+                record_trip st t0;
+                via_su st dst (fun () ->
+                    let priority = if st.mem_priority then 1 else 0 in
+                    Station.submit ~priority st.mems.(dst) () (fun () ->
+                        let t1 = Engine.now st.engine in
+                        Station.submit st.sw_out.(dst) () (fun () ->
+                            traverse st
+                              (Topology.route st.topo ~src:dst ~dst:home)
+                              (fun () ->
+                                record_trip st t1;
+                                via_su st home k)))))))
+  end
+
+let finish_step st =
+  if st.measuring then st.completions <- st.completions + 1
+
+(* Statistical thread: exponential compute drawn by the processor station,
+   destination sampled from the access matrix. *)
+let rec thread_cycle st home =
+  Station.submit st.procs.(home) () (fun () ->
+      let dst = Variate.discrete st.rng st.probs.(home) in
+      access st home dst (fun () ->
+          finish_step st;
+          thread_cycle st home))
+
+(* Scripted thread: compute times and targets replayed cyclically from a
+   trace. *)
+let rec trace_cycle st home script pos =
+  let step = script.(!pos) in
+  pos := (!pos + 1) mod Array.length script;
+  Station.submit ~duration:step.Trace.compute st.procs.(home) () (fun () ->
+      access st home step.Trace.target (fun () ->
+          finish_step st;
+          trace_cycle st home script pos))
+
+let total_proc_busy st =
+  Array.fold_left (fun acc s -> acc +. Station.utilization s) 0. st.procs
+
+(* Launch threads, warm up, reset statistics: the shared preamble of the
+   measurement runs.  [launch] populates the machine with threads. *)
+let start ?launch config p =
+  let st = build config p in
+  let n = Params.num_processors p in
+  (match launch with
+  | Some f -> f st
+  | None ->
+    for home = 0 to n - 1 do
+      for _ = 1 to p.Params.n_t do
+        thread_cycle st home
+      done
+    done);
+  Engine.run ~until:config.warmup st.engine;
+  Array.iter Station.reset_stats st.procs;
+  Array.iter Station.reset_stats st.mems;
+  Array.iter Station.reset_stats st.sw_in;
+  Array.iter Station.reset_stats st.sw_out;
+  Option.iter (Array.iter Station.reset_stats) st.sync_units;
+  st.measuring <- true;
+  st
+
+(* Advance one batch of [batch_span] and record the per-batch throughput
+   and utilization. *)
+let run_batch st ~config ~n ~batch_span ~prev_completions ~prev_busy
+    ~lambda_batches ~u_p_batches =
+  let stop = Engine.now st.engine +. batch_span in
+  Engine.run ~until:stop st.engine;
+  (* Station.utilization is busy/elapsed since the post-warm-up reset;
+     convert back to cumulative busy time to difference per batch. *)
+  let elapsed = Engine.now st.engine -. config.warmup in
+  let busy_now = total_proc_busy st *. elapsed in
+  let d_completions = st.completions - !prev_completions in
+  let d_busy = busy_now -. !prev_busy in
+  prev_completions := st.completions;
+  prev_busy := busy_now;
+  Moments.add lambda_batches
+    (float_of_int d_completions /. batch_span /. float_of_int n);
+  Moments.add u_p_batches (d_busy /. batch_span /. float_of_int n)
+
+let rec run ?(config = default_config) p =
+  if config.warmup < 0. || config.horizon <= 0. then
+    invalid_arg "Mms_des.run: warmup >= 0 and horizon > 0";
+  if config.batches < 2 then invalid_arg "Mms_des.run: batches >= 2";
+  let p = Params.validate_exn p in
+  let st = start config p in
+  let n = Params.num_processors p in
+  let batch_span = config.horizon /. float_of_int config.batches in
+  let lambda_batches = Moments.create () in
+  let u_p_batches = Moments.create () in
+  let prev_completions = ref 0 in
+  let prev_busy = ref 0. in
+  for _ = 1 to config.batches do
+    run_batch st ~config ~n ~batch_span ~prev_completions ~prev_busy
+      ~lambda_batches ~u_p_batches
+  done;
+  collect st p ~sim_time:config.horizon ~lambda_batches ~u_p_batches
+
+(* Assemble the result record from a finished measurement run. *)
+and collect st p ~sim_time ~lambda_batches ~u_p_batches =
+  let n = Params.num_processors p in
+  let lambda =
+    float_of_int st.completions /. sim_time /. float_of_int n
+  in
+  let u_p =
+    Array.fold_left (fun acc s -> acc +. Station.utilization s) 0. st.procs
+    /. float_of_int n
+  in
+  let lambda_net =
+    float_of_int st.remote_issued /. sim_time /. float_of_int n
+  in
+  let mem_response =
+    Array.fold_left
+      (fun acc s -> Moments.merge acc (Station.response_times s))
+      (Moments.create ()) st.mems
+  in
+  let avg_util stations =
+    Array.fold_left (fun acc s -> acc +. Station.utilization s) 0. stations
+    /. float_of_int n
+  in
+  let avg_queue stations =
+    Array.fold_left (fun acc s -> acc +. Station.mean_queue_length s) 0. stations
+    /. float_of_int n
+  in
+  let measures =
+    {
+      Measures.u_p;
+      lambda;
+      lambda_net;
+      s_obs =
+        (if Moments.count st.trip_times = 0 then nan
+         else Moments.mean st.trip_times);
+      l_obs =
+        (if Moments.count mem_response = 0 then 0.
+         else Moments.mean mem_response);
+      cycle_time = (if lambda > 0. then float_of_int p.Params.n_t /. lambda else 0.);
+      util_memory = avg_util st.mems;
+      util_switch_in = avg_util st.sw_in;
+      util_switch_out = avg_util st.sw_out;
+      util_sync =
+        (match st.sync_units with Some sus -> avg_util sus | None -> 0.);
+      su_obs =
+        (match st.sync_units with
+        | None -> 0.
+        | Some sus ->
+          let m =
+            Array.fold_left
+              (fun acc s -> Moments.merge acc (Station.response_times s))
+              (Moments.create ()) sus
+          in
+          if Moments.count m = 0 then nan else 3. *. Moments.mean m);
+      queue_processor = avg_queue st.procs;
+      queue_memory = avg_queue st.mems;
+      queue_network = avg_queue st.sw_in +. avg_queue st.sw_out;
+      iterations = Engine.events_processed st.engine;
+      converged = true;
+    }
+  in
+  let ci m =
+    match Lattol_stats.Confidence.interval m with
+    | Some (mean, half) -> (mean, half)
+    | None -> (nan, nan)
+  in
+  {
+    measures;
+    lambda_ci = ci lambda_batches;
+    u_p_ci = ci u_p_batches;
+    remote_trips = Moments.count st.trip_times;
+    events = Engine.events_processed st.engine;
+    sim_time;
+  }
+
+let run_until_precision ?(config = default_config) ?(batch_span = 2_000.)
+    ?(min_batches = 10) ~target_rel_error ~max_horizon p =
+  if target_rel_error <= 0. then
+    invalid_arg "Mms_des.run_until_precision: target_rel_error > 0";
+  if batch_span <= 0. || max_horizon < batch_span *. float_of_int min_batches
+  then invalid_arg "Mms_des.run_until_precision: inconsistent horizon bounds";
+  let p = Params.validate_exn p in
+  let st = start config p in
+  let n = Params.num_processors p in
+  let lambda_batches = Moments.create () in
+  let u_p_batches = Moments.create () in
+  let prev_completions = ref 0 in
+  let prev_busy = ref 0. in
+  let batches = ref 0 in
+  let rel_error () =
+    match Lattol_stats.Confidence.interval u_p_batches with
+    | Some (mean, half) when mean > 0. -> half /. mean
+    | Some _ | None -> infinity
+  in
+  let continue () =
+    !batches < min_batches
+    || (rel_error () > target_rel_error
+       && float_of_int !batches *. batch_span < max_horizon)
+  in
+  while continue () do
+    run_batch st ~config ~n ~batch_span ~prev_completions ~prev_busy
+      ~lambda_batches ~u_p_batches;
+    incr batches
+  done;
+  let sim_time = float_of_int !batches *. batch_span in
+  collect st p ~sim_time ~lambda_batches ~u_p_batches
+
+let run_trace ?(config = default_config) ~base trace =
+  if config.warmup < 0. || config.horizon <= 0. then
+    invalid_arg "Mms_des.run_trace: warmup >= 0 and horizon > 0";
+  if config.batches < 2 then invalid_arg "Mms_des.run_trace: batches >= 2";
+  let p = Params.validate_exn base in
+  let n = Params.num_processors p in
+  if Trace.num_nodes trace <> n then
+    Format.kasprintf invalid_arg "Mms_des.run_trace: trace covers %d nodes, machine has %d"
+      (Trace.num_nodes trace) n;
+  for node = 0 to n - 1 do
+    for th = 0 to Trace.threads_at trace ~node - 1 do
+      Array.iter
+        (fun (s : Trace.step) ->
+          if s.Trace.target < 0 || s.Trace.target >= n then
+            Format.kasprintf invalid_arg
+              "Mms_des.run_trace: target %d out of range" s.Trace.target)
+        (Trace.script trace ~node ~thread:th)
+    done
+  done;
+  let launch st =
+    for home = 0 to n - 1 do
+      for th = 0 to Trace.threads_at trace ~node:home - 1 do
+        trace_cycle st home (Trace.script trace ~node:home ~thread:th) (ref 0)
+      done
+    done
+  in
+  let st = start ~launch config p in
+  let batch_span = config.horizon /. float_of_int config.batches in
+  let lambda_batches = Moments.create () in
+  let u_p_batches = Moments.create () in
+  let prev_completions = ref 0 in
+  let prev_busy = ref 0. in
+  for _ = 1 to config.batches do
+    run_batch st ~config ~n ~batch_span ~prev_completions ~prev_busy
+      ~lambda_batches ~u_p_batches
+  done;
+  collect st p ~sim_time:config.horizon ~lambda_batches ~u_p_batches
+
+let run_replications ?(config = default_config) ~replications p =
+  if replications < 2 then
+    invalid_arg "Mms_des.run_replications: replications >= 2";
+  let results =
+    List.init replications (fun i ->
+        run ~config:{ config with seed = config.seed + i } p)
+  in
+  let u_p = Moments.create () in
+  List.iter (fun r -> Moments.add u_p r.measures.Measures.u_p) results;
+  let ci =
+    match Lattol_stats.Confidence.interval u_p with
+    | Some (mean, half) -> (mean, half)
+    | None -> (nan, nan)
+  in
+  (List.hd results, ci)

@@ -1,0 +1,74 @@
+(** Direct discrete-event simulation of the multithreaded multiprocessor
+    system.
+
+    An independent implementation of the machine the analytical model
+    abstracts (Section 8's cross-check role): every thread, memory access
+    and switch hop is simulated explicitly on the same topology, routing
+    and access pattern as the model.  Stations are FCFS single servers with
+    exponential service by default; the paper's sensitivity experiment
+    (deterministic memory service) is available through {!service_model}.
+
+    Agreement between this simulator, the STPN simulator and the AMVA model
+    on [lambda_net] and [S_obs] reproduces the paper's Figure 11. *)
+
+open Lattol_core
+
+type service_model =
+  | Exponential
+  | Deterministic
+
+type config = {
+  seed : int;
+  warmup : float;        (** simulated time discarded before measuring *)
+  horizon : float;       (** measured simulated time *)
+  batches : int;         (** batches for confidence intervals *)
+  proc_model : service_model;
+  mem_model : service_model;
+  switch_model : service_model;
+  local_memory_priority : bool;
+      (** serve accesses from the local processor before remote ones at
+          each memory module (non-preemptive) — the EM-4 design choice the
+          paper's Section 7 discusses for machines with fast networks *)
+}
+
+val default_config : config
+(** seed 1, warm-up 1_000, horizon 100_000 (the paper's run length),
+    20 batches, exponential everywhere, no memory priority. *)
+
+type result = {
+  measures : Measures.t;      (** same record the analytical model produces *)
+  lambda_ci : float * float;  (** batch-means 95% CI on [lambda] *)
+  u_p_ci : float * float;     (** batch-means 95% CI on [U_p] *)
+  remote_trips : int;         (** one-way network trips measured *)
+  events : int;               (** simulation events processed *)
+  sim_time : float;           (** measured horizon *)
+}
+
+val run : ?config:config -> Params.t -> result
+(** Simulate the machine described by the parameters.  Deterministic for a
+    fixed seed. *)
+
+val run_trace : ?config:config -> base:Params.t -> Trace.t -> result
+(** Replay a {!Trace} on the machine described by [base] (which supplies
+    topology, service times and ports; its [n_t], [runlength] and access
+    pattern are superseded by the scripts).  Compute times come from the
+    trace verbatim; memory and switch services still follow [config]'s
+    distributions. *)
+
+val run_replications :
+  ?config:config -> replications:int -> Params.t ->
+  result * (float * float)
+(** Independent replications: run the simulation [replications] times with
+    seeds [config.seed, config.seed + 1, ...] and return the first run's
+    full result together with the across-replication 95% confidence
+    interval on [U_p] — the standard alternative to batch means when
+    initial-transient bias is the worry. *)
+
+val run_until_precision :
+  ?config:config -> ?batch_span:float -> ?min_batches:int ->
+  target_rel_error:float -> max_horizon:float -> Params.t -> result
+(** Sequential-stopping variant: simulate batch by batch (default span
+    2_000 time units, at least [min_batches] = 10 of them) until the 95%
+    confidence half-width of [U_p] falls below [target_rel_error] of its
+    mean, or the measured time reaches [max_horizon].  The [horizon] and
+    [batches] fields of [config] are ignored. *)

@@ -1,0 +1,159 @@
+open Lattol_stats
+open Lattol_queueing
+
+type result = {
+  solution : Solution.t;
+  events : int;
+  sim_time : float;
+}
+
+type state = {
+  engine : Engine.t;
+  rng : Prng.t;
+  network : Network.t;
+  stations : unit Station.t option array; (* None for delay stations *)
+  (* per-class visit CDF support: visits and their totals *)
+  visit_totals : float array;
+  (* statistics: per (class, station) occupancy with time integrals *)
+  occupancy : int array array;
+  area : float array array;
+  last : float array array;
+  completions : int array array;
+  mutable measuring : bool;
+}
+
+let note st c m =
+  let now = Engine.now st.engine in
+  st.area.(c).(m) <-
+    st.area.(c).(m)
+    +. (float_of_int st.occupancy.(c).(m) *. (now -. st.last.(c).(m)));
+  st.last.(c).(m) <- now
+
+let next_station st c =
+  (* Independent routing proportional to the visit ratios. *)
+  let x = Prng.float st.rng *. st.visit_totals.(c) in
+  let num_st = Network.num_stations st.network in
+  let rec go m acc =
+    if m = num_st - 1 then m
+    else begin
+      let acc = acc +. Network.visit st.network ~cls:c ~station:m in
+      if x < acc then m else go (m + 1) acc
+    end
+  in
+  go 0 0.
+
+let rec visit st c m =
+  note st c m;
+  st.occupancy.(c).(m) <- st.occupancy.(c).(m) + 1;
+  let mean = Network.service_time st.network ~cls:c ~station:m in
+  let finish () =
+    note st c m;
+    st.occupancy.(c).(m) <- st.occupancy.(c).(m) - 1;
+    if st.measuring then
+      st.completions.(c).(m) <- st.completions.(c).(m) + 1;
+    visit st c (next_station st c)
+  in
+  match st.stations.(m) with
+  | None ->
+    (* Delay station: every customer progresses independently. *)
+    Engine.schedule st.engine ~delay:(Variate.exponential st.rng ~mean) finish
+  | Some station ->
+    let duration = Variate.exponential st.rng ~mean in
+    Station.submit ~duration station () (fun () -> finish ())
+
+let run ?(seed = 1) ?(warmup = 1_000.) ?(horizon = 100_000.) network =
+  if warmup < 0. || horizon <= 0. then
+    invalid_arg "Network_sim.run: warmup >= 0 and horizon > 0";
+  let num_cls = Network.num_classes network in
+  let num_st = Network.num_stations network in
+  let engine = Engine.create () in
+  let rng = Prng.create ~seed () in
+  let stations =
+    Array.init num_st (fun m ->
+        match Network.station_kind network m with
+        | Network.Delay -> None
+        | Network.Queueing ->
+          Some
+            (Station.create engine ~rng:(Prng.split rng)
+               ~name:(Network.station_name network m)
+               ~service:(Variate.Exponential 1.))
+        | Network.Multi_server c ->
+          Some
+            (Station.create ~servers:c engine ~rng:(Prng.split rng)
+               ~name:(Network.station_name network m)
+               ~service:(Variate.Exponential 1.)))
+  in
+  let visit_totals =
+    Array.init num_cls (fun c ->
+        let acc = ref 0. in
+        for m = 0 to num_st - 1 do
+          acc := !acc +. Network.visit network ~cls:c ~station:m
+        done;
+        !acc)
+  in
+  let st =
+    {
+      engine;
+      rng;
+      network;
+      stations;
+      visit_totals;
+      occupancy = Array.make_matrix num_cls num_st 0;
+      area = Array.make_matrix num_cls num_st 0.;
+      last = Array.make_matrix num_cls num_st 0.;
+      completions = Array.make_matrix num_cls num_st 0;
+      measuring = false;
+    }
+  in
+  for c = 0 to num_cls - 1 do
+    for _ = 1 to Network.population network c do
+      visit st c (next_station st c)
+    done
+  done;
+  Engine.run ~until:warmup engine;
+  (* reset the areas at the measurement start *)
+  for c = 0 to num_cls - 1 do
+    for m = 0 to num_st - 1 do
+      st.area.(c).(m) <- 0.;
+      st.last.(c).(m) <- Engine.now engine
+    done
+  done;
+  st.measuring <- true;
+  Engine.run ~until:(warmup +. horizon) engine;
+  for c = 0 to num_cls - 1 do
+    for m = 0 to num_st - 1 do
+      note st c m
+    done
+  done;
+  let throughput =
+    Array.init num_cls (fun c ->
+        if visit_totals.(c) = 0. then 0.
+        else begin
+          let total =
+            Array.fold_left ( + ) 0 st.completions.(c)
+          in
+          float_of_int total /. visit_totals.(c) /. horizon
+        end)
+  in
+  let queue =
+    Array.init num_cls (fun c ->
+        Array.init num_st (fun m -> st.area.(c).(m) /. horizon))
+  in
+  let residence =
+    Array.init num_cls (fun c ->
+        Array.init num_st (fun m ->
+            if throughput.(c) = 0. then 0. else queue.(c).(m) /. throughput.(c)))
+  in
+  {
+    solution =
+      {
+        Solution.network;
+        throughput;
+        residence;
+        queue;
+        iterations = Engine.events_processed engine;
+        converged = true;
+      };
+    events = Engine.events_processed engine;
+    sim_time = horizon;
+  }

@@ -1,0 +1,55 @@
+(** Generic single-server FCFS service station for the simulator.
+
+    Jobs are arbitrary values; completion is signalled through the callback
+    given at submission, which keeps model wiring in one place.  Statistics
+    (busy time, time-averaged queue length, per-job response times) can be
+    reset after warm-up so that steady-state estimates exclude the
+    transient. *)
+
+type 'a t
+
+val create :
+  ?servers:int -> ?priority_levels:int -> Engine.t ->
+  rng:Lattol_stats.Prng.t -> name:string ->
+  service:Lattol_stats.Variate.t -> 'a t
+(** [servers] (default 1) parallel servers share the queue.
+    [priority_levels] (default 1) enables non-preemptive head-of-line
+    priorities: level 0 is served before level 1, and so on; within a
+    level the order is FCFS. *)
+
+val name : 'a t -> string
+
+val submit : ?priority:int -> ?duration:float -> 'a t -> 'a -> ('a -> unit) -> unit
+(** Enqueue a job; the callback fires at its service completion (current
+    engine time).  [priority] (default 0, clamped to the configured
+    levels) selects the priority class; service order is FCFS within a
+    class, non-preemptive across classes.  [duration] overrides the
+    station's service distribution for this job (trace-driven workloads
+    carry their own per-step times). *)
+
+val queue_length : 'a t -> int
+(** Jobs currently present (waiting + in service). *)
+
+val busy : 'a t -> bool
+(** At least one server occupied. *)
+
+val servers : 'a t -> int
+
+(* Statistics since the last {!reset_stats}. *)
+
+val completed : 'a t -> int
+
+val utilization : 'a t -> float
+(** Mean fraction of servers busy over elapsed time. *)
+
+val mean_queue_length : 'a t -> float
+(** Time-averaged number of jobs present. *)
+
+val response_times : 'a t -> Lattol_stats.Moments.t
+(** Per-job response time (waiting + service) accumulator. *)
+
+val throughput : 'a t -> float
+(** Completions per unit time of elapsed (post-reset) time. *)
+
+val reset_stats : 'a t -> unit
+(** Forget accumulated statistics; jobs in flight stay. *)

@@ -1,0 +1,1 @@
+lib/stats/ascii_plot.ml: Array Buffer Float List Option Printf String

@@ -1,0 +1,1 @@
+lib/stats/ascii_plot.mli:

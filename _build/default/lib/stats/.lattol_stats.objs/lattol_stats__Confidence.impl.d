@@ -1,0 +1,1 @@
+lib/stats/confidence.ml: Array Moments Option

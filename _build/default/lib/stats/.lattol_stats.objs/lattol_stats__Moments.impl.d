@@ -1,0 +1,1 @@
+lib/stats/moments.ml: Fmt Stdlib

@@ -1,0 +1,1 @@
+lib/stats/variate.ml: Array Fmt Format Prng

@@ -1,0 +1,1 @@
+lib/stats/variate.mli: Format Prng

@@ -1,0 +1,86 @@
+(* Two-sided 95% critical values of the Student-t distribution. *)
+let t_table =
+  [| 12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+     2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+     2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042 |]
+
+let t_quantile ~df =
+  if df < 1 then invalid_arg "Confidence.t_quantile: df >= 1";
+  if df <= Array.length t_table then t_table.(df - 1)
+  else if df <= 40 then 2.042 -. (0.021 *. float_of_int (df - 30) /. 10.)
+  else if df <= 60 then 2.021 -. (0.021 *. float_of_int (df - 40) /. 20.)
+  else if df <= 120 then 2.000 -. (0.020 *. float_of_int (df - 60) /. 60.)
+  else 1.96
+
+let interval m =
+  let n = Moments.count m in
+  if n < 2 then None
+  else
+    let half =
+      t_quantile ~df:(n - 1) *. Moments.stddev m /. sqrt (float_of_int n)
+    in
+    Some (Moments.mean m, half)
+
+let autocorrelation series ~lag =
+  let n = Array.length series in
+  if lag < 0 then invalid_arg "Confidence.autocorrelation: lag >= 0";
+  if lag >= n || n < 2 then 0.
+  else begin
+    let mean = Array.fold_left ( +. ) 0. series /. float_of_int n in
+    let var =
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. series
+    in
+    if var = 0. then 0.
+    else begin
+      let acc = ref 0. in
+      for t = 0 to n - lag - 1 do
+        acc := !acc +. ((series.(t) -. mean) *. (series.(t + lag) -. mean))
+      done;
+      !acc /. var
+    end
+  end
+
+let suggest_batch_size ?(threshold = 0.1) ?max_lag series =
+  if threshold <= 0. || threshold >= 1. then
+    invalid_arg "Confidence.suggest_batch_size: threshold in (0, 1)";
+  let n = Array.length series in
+  let cap = Option.value max_lag ~default:(max 1 (n / 4)) in
+  let rec find lag =
+    if lag > cap then cap
+    else if abs_float (autocorrelation series ~lag) < threshold then lag
+    else find (lag + 1)
+  in
+  10 * find 1
+
+module Batch_means = struct
+  type t = {
+    batch_size : int;
+    mutable in_batch : int;
+    mutable batch_sum : float;
+    batches : Moments.t;
+  }
+
+  let create ~batch_size =
+    if batch_size < 1 then invalid_arg "Batch_means.create: batch_size >= 1";
+    { batch_size; in_batch = 0; batch_sum = 0.; batches = Moments.create () }
+
+  let add t x =
+    t.batch_sum <- t.batch_sum +. x;
+    t.in_batch <- t.in_batch + 1;
+    if t.in_batch = t.batch_size then begin
+      Moments.add t.batches (t.batch_sum /. float_of_int t.batch_size);
+      t.in_batch <- 0;
+      t.batch_sum <- 0.
+    end
+
+  let num_batches t = Moments.count t.batches
+
+  let mean t = Moments.mean t.batches
+
+  let interval t = interval t.batches
+
+  let relative_error t =
+    match interval t with
+    | Some (m, half) when m <> 0. -> abs_float (half /. m)
+    | _ -> infinity
+end

@@ -1,0 +1,75 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+}
+
+let create ?(lo = 0.) ~hi ~bins () =
+  if bins < 1 then invalid_arg "Histogram.create: bins >= 1";
+  if hi <= lo then invalid_arg "Histogram.create: hi > lo";
+  {
+    lo;
+    hi;
+    width = (hi -. lo) /. float_of_int bins;
+    counts = Array.make bins 0;
+    underflow = 0;
+    overflow = 0;
+  }
+
+let add t x =
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let i = int_of_float ((x -. t.lo) /. t.width) in
+    let i = if i >= Array.length t.counts then Array.length t.counts - 1 else i in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let count t = t.underflow + t.overflow + Array.fold_left ( + ) 0 t.counts
+
+let bin_count t i = t.counts.(i)
+
+let underflow t = t.underflow
+
+let overflow t = t.overflow
+
+let bin_bounds t i =
+  let a = t.lo +. (float_of_int i *. t.width) in
+  (a, a +. t.width)
+
+let quantile t q =
+  if q <= 0. || q >= 1. then invalid_arg "Histogram.quantile: q in (0,1)";
+  let n = count t in
+  if n = 0 then nan
+  else begin
+    let target = q *. float_of_int n in
+    let rec go i acc =
+      if i >= Array.length t.counts then t.hi
+      else
+        let acc' = acc +. float_of_int t.counts.(i) in
+        if acc' >= target then begin
+          let lo, _ = bin_bounds t i in
+          let frac =
+            if t.counts.(i) = 0 then 0.
+            else (target -. acc) /. float_of_int t.counts.(i)
+          in
+          lo +. (frac *. t.width)
+        end
+        else go (i + 1) acc'
+    in
+    go 0 (float_of_int t.underflow)
+  end
+
+let pp ppf t =
+  let peak = Array.fold_left max 1 t.counts in
+  let glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |] in
+  let render c =
+    let level = c * (Array.length glyphs - 1) / peak in
+    glyphs.(level)
+  in
+  Fmt.pf ppf "[%g..%g) n=%d |" t.lo t.hi (count t);
+  Array.iter (fun c -> Fmt.char ppf (render c)) t.counts;
+  Fmt.pf ppf "| under=%d over=%d" t.underflow t.overflow

@@ -1,0 +1,32 @@
+(** Fixed-width histograms for distribution diagnostics (latency profiles,
+    hop-count spreads) in the simulators and the CLI. *)
+
+type t
+
+val create : ?lo:float -> hi:float -> bins:int -> unit -> t
+(** [create ~lo ~hi ~bins ()]: [bins] equal-width bins over [[lo, hi)];
+    observations outside the range land in underflow/overflow counters.
+    [lo] defaults to [0.]. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+(** Total observations, including under/overflow. *)
+
+val bin_count : t -> int -> int
+(** Count in bin [i] (0-based). *)
+
+val underflow : t -> int
+
+val overflow : t -> int
+
+val bin_bounds : t -> int -> float * float
+(** Inclusive-exclusive bounds of bin [i]. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] approximates the [q]-quantile (0 < q < 1) by linear
+    interpolation within the owning bin.  Overflow mass is attributed to the
+    top edge. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact textual sparkline of the bin populations. *)

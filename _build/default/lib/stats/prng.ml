@@ -1,0 +1,50 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let default_seed = 0x1997_0415 (* IPPS'97 *)
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ?(seed = default_seed) () = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  (* Derive the child state from the next output so parent and child
+     sequences are decorrelated even for adjacent seeds. *)
+  let s = bits64 t in
+  { state = mix64 (Int64.logxor s 0x5851F42D4C957F2DL) }
+
+let float t =
+  (* 53 high bits -> [0, 1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float_pos t =
+  let rec go () =
+    let u = float t in
+    if u > 0. then u else go ()
+  in
+  go ()
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let n64 = Int64.of_int n in
+  let rec go () =
+    let raw = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem raw n64 in
+    if Int64.sub raw v > Int64.sub Int64.max_int (Int64.sub n64 1L) then go ()
+    else Int64.to_int v
+  in
+  go ()
+
+let bool t = Int64.logand (bits64 t) 1L = 1L

@@ -1,0 +1,104 @@
+type t =
+  | Deterministic of float
+  | Exponential of float
+  | Uniform of float * float
+  | Erlang of int * float
+  | Hyperexp of (float * float) array
+
+let mean = function
+  | Deterministic v -> v
+  | Exponential m -> m
+  | Uniform (a, b) -> 0.5 *. (a +. b)
+  | Erlang (_, m) -> m
+  | Hyperexp branches ->
+    Array.fold_left (fun acc (p, m) -> acc +. (p *. m)) 0. branches
+
+let variance = function
+  | Deterministic _ -> 0.
+  | Exponential m -> m *. m
+  | Uniform (a, b) ->
+    let w = b -. a in
+    w *. w /. 12.
+  | Erlang (k, m) -> m *. m /. float_of_int k
+  | Hyperexp branches ->
+    let m1 = Array.fold_left (fun acc (p, m) -> acc +. (p *. m)) 0. branches in
+    let m2 =
+      Array.fold_left (fun acc (p, m) -> acc +. (2. *. p *. m *. m)) 0. branches
+    in
+    m2 -. (m1 *. m1)
+
+let scv d =
+  let m = mean d in
+  if m = 0. then 0. else variance d /. (m *. m)
+
+let exponential rng ~mean = -.mean *. log (Prng.float_pos rng)
+
+let discrete rng weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Variate.discrete: weights must sum > 0";
+  let x = Prng.float rng *. total in
+  let n = Array.length weights in
+  let rec go i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else go (i + 1) acc
+  in
+  go 0 0.
+
+let geometric_trunc rng ~p ~max =
+  if p <= 0. || p >= 1. then invalid_arg "Variate.geometric_trunc: p in (0,1)";
+  if max < 1 then invalid_arg "Variate.geometric_trunc: max >= 1";
+  (* Inverse transform on the truncated geometric CDF. *)
+  let a = p *. (1. -. (p ** float_of_int max)) /. (1. -. p) in
+  let x = Prng.float rng *. a in
+  let rec go h acc =
+    if h >= max then max
+    else
+      let acc = acc +. (p ** float_of_int h) in
+      if x < acc then h else go (h + 1) acc
+  in
+  go 1 0.
+
+let draw d rng =
+  match d with
+  | Deterministic v -> v
+  | Exponential m -> exponential rng ~mean:m
+  | Uniform (a, b) -> a +. (Prng.float rng *. (b -. a))
+  | Erlang (k, m) ->
+    let stage_mean = m /. float_of_int k in
+    let rec go i acc =
+      if i = 0 then acc else go (i - 1) (acc +. exponential rng ~mean:stage_mean)
+    in
+    go k 0.
+  | Hyperexp branches ->
+    let probs = Array.map fst branches in
+    let i = discrete rng probs in
+    exponential rng ~mean:(snd branches.(i))
+
+let validate d =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  match d with
+  | Deterministic v when v < 0. -> err "deterministic value %g < 0" v
+  | Exponential m when m <= 0. -> err "exponential mean %g <= 0" m
+  | Uniform (a, b) when a < 0. || b <= a -> err "uniform range [%g, %g) invalid" a b
+  | Erlang (k, m) when k < 1 || m <= 0. -> err "erlang (%d, %g) invalid" k m
+  | Hyperexp branches ->
+    let psum = Array.fold_left (fun acc (p, _) -> acc +. p) 0. branches in
+    if Array.length branches = 0 then err "hyperexp with no branches"
+    else if Array.exists (fun (p, m) -> p < 0. || m <= 0.) branches then
+      err "hyperexp branch with negative probability or mean"
+    else if abs_float (psum -. 1.) > 1e-9 then
+      err "hyperexp probabilities sum to %g, not 1" psum
+    else Ok ()
+  | Deterministic _ | Exponential _ | Uniform _ | Erlang _ -> Ok ()
+
+let pp ppf = function
+  | Deterministic v -> Fmt.pf ppf "det(%g)" v
+  | Exponential m -> Fmt.pf ppf "exp(mean=%g)" m
+  | Uniform (a, b) -> Fmt.pf ppf "unif[%g,%g)" a b
+  | Erlang (k, m) -> Fmt.pf ppf "erlang(k=%d,mean=%g)" k m
+  | Hyperexp bs ->
+    Fmt.pf ppf "hyperexp(%a)"
+      Fmt.(array ~sep:comma (pair ~sep:(any ":") float float))
+      bs

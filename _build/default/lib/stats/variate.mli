@@ -1,0 +1,48 @@
+(** Random variates for the service-time and workload distributions used by
+    the simulators.
+
+    Each distribution is represented as a first-class value so that model
+    builders can parameterize stations by distribution (the paper's
+    exponential default, plus the deterministic variant used in its
+    sensitivity check) without the simulator knowing which one it got. *)
+
+type t =
+  | Deterministic of float  (** always the given value *)
+  | Exponential of float    (** mean (not rate) *)
+  | Uniform of float * float  (** inclusive-exclusive range [a, b) *)
+  | Erlang of int * float   (** [Erlang (k, mean)]: k stages, overall mean *)
+  | Hyperexp of (float * float) array
+      (** [(p_i, mean_i)] branches; probabilities must sum to 1 *)
+
+val mean : t -> float
+(** Analytical mean of the distribution. *)
+
+val variance : t -> float
+(** Analytical variance of the distribution. *)
+
+val scv : t -> float
+(** Squared coefficient of variation, [variance / mean^2].  1 for
+    exponential, 0 for deterministic, 1/k for Erlang-k. *)
+
+val draw : t -> Prng.t -> float
+(** [draw d rng] samples one value.  All supported distributions are
+    non-negative. *)
+
+val exponential : Prng.t -> mean:float -> float
+(** Direct exponential sampler (inverse transform). *)
+
+val discrete : Prng.t -> float array -> int
+(** [discrete rng weights] draws an index with probability proportional to
+    [weights.(i)].  Weights must be non-negative with a positive sum. *)
+
+val geometric_trunc : Prng.t -> p:float -> max:int -> int
+(** [geometric_trunc rng ~p ~max] draws [h] from the truncated geometric
+    distribution [P(h) = p^h / a] for [h = 1..max],
+    [a = sum_{h=1}^{max} p^h] — the paper's distance distribution for remote
+    accesses. *)
+
+val validate : t -> (unit, string) result
+(** Checks distribution parameters (positive means, probabilities summing to
+    one, ...), returning a human-readable error otherwise. *)
+
+val pp : Format.formatter -> t -> unit

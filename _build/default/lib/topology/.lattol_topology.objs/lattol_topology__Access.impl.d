@@ -1,0 +1,1 @@
+lib/topology/access.ml: Array Float Fmt Format Printf Topology

@@ -1,0 +1,1 @@
+lib/topology/access.mli: Format Topology

@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Array Fmt Format Fun List

@@ -1,0 +1,1 @@
+lib/topology/topology.mli: Format

@@ -1,0 +1,8 @@
+  $ ../bin/mms_cli.exe bottleneck
+  $ ../bin/mms_cli.exe solve -k 2 --threads 2 --p-remote 0.5
+  $ ../bin/mms_cli.exe tolerance -k 2 --threads 2 --p-remote 0.5 | tail -n 2
+  $ ../bin/mms_cli.exe sweep --param n_t --from 1 --to 3 --steps 3 -k 2 | head -n 2
+  $ ../bin/mms_cli.exe solve --p-remote 1.5 2>&1 | head -n 1
+  $ ../bin/mms_cli.exe solve --solver magic 2>&1 | head -n 2 | tr -s ' '
+  $ ../bin/mms_cli.exe kernels -k 2 --threads 2 -R 2 | head -n 5
+  $ ../bin/mms_cli.exe report -k 2 --threads 2 | grep verdict

@@ -1,0 +1,5 @@
+  $ ../examples/quickstart.exe | grep "U_p        ="
+  $ ../examples/thread_partitioning.exe | grep -c "best:"
+  $ ../examples/scaling_study.exe | grep "k = 10: n_t"
+  $ ../examples/stencil_loop.exe | grep -A1 "distribution" | head -n 2
+  $ ../examples/mixed_workload.exe | grep "total U_p"

@@ -1,0 +1,1 @@
+test/test_markov.ml: Alcotest Array Gen Lattol_markov Lattol_queueing List Mva Network Printf QCheck QCheck_alcotest Solution

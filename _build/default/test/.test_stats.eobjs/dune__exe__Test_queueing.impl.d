@@ -1,0 +1,1 @@
+test/test_queueing.ml: Alcotest Amva Array Bounds Convolution Gen Jackson Lattol_markov Lattol_queueing Linearizer List Mva Network Printf Priority_mm1 QCheck QCheck_alcotest Solution String

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Ascii_plot Confidence Float Gen Histogram Lattol_stats List Moments Prng QCheck QCheck_alcotest Result String Variate

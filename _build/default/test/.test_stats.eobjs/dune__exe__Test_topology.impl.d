@@ -1,0 +1,1 @@
+test/test_topology.ml: Access Alcotest Array Float Lattol_topology List Printf QCheck QCheck_alcotest Topology

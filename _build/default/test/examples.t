@@ -1,0 +1,18 @@
+Examples are deterministic end to end (fixed PRNG seeds); smoke-check the
+headline numbers of the model-only ones.
+
+  $ ../examples/quickstart.exe | grep "U_p        ="
+    U_p        = 0.8194
+
+  $ ../examples/thread_partitioning.exe | grep -c "best:"
+  3
+
+  $ ../examples/scaling_study.exe | grep "k = 10: n_t"
+    k = 10: n_t = 8
+
+  $ ../examples/stencil_loop.exe | grep -A1 "distribution" | head -n 2
+    distribution        p_remote   d_avg    ~p_sw      U_p  tol_net     S_obs
+    block                 0.0026   1.250    0.333   0.9463   0.9995     2.256
+
+  $ ../examples/mixed_workload.exe | grep "total U_p"
+    total U_p = 0.949

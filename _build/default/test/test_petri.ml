@@ -1,0 +1,748 @@
+(* Tests for the stochastic timed Petri net substrate: structure and firing
+   semantics, the token-game simulator against closed-form/CTMC truths, the
+   tangible reachability graph, and the MMS STPN model (the paper's
+   Section 8 validation vehicle). *)
+
+open Lattol_stats
+open Lattol_petri
+open Lattol_core
+
+let close ?(eps = 1e-9) = Alcotest.(check (float eps))
+
+(* Small helper: a cyclic net  p0 -t01-> p1 -t10-> p0  with exponential
+   timings, equivalent to a 2-state CTMC. *)
+let two_phase ~m0 ~to1 ~to0 =
+  let b = Petri.Builder.create () in
+  let p0 = Petri.Builder.add_place b ~initial:m0 "p0" in
+  let p1 = Petri.Builder.add_place b "p1" in
+  let t01 =
+    Petri.Builder.add_transition b "t01"
+      (Petri.Timed (Variate.Exponential to1))
+      ~inputs:[ (p0, 1) ]
+      ~outputs:[ (p1, 1) ]
+  in
+  let t10 =
+    Petri.Builder.add_transition b "t10"
+      (Petri.Timed (Variate.Exponential to0))
+      ~inputs:[ (p1, 1) ]
+      ~outputs:[ (p0, 1) ]
+  in
+  (Petri.Builder.build b, p0, p1, t01, t10)
+
+(* ------------------------------------------------------------------ *)
+(* Petri structure *)
+
+let test_builder_basic () =
+  let net, p0, p1, t01, _ = two_phase ~m0:1 ~to1:1. ~to0:2. in
+  Alcotest.(check int) "places" 2 (Petri.num_places net);
+  Alcotest.(check int) "transitions" 2 (Petri.num_transitions net);
+  Alcotest.(check string) "place name" "p0" (Petri.place_name net p0);
+  Alcotest.(check string) "transition name" "t01" (Petri.transition_name net t01);
+  Alcotest.(check (array int)) "initial marking" [| 1; 0 |] (Petri.initial_marking net);
+  Alcotest.(check int) "touching transitions" 2
+    (Array.length (Petri.transitions_on_place net p1))
+
+let test_fire_semantics () =
+  let net, _, _, t01, t10 = two_phase ~m0:1 ~to1:1. ~to0:2. in
+  let marking = Petri.initial_marking net in
+  Alcotest.(check bool) "t01 enabled" true (Petri.enabled net ~marking t01);
+  Alcotest.(check bool) "t10 disabled" false (Petri.enabled net ~marking t10);
+  Petri.fire net ~marking t01;
+  Alcotest.(check (array int)) "after firing" [| 0; 1 |] marking;
+  Alcotest.(check bool) "firing disabled transition raises" true
+    (try
+       Petri.fire net ~marking t01;
+       false
+     with Invalid_argument _ -> true)
+
+let test_builder_validation () =
+  let invalid f =
+    Alcotest.(check bool) "raises" true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  invalid (fun () ->
+      let b = Petri.Builder.create () in
+      ignore (Petri.Builder.add_place b ~initial:(-1) "p"));
+  invalid (fun () ->
+      let b = Petri.Builder.create () in
+      let p = Petri.Builder.add_place b "p" in
+      Petri.Builder.add_transition b "t" (Petri.Immediate 0.) ~inputs:[ (p, 1) ]
+        ~outputs:[]);
+  invalid (fun () ->
+      let b = Petri.Builder.create () in
+      let p = Petri.Builder.add_place b "p" in
+      Petri.Builder.add_transition b "t"
+        (Petri.Timed (Variate.Exponential 1.))
+        ~inputs:[ (p, 0) ] ~outputs:[]);
+  invalid (fun () ->
+      let b = Petri.Builder.create () in
+      Petri.Builder.add_transition b "t"
+        (Petri.Timed (Variate.Exponential 1.))
+        ~inputs:[] ~outputs:[])
+
+let test_invariants () =
+  let net, _, _, _, _ = two_phase ~m0:3 ~to1:1. ~to0:2. in
+  Alcotest.(check bool) "token count conserved" true
+    (Petri.is_invariant net ~weights:[| 1.; 1. |]);
+  Alcotest.(check bool) "unbalanced weights rejected" false
+    (Petri.is_invariant net ~weights:[| 1.; 2. |])
+
+(* ------------------------------------------------------------------ *)
+(* Simulation semantics *)
+
+let test_simulation_two_phase () =
+  (* One token alternating p0 (mean 1) / p1 (mean 2): time-average of p1 is
+     2/3, firing rate of each transition is 1/3. *)
+  let net, p0, p1, t01, _ = two_phase ~m0:1 ~to1:1. ~to0:2. in
+  let stats = Simulation.simulate ~seed:5 ~warmup:500. ~horizon:100_000. net in
+  close ~eps:0.02 "p1 occupancy" (2. /. 3.) stats.Simulation.place_mean.(p1);
+  close ~eps:0.02 "p0 occupancy" (1. /. 3.) stats.Simulation.place_mean.(p0);
+  close ~eps:0.01 "rate" (1. /. 3.) stats.Simulation.rates.(t01);
+  close ~eps:0.02 "busy t01 = P(p0 marked)" (1. /. 3.) stats.Simulation.busy.(t01)
+
+let test_simulation_immediate_weights () =
+  (* A timed source feeding two immediate branches 1:3 that return the
+     token: branch firing rates must split 25/75. *)
+  let b = Petri.Builder.create () in
+  let src = Petri.Builder.add_place b ~initial:1 "src" in
+  let mid = Petri.Builder.add_place b "mid" in
+  let t =
+    Petri.Builder.add_transition b "tick"
+      (Petri.Timed (Variate.Exponential 1.))
+      ~inputs:[ (src, 1) ]
+      ~outputs:[ (mid, 1) ]
+  in
+  let a =
+    Petri.Builder.add_transition b "a" (Petri.Immediate 1.) ~inputs:[ (mid, 1) ]
+      ~outputs:[ (src, 1) ]
+  in
+  let c =
+    Petri.Builder.add_transition b "c" (Petri.Immediate 3.) ~inputs:[ (mid, 1) ]
+      ~outputs:[ (src, 1) ]
+  in
+  let net = Petri.Builder.build b in
+  let stats = Simulation.simulate ~seed:7 ~horizon:200_000. net in
+  let total = stats.Simulation.rates.(a) +. stats.Simulation.rates.(c) in
+  close ~eps:1e-9 "branches carry all ticks" stats.Simulation.rates.(t) total;
+  close ~eps:0.01 "1:3 split" 0.25 (stats.Simulation.rates.(a) /. total)
+
+let test_simulation_deterministic_timing () =
+  (* Deterministic 2-cycle: exactly one firing of each transition per 3
+     time units. *)
+  let b = Petri.Builder.create () in
+  let p0 = Petri.Builder.add_place b ~initial:1 "p0" in
+  let p1 = Petri.Builder.add_place b "p1" in
+  let t01 =
+    Petri.Builder.add_transition b "t01"
+      (Petri.Timed (Variate.Deterministic 1.))
+      ~inputs:[ (p0, 1) ] ~outputs:[ (p1, 1) ]
+  in
+  let _ =
+    Petri.Builder.add_transition b "t10"
+      (Petri.Timed (Variate.Deterministic 2.))
+      ~inputs:[ (p1, 1) ] ~outputs:[ (p0, 1) ]
+  in
+  let net = Petri.Builder.build b in
+  let stats = Simulation.simulate ~horizon:2_999.5 net in
+  Alcotest.(check int) "exactly 1000 firings" 1000 stats.Simulation.firings.(t01)
+
+let test_simulation_vanishing_loop_detected () =
+  let b = Petri.Builder.create () in
+  let p0 = Petri.Builder.add_place b ~initial:1 "p0" in
+  let p1 = Petri.Builder.add_place b "p1" in
+  let _ =
+    Petri.Builder.add_transition b "i01" (Petri.Immediate 1.) ~inputs:[ (p0, 1) ]
+      ~outputs:[ (p1, 1) ]
+  in
+  let _ =
+    Petri.Builder.add_transition b "i10" (Petri.Immediate 1.) ~inputs:[ (p1, 1) ]
+      ~outputs:[ (p0, 1) ]
+  in
+  let net = Petri.Builder.build b in
+  Alcotest.(check bool) "livelock detected" true
+    (try
+       ignore (Simulation.simulate ~horizon:10. net);
+       false
+     with Failure _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Reachability *)
+
+let test_reachability_two_phase_vs_ctmc () =
+  let net, _, p1, t01, _ = two_phase ~m0:1 ~to1:1. ~to0:2. in
+  let g = Reachability.explore net in
+  Alcotest.(check int) "two tangible states" 2 (Reachability.num_states g);
+  let pi = Reachability.steady_state g in
+  close ~eps:1e-9 "p1 mean" (2. /. 3.) (Reachability.place_mean g ~pi p1);
+  close ~eps:1e-9 "throughput" (1. /. 3.) (Reachability.throughput g ~pi t01)
+
+let test_reachability_vanishing_elimination () =
+  (* timed tick then immediate probabilistic split 1:3 into two slow
+     drains; drain throughputs must split accordingly. *)
+  let b = Petri.Builder.create () in
+  let src = Petri.Builder.add_place b ~initial:1 "src" in
+  let mid = Petri.Builder.add_place b "mid" in
+  let qa = Petri.Builder.add_place b "qa" in
+  let qc = Petri.Builder.add_place b "qc" in
+  let _ =
+    Petri.Builder.add_transition b "tick"
+      (Petri.Timed (Variate.Exponential 1.))
+      ~inputs:[ (src, 1) ] ~outputs:[ (mid, 1) ]
+  in
+  let _ =
+    Petri.Builder.add_transition b "a" (Petri.Immediate 1.) ~inputs:[ (mid, 1) ]
+      ~outputs:[ (qa, 1) ]
+  in
+  let _ =
+    Petri.Builder.add_transition b "c" (Petri.Immediate 3.) ~inputs:[ (mid, 1) ]
+      ~outputs:[ (qc, 1) ]
+  in
+  let da =
+    Petri.Builder.add_transition b "da"
+      (Petri.Timed (Variate.Exponential 2.))
+      ~inputs:[ (qa, 1) ] ~outputs:[ (src, 1) ]
+  in
+  let dc =
+    Petri.Builder.add_transition b "dc"
+      (Petri.Timed (Variate.Exponential 2.))
+      ~inputs:[ (qc, 1) ] ~outputs:[ (src, 1) ]
+  in
+  let net = Petri.Builder.build b in
+  let g = Reachability.explore net in
+  (* tangible states: token in src, qa, or qc *)
+  Alcotest.(check int) "three tangible states" 3 (Reachability.num_states g);
+  let pi = Reachability.steady_state g in
+  let ra = Reachability.throughput g ~pi da in
+  let rc = Reachability.throughput g ~pi dc in
+  close ~eps:1e-9 "split 1:3" 3. (rc /. ra)
+
+let test_reachability_unbounded_detected () =
+  let b = Petri.Builder.create () in
+  let p = Petri.Builder.add_place b ~initial:1 "p" in
+  let _ =
+    Petri.Builder.add_transition b "grow"
+      (Petri.Timed (Variate.Exponential 1.))
+      ~inputs:[ (p, 1) ]
+      ~outputs:[ (p, 2) ]
+  in
+  let net = Petri.Builder.build b in
+  Alcotest.(check bool) "unbounded raises" true
+    (try
+       ignore (Reachability.explore ~max_states:100 net);
+       false
+     with Reachability.Unbounded _ -> true)
+
+let test_reachability_rejects_non_exponential () =
+  let b = Petri.Builder.create () in
+  let p = Petri.Builder.add_place b ~initial:1 "p" in
+  let _ =
+    Petri.Builder.add_transition b "d"
+      (Petri.Timed (Variate.Deterministic 1.))
+      ~inputs:[ (p, 1) ] ~outputs:[ (p, 1) ]
+  in
+  let net = Petri.Builder.build b in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Reachability.explore net);
+       false
+     with Invalid_argument _ -> true)
+
+let test_simulation_matches_reachability () =
+  (* The token-game simulator must agree with the exact tangible-chain
+     solution on a nontrivial net (shared server, two flows). *)
+  let b = Petri.Builder.create () in
+  let idle = Petri.Builder.add_place b ~initial:1 "idle" in
+  let qa = Petri.Builder.add_place b ~initial:1 "qa" in
+  let qb = Petri.Builder.add_place b ~initial:1 "qb" in
+  let sa = Petri.Builder.add_place b "sa" in
+  let sb = Petri.Builder.add_place b "sb" in
+  let _ =
+    Petri.Builder.add_transition b "grab_a" (Petri.Immediate 1.)
+      ~inputs:[ (qa, 1); (idle, 1) ] ~outputs:[ (sa, 1) ]
+  in
+  let _ =
+    Petri.Builder.add_transition b "grab_b" (Petri.Immediate 1.)
+      ~inputs:[ (qb, 1); (idle, 1) ] ~outputs:[ (sb, 1) ]
+  in
+  let serve_a =
+    Petri.Builder.add_transition b "serve_a"
+      (Petri.Timed (Variate.Exponential 1.))
+      ~inputs:[ (sa, 1) ]
+      ~outputs:[ (idle, 1); (qa, 1) ]
+  in
+  let _ =
+    Petri.Builder.add_transition b "serve_b"
+      (Petri.Timed (Variate.Exponential 2.))
+      ~inputs:[ (sb, 1) ]
+      ~outputs:[ (idle, 1); (qb, 1) ]
+  in
+  let net = Petri.Builder.build b in
+  let g = Reachability.explore net in
+  let pi = Reachability.steady_state g in
+  let exact_rate = Reachability.throughput g ~pi serve_a in
+  let stats = Simulation.simulate ~seed:3 ~warmup:1_000. ~horizon:200_000. net in
+  let sim_rate = stats.Simulation.rates.(serve_a) in
+  if abs_float (sim_rate -. exact_rate) /. exact_rate > 0.03 then
+    Alcotest.failf "shared server: sim %g vs exact %g" sim_rate exact_rate
+
+(* ------------------------------------------------------------------ *)
+(* Infinite-server transitions *)
+
+let mmc_net ~servers =
+  (* N customers, exponential think (as an infinite-server transition),
+     then a c-server pool modelled with an idle place + infinite-server
+     serve: the grab/serve idiom from Mms_stpn in miniature. *)
+  let b = Petri.Builder.create () in
+  let thinking = Petri.Builder.add_place b ~initial:6 "thinking" in
+  let queue = Petri.Builder.add_place b "queue" in
+  let idle = Petri.Builder.add_place b ~initial:servers "idle" in
+  let busy = Petri.Builder.add_place b "busy" in
+  let _think =
+    Petri.Builder.add_transition b "think"
+      (Petri.Timed_infinite (Variate.Exponential 3.))
+      ~inputs:[ (thinking, 1) ]
+      ~outputs:[ (queue, 1) ]
+  in
+  let _grab =
+    Petri.Builder.add_transition b "grab" (Petri.Immediate 1.)
+      ~inputs:[ (queue, 1); (idle, 1) ]
+      ~outputs:[ (busy, 1) ]
+  in
+  let serve =
+    Petri.Builder.add_transition b "serve"
+      (Petri.Timed_infinite (Variate.Exponential 2.))
+      ~inputs:[ (busy, 1) ]
+      ~outputs:[ (thinking, 1); (idle, 1) ]
+  in
+  (Petri.Builder.build b, serve)
+
+let closed_mmc_throughput ~servers =
+  let nw =
+    Lattol_queueing.Network.make
+      ~stations:
+        [| ("think", Lattol_queueing.Network.Delay);
+           ("pool", Lattol_queueing.Network.Multi_server servers) |]
+      ~classes:
+        [|
+          {
+            Lattol_queueing.Network.class_name = "jobs";
+            population = 6;
+            visits = [| 1.; 1. |];
+            service = [| 3.; 2. |];
+          };
+        |]
+  in
+  (Lattol_queueing.Convolution.solve nw).Lattol_queueing.Solution.throughput.(0)
+
+let test_infinite_server_reachability_exact () =
+  List.iter
+    (fun servers ->
+      let net, serve = mmc_net ~servers in
+      let g = Reachability.explore net in
+      let pi = Reachability.steady_state g in
+      close ~eps:1e-8
+        (Printf.sprintf "throughput c=%d" servers)
+        (closed_mmc_throughput ~servers)
+        (Reachability.throughput g ~pi serve))
+    [ 1; 2; 3 ]
+
+let test_infinite_server_simulation () =
+  let net, serve = mmc_net ~servers:2 in
+  let stats = Simulation.simulate ~seed:11 ~warmup:500. ~horizon:100_000. net in
+  let exact = closed_mmc_throughput ~servers:2 in
+  let sim = stats.Simulation.rates.(serve) in
+  if abs_float (sim -. exact) /. exact > 0.03 then
+    Alcotest.failf "infinite-server sim %g vs exact %g" sim exact
+
+let test_enabling_degree () =
+  let net, _ = mmc_net ~servers:2 in
+  let marking = Petri.initial_marking net in
+  (* think has 6 tokens -> degree 6; serve has 0 busy -> degree 0 *)
+  Alcotest.(check int) "think degree" 6 (Petri.enabling_degree net ~marking 0);
+  Alcotest.(check int) "serve degree" 0 (Petri.enabling_degree net ~marking 2)
+
+let test_deadlock_detection () =
+  (* A net that drains into an empty-enabled state deadlocks. *)
+  let b = Petri.Builder.create () in
+  let p0 = Petri.Builder.add_place b ~initial:1 "p0" in
+  let p1 = Petri.Builder.add_place b "p1" in
+  let _ =
+    Petri.Builder.add_transition b "move"
+      (Petri.Timed (Variate.Exponential 1.))
+      ~inputs:[ (p0, 1) ]
+      ~outputs:[ (p1, 1) ]
+  in
+  let _ =
+    (* needs two tokens it can never have: p1 holds at most one *)
+    Petri.Builder.add_transition b "stuck"
+      (Petri.Timed (Variate.Exponential 1.))
+      ~inputs:[ (p1, 2) ]
+      ~outputs:[ (p0, 2) ]
+  in
+  let net = Petri.Builder.build b in
+  let g = Reachability.explore net in
+  Alcotest.(check int) "one dead marking" 1 (List.length (Reachability.deadlocks g))
+
+let test_mms_stpn_deadlock_free () =
+  (* The paper's assumption, verified structurally on small machines. *)
+  List.iter
+    (fun p ->
+      let lay = Mms_stpn.build p in
+      let g = Reachability.explore ~max_states:50_000 lay.Mms_stpn.net in
+      Alcotest.(check (list int)) "no deadlocks" [] (Reachability.deadlocks g))
+    [
+      { Params.default with Params.k = 1; n_t = 3; p_remote = 0. };
+      { Params.default with Params.k = 1; n_t = 2; p_remote = 0.; mem_ports = 2 };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Mms_stpn *)
+
+let test_mms_stpn_structure () =
+  let layout = Mms_stpn.build { Params.default with Params.k = 2; n_t = 2 } in
+  let net = layout.Mms_stpn.net in
+  Alcotest.(check bool) "has places" true (Petri.num_places net > 20);
+  (* per-node thread-count P-invariants *)
+  Array.iter
+    (fun places ->
+      let weights = Array.make (Petri.num_places net) 0. in
+      List.iter (fun pl -> weights.(pl) <- 1.) places;
+      Alcotest.(check bool) "thread conservation" true
+        (Petri.is_invariant net ~weights))
+    layout.Mms_stpn.thread_places;
+  (* server idle-token invariants: idle + its in-service stages = 1; the
+     in-service stages are exactly the thread places named ".s" — covered
+     indirectly by simulation conservation below. *)
+  Alcotest.(check int) "ready initial marking" 2
+    (Petri.initial_marking net).(layout.Mms_stpn.ready.(0))
+
+let test_mms_stpn_exact_repairman () =
+  (* k = 1, p_remote = 0: processor + memory cycle; exact tangible chain
+     equals exact MVA. *)
+  let p = { Params.default with Params.k = 1; n_t = 3; p_remote = 0. } in
+  let stpn = Mms_stpn.exact p in
+  let mva = Mms.solve ~solver:Mms.Exact_mva p in
+  close ~eps:1e-8 "U_p" mva.Measures.u_p stpn.Measures.u_p;
+  close ~eps:1e-8 "lambda" mva.Measures.lambda stpn.Measures.lambda;
+  close ~eps:1e-7 "L_obs" mva.Measures.l_obs stpn.Measures.l_obs
+
+let test_mms_stpn_sim_vs_exact_mva () =
+  (* k = 2 MMS: STPN simulation against the exact product-form solution. *)
+  let p = { Params.default with Params.k = 2; n_t = 2; p_remote = 0.5 } in
+  let r = Mms_stpn.run ~horizon:50_000. p in
+  let m = r.Mms_stpn.measures in
+  let e = Mms.solve ~solver:Mms.Exact_mva p in
+  let rel a b = abs_float (a -. b) /. b in
+  if rel m.Measures.u_p e.Measures.u_p > 0.03 then
+    Alcotest.failf "U_p stpn %g vs exact %g" m.Measures.u_p e.Measures.u_p;
+  if rel m.Measures.lambda_net e.Measures.lambda_net > 0.03 then
+    Alcotest.failf "lambda_net stpn %g vs exact %g" m.Measures.lambda_net
+      e.Measures.lambda_net;
+  if rel m.Measures.s_obs e.Measures.s_obs > 0.06 then
+    Alcotest.failf "S_obs stpn %g vs exact %g" m.Measures.s_obs e.Measures.s_obs
+
+let test_mms_stpn_figure11_band () =
+  (* The paper's validation bands: lambda_net within 2%, S_obs within 5% of
+     the model at p_remote = 0.5 on the 4x4 machine. *)
+  let p = { Params.default with Params.p_remote = 0.5; n_t = 4 } in
+  let r = Mms_stpn.run ~horizon:20_000. p in
+  let m = r.Mms_stpn.measures in
+  let model = Mms.solve p in
+  let rel a b = abs_float (a -. b) /. b in
+  if rel m.Measures.lambda_net model.Measures.lambda_net > 0.04 then
+    Alcotest.failf "lambda_net %g vs %g" m.Measures.lambda_net
+      model.Measures.lambda_net;
+  if rel m.Measures.s_obs model.Measures.s_obs > 0.08 then
+    Alcotest.failf "S_obs %g vs %g" m.Measures.s_obs model.Measures.s_obs
+
+let test_mms_stpn_multiport_exact () =
+  (* k = 1 with a dual-ported memory: exact tangible chain equals the
+     brute-force CTMC of the corresponding Multi_server network. *)
+  let p =
+    { Params.default with Params.k = 1; n_t = 4; p_remote = 0.; mem_ports = 2 }
+  in
+  let stpn = Mms_stpn.exact p in
+  let ctmc = Lattol_markov.Qn_ctmc.solve (Mms.build_network p) in
+  close ~eps:1e-8 "lambda" ctmc.Lattol_queueing.Solution.throughput.(0)
+    stpn.Measures.lambda
+
+let test_mms_stpn_deterministic_memory_sensitivity () =
+  (* The paper's Section 8 check: switching L from exponential to
+     deterministic moves S_obs by less than 10%. *)
+  let p = { Params.default with Params.k = 2; n_t = 3; p_remote = 0.5 } in
+  let exp_run = Mms_stpn.run ~horizon:30_000. p in
+  let det_run =
+    Mms_stpn.run ~horizon:30_000. ~memory:Mms_stpn.Deterministic_memory p
+  in
+  let a = exp_run.Mms_stpn.measures.Measures.s_obs in
+  let b = det_run.Mms_stpn.measures.Measures.s_obs in
+  if abs_float (a -. b) /. a > 0.10 then
+    Alcotest.failf "deterministic L moved S_obs %g -> %g (> 10%%)" a b
+
+let test_mms_stpn_validation () =
+  Alcotest.(check bool) "L = 0 rejected" true
+    (try
+       ignore (Mms_stpn.build { Params.default with Params.l_mem = 0. });
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "n_t = 0 rejected" true
+    (try
+       ignore (Mms_stpn.build { Params.default with Params.n_t = 0 });
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "SU rejected" true
+    (try
+       ignore (Mms_stpn.build { Params.default with Params.sync_unit = 0.5 });
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Invariant discovery *)
+
+let test_invariants_two_phase () =
+  let net, _, _, _, _ = two_phase ~m0:3 ~to1:1. ~to0:2. in
+  match Invariants.p_semiflows net with
+  | [ w ] ->
+    Alcotest.(check (array int)) "single conservation law" [| 1; 1 |] w;
+    Alcotest.(check int) "conserved total" 3
+      (Invariants.conserved_total net ~weights:w)
+  | flows -> Alcotest.failf "expected 1 semiflow, got %d" (List.length flows)
+
+let test_invariants_weighted () =
+  (* t consumes 2 tokens of a and produces 1 of b; a + 2b is conserved. *)
+  let b = Petri.Builder.create () in
+  let pa = Petri.Builder.add_place b ~initial:4 "a" in
+  let pb = Petri.Builder.add_place b "b" in
+  let _ =
+    Petri.Builder.add_transition b "fwd"
+      (Petri.Timed (Variate.Exponential 1.))
+      ~inputs:[ (pa, 2) ]
+      ~outputs:[ (pb, 1) ]
+  in
+  let _ =
+    Petri.Builder.add_transition b "bwd"
+      (Petri.Timed (Variate.Exponential 1.))
+      ~inputs:[ (pb, 1) ]
+      ~outputs:[ (pa, 2) ]
+  in
+  let net = Petri.Builder.build b in
+  match Invariants.p_semiflows net with
+  | [ w ] -> Alcotest.(check (array int)) "a + 2b" [| 1; 2 |] w
+  | flows -> Alcotest.failf "expected 1 semiflow, got %d" (List.length flows)
+
+let test_invariants_discover_mms_structure () =
+  (* The MMS STPN's conservation laws should be found automatically: one
+     per node's threads plus one per server, and every place covered. *)
+  let p = { Params.default with Params.k = 2; n_t = 2; p_remote = 0.5 } in
+  let lay = Mms_stpn.build p in
+  let net = lay.Mms_stpn.net in
+  let flows = Invariants.p_semiflows ~max_rows:100_000 net in
+  (* 4 thread laws + 4 memory + 4 outbound + 4 inbound = 16 *)
+  Alcotest.(check int) "16 conservation laws" 16 (List.length flows);
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) "validates" true
+        (Petri.is_invariant net ~weights:(Array.map float_of_int w)))
+    flows;
+  for pl = 0 to Petri.num_places net - 1 do
+    if not (Invariants.covers flows ~place:pl) then
+      Alcotest.failf "place %s not covered" (Petri.place_name net pl)
+  done;
+  (* the thread law for node 0 conserves exactly n_t tokens *)
+  let ready0 = lay.Mms_stpn.ready.(0) in
+  let thread_law =
+    List.find (fun w -> w.(ready0) > 0) flows
+  in
+  Alcotest.(check int) "n_t conserved" 2
+    (Invariants.conserved_total net ~weights:thread_law)
+
+let test_invariants_row_cap () =
+  let p = { Params.default with Params.k = 2; n_t = 2; p_remote = 0.5 } in
+  let lay = Mms_stpn.build p in
+  Alcotest.(check bool) "cap enforced" true
+    (try
+       ignore (Invariants.p_semiflows ~max_rows:3 lay.Mms_stpn.net);
+       false
+     with Invariants.Too_many_rows _ -> true)
+
+let test_t_semiflows_cycle () =
+  (* A ring of transitions has exactly one firing cycle: one of each. *)
+  let b = Petri.Builder.create () in
+  let places =
+    Array.init 3 (fun i ->
+        Petri.Builder.add_place b ~initial:(if i = 0 then 1 else 0)
+          (Printf.sprintf "p%d" i))
+  in
+  for i = 0 to 2 do
+    ignore
+      (Petri.Builder.add_transition b
+         (Printf.sprintf "t%d" i)
+         (Petri.Timed (Variate.Exponential 1.))
+         ~inputs:[ (places.(i), 1) ]
+         ~outputs:[ (places.((i + 1) mod 3), 1) ])
+  done;
+  let net = Petri.Builder.build b in
+  (match Invariants.t_semiflows net with
+  | [ x ] ->
+    Alcotest.(check (array int)) "one of each" [| 1; 1; 1 |] x;
+    Alcotest.(check bool) "reproduces marking" true
+      (Invariants.reproduces_marking net ~firings:x)
+  | flows -> Alcotest.failf "expected 1 T-semiflow, got %d" (List.length flows));
+  Alcotest.(check bool) "partial firing does not reproduce" false
+    (Invariants.reproduces_marking net ~firings:[| 1; 1; 0 |])
+
+let test_t_semiflows_mms_access_cycle () =
+  (* The single-node machine has exactly one steady-state cycle: execute,
+     route locally, grab the memory, serve. *)
+  let p = { Params.default with Params.k = 1; n_t = 3; p_remote = 0. } in
+  let lay = Mms_stpn.build p in
+  match Invariants.t_semiflows lay.Mms_stpn.net with
+  | [ x ] ->
+    Alcotest.(check bool) "reproduces" true
+      (Invariants.reproduces_marking lay.Mms_stpn.net ~firings:x);
+    Alcotest.(check int) "four transitions, once each" 4
+      (Array.fold_left ( + ) 0 x)
+  | flows -> Alcotest.failf "expected 1 cycle, got %d" (List.length flows)
+
+let test_invariants_unbounded_net_has_uncovered_place () =
+  let b = Petri.Builder.create () in
+  let src = Petri.Builder.add_place b ~initial:1 "src" in
+  let sink = Petri.Builder.add_place b "sink" in
+  let _ =
+    Petri.Builder.add_transition b "gen"
+      (Petri.Timed (Variate.Exponential 1.))
+      ~inputs:[ (src, 1) ]
+      ~outputs:[ (src, 1); (sink, 1) ]
+  in
+  let net = Petri.Builder.build b in
+  let flows = Invariants.p_semiflows net in
+  Alcotest.(check bool) "sink uncovered" false
+    (Invariants.covers flows ~place:sink)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_invariant_detects_conservation =
+  QCheck.Test.make ~name:"cycle nets conserve tokens" ~count:50
+    QCheck.(pair (int_range 2 6) (int_range 1 5))
+    (fun (stages, tokens) ->
+      (* ring of [stages] places, token moves around *)
+      let b = Petri.Builder.create () in
+      let places =
+        Array.init stages (fun i ->
+            Petri.Builder.add_place b
+              ~initial:(if i = 0 then tokens else 0)
+              (Printf.sprintf "p%d" i))
+      in
+      for i = 0 to stages - 1 do
+        ignore
+          (Petri.Builder.add_transition b
+             (Printf.sprintf "t%d" i)
+             (Petri.Timed (Variate.Exponential 1.))
+             ~inputs:[ (places.(i), 1) ]
+             ~outputs:[ (places.((i + 1) mod stages), 1) ])
+      done;
+      let net = Petri.Builder.build b in
+      Petri.is_invariant net ~weights:(Array.make stages 1.))
+
+let prop_simulation_conserves_ring_tokens =
+  QCheck.Test.make ~name:"simulated ring keeps total place mean = tokens"
+    ~count:10
+    QCheck.(pair (int_range 2 5) (int_range 1 4))
+    (fun (stages, tokens) ->
+      let b = Petri.Builder.create () in
+      let places =
+        Array.init stages (fun i ->
+            Petri.Builder.add_place b
+              ~initial:(if i = 0 then tokens else 0)
+              (Printf.sprintf "p%d" i))
+      in
+      for i = 0 to stages - 1 do
+        ignore
+          (Petri.Builder.add_transition b
+             (Printf.sprintf "t%d" i)
+             (Petri.Timed (Variate.Exponential 1.))
+             ~inputs:[ (places.(i), 1) ]
+             ~outputs:[ (places.((i + 1) mod stages), 1) ])
+      done;
+      let net = Petri.Builder.build b in
+      let stats = Simulation.simulate ~horizon:5_000. net in
+      let total = Array.fold_left ( +. ) 0. stats.Simulation.place_mean in
+      abs_float (total -. float_of_int tokens) < 1e-6)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "lattol_petri"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "builder" `Quick test_builder_basic;
+          Alcotest.test_case "fire semantics" `Quick test_fire_semantics;
+          Alcotest.test_case "builder validation" `Quick test_builder_validation;
+          Alcotest.test_case "invariants" `Quick test_invariants;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "two-phase occupancy" `Slow test_simulation_two_phase;
+          Alcotest.test_case "immediate weights" `Slow test_simulation_immediate_weights;
+          Alcotest.test_case "deterministic timing" `Quick
+            test_simulation_deterministic_timing;
+          Alcotest.test_case "vanishing livelock" `Quick
+            test_simulation_vanishing_loop_detected;
+        ] );
+      ( "reachability",
+        [
+          Alcotest.test_case "two-phase vs CTMC" `Quick
+            test_reachability_two_phase_vs_ctmc;
+          Alcotest.test_case "vanishing elimination" `Quick
+            test_reachability_vanishing_elimination;
+          Alcotest.test_case "unbounded detection" `Quick
+            test_reachability_unbounded_detected;
+          Alcotest.test_case "non-exponential rejected" `Quick
+            test_reachability_rejects_non_exponential;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "MMS deadlock-free" `Quick test_mms_stpn_deadlock_free;
+          Alcotest.test_case "simulation vs reachability" `Slow
+            test_simulation_matches_reachability;
+        ] );
+      ( "infinite-server",
+        [
+          Alcotest.test_case "reachability exact (c=1,2,3)" `Quick
+            test_infinite_server_reachability_exact;
+          Alcotest.test_case "simulation" `Slow test_infinite_server_simulation;
+          Alcotest.test_case "enabling degree" `Quick test_enabling_degree;
+        ] );
+      ( "mms-stpn",
+        [
+          Alcotest.test_case "structure + invariants" `Quick test_mms_stpn_structure;
+          Alcotest.test_case "exact repairman" `Quick test_mms_stpn_exact_repairman;
+          Alcotest.test_case "sim vs exact MVA (k=2)" `Slow
+            test_mms_stpn_sim_vs_exact_mva;
+          Alcotest.test_case "figure 11 band" `Slow test_mms_stpn_figure11_band;
+          Alcotest.test_case "multiport exact" `Quick test_mms_stpn_multiport_exact;
+          Alcotest.test_case "deterministic-L sensitivity" `Slow
+            test_mms_stpn_deterministic_memory_sensitivity;
+          Alcotest.test_case "validation" `Quick test_mms_stpn_validation;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "two-phase" `Quick test_invariants_two_phase;
+          Alcotest.test_case "weighted law" `Quick test_invariants_weighted;
+          Alcotest.test_case "discovers MMS structure" `Quick
+            test_invariants_discover_mms_structure;
+          Alcotest.test_case "row cap" `Quick test_invariants_row_cap;
+          Alcotest.test_case "unbounded uncovered" `Quick
+            test_invariants_unbounded_net_has_uncovered_place;
+          Alcotest.test_case "T-semiflow ring" `Quick test_t_semiflows_cycle;
+          Alcotest.test_case "T-semiflow MMS access cycle" `Quick
+            test_t_semiflows_mms_access_cycle;
+        ] );
+      ( "properties",
+        qcheck
+          [ prop_invariant_detects_conservation; prop_simulation_conserves_ring_tokens ]
+      );
+    ]
