@@ -168,17 +168,77 @@ let solver_term =
            $(b,linearizer), or $(b,exact).")
 
 (* ------------------------------------------------------------------ *)
+(* supervised solving (shared by solve and report) *)
+
+let supervise_arg =
+  Arg.(
+    value & flag
+    & info [ "supervise" ]
+        ~doc:
+          "Solve under the robustness supervisor: watch the fixed-point \
+           residual, abort divergent or stalled attempts, escalate through \
+           damping factors and fallback solvers, and cross-check the \
+           accepted solution against closed-form bounds.  Exit code 0 = \
+           converged first try, 3 = converged after fallback, 4 = failed.")
+
+let budget_iterations_arg =
+  Arg.(
+    value & opt int 2_000
+    & info [ "budget-iterations" ] ~docv:"N"
+        ~doc:
+          "First-rung iteration budget of the supervisor's escalation \
+           ladder (doubled at every later rung).")
+
+let budget_time_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "budget-time" ] ~docv:"SECONDS"
+        ~doc:"CPU-time budget across all supervisor attempts.")
+
+(* Run the supervisor, print its diagnosis, hand the measures to [k], and
+   exit with the outcome's code (0 converged / 3 after fallback / 4 failed). *)
+let supervised_exit params ~base_iterations ~time_budget k =
+  if base_iterations < 1 then begin
+    Format.eprintf "mms_cli: --budget-iterations must be at least 1@.";
+    exit 124
+  end;
+  (match time_budget with
+  | Some b when b <= 0. ->
+    Format.eprintf "mms_cli: --budget-time must be positive@.";
+    exit 124
+  | _ -> ());
+  let result =
+    Lattol_robust.Supervisor.solve ~base_iterations ?time_budget params
+  in
+  (match result with
+  | Ok (m, d) ->
+    Format.printf "%a@.@." Lattol_robust.Supervisor.pp_diagnosis d;
+    k m
+  | Error d ->
+    Format.printf "%a@." Lattol_robust.Supervisor.pp_diagnosis d;
+    Format.printf "supervisor: no trustworthy solution@.");
+  exit
+    (Lattol_robust.Supervisor.exit_code (Lattol_robust.Supervisor.outcome result))
+
+(* ------------------------------------------------------------------ *)
 (* solve *)
 
 let solve_cmd =
-  let run () params solver =
+  let run () params solver supervise base_iterations time_budget =
     Format.printf "%a@.@." Params.pp params;
-    let m = Mms.solve ?solver params in
-    Format.printf "%a@." Measures.pp m
+    if supervise then
+      supervised_exit params ~base_iterations ~time_budget (fun m ->
+          Format.printf "%a@." Measures.pp m)
+    else begin
+      let m = Mms.solve ?solver params in
+      Format.printf "%a@." Measures.pp m
+    end
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Evaluate the analytical model once")
-    Term.(const run $ verbose_term $ params_term $ solver_term)
+    Term.(
+      const run $ verbose_term $ params_term $ solver_term $ supervise_arg
+      $ budget_iterations_arg $ budget_time_arg)
 
 (* ------------------------------------------------------------------ *)
 (* tolerance *)
@@ -315,35 +375,107 @@ let simulate_cmd =
   let seed_arg =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
-  let run params engine horizon warmup seed =
-    Format.printf "%a@.@." Params.pp params;
-    match engine with
-    | `Des ->
-      let r =
-        Lattol_sim.Mms_des.run
-          ~config:
-            {
-              Lattol_sim.Mms_des.default_config with
-              Lattol_sim.Mms_des.horizon;
-              warmup;
-              seed;
-            }
-          params
+  let fault_mtbf_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "fault-mtbf" ] ~docv:"T"
+          ~doc:
+            "Mean time between failures of the targeted components \
+             (0 disables fault injection).")
+  in
+  let fault_mttr_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "fault-mttr" ] ~docv:"T"
+          ~doc:"Mean time to repair an outage (required with a nonzero MTBF).")
+  in
+  let fault_degrade_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "fault-degrade" ] ~docv:"F"
+          ~doc:
+            "Service-rate multiplier during an outage: 0 (default) is a \
+             full stop, 0.5 runs the component at half speed.")
+  in
+  let fault_target_arg =
+    Arg.(
+      value
+      & opt (enum [ ("switch", `Switch); ("memory", `Memory); ("both", `Both) ])
+          `Both
+      & info [ "fault-target" ] ~docv:"TARGET"
+          ~doc:
+            "Component class the fault process applies to: $(b,switch), \
+             $(b,memory) or $(b,both).")
+  in
+  let fault_plan mtbf mttr degrade target =
+    if mtbf = 0. then Ok Lattol_robust.Fault_plan.none
+    else begin
+      let pr = Lattol_robust.Fault_plan.process ~mtbf ~mttr ~degrade in
+      let plan =
+        {
+          Lattol_robust.Fault_plan.switch =
+            (match target with `Switch | `Both -> Some pr | `Memory -> None);
+          memory =
+            (match target with `Memory | `Both -> Some pr | `Switch -> None);
+        }
       in
-      Format.printf "%a@." Measures.pp r.Lattol_sim.Mms_des.measures;
-      let mean, half = r.Lattol_sim.Mms_des.u_p_ci in
-      Format.printf "U_p 95%% CI: %.4f +- %.4f (%d events, %d remote trips)@."
-        mean half r.Lattol_sim.Mms_des.events r.Lattol_sim.Mms_des.remote_trips
-    | `Stpn ->
-      let r = Lattol_petri.Mms_stpn.run ~seed ~warmup ~horizon params in
-      Format.printf "%a@." Measures.pp r.Lattol_petri.Mms_stpn.measures;
-      Format.printf "%a, %d firings@." Lattol_petri.Petri.pp
-        r.Lattol_petri.Mms_stpn.layout.Lattol_petri.Mms_stpn.net
-        r.Lattol_petri.Mms_stpn.stats.Lattol_petri.Simulation.events
+      Lattol_robust.Fault_plan.validate plan
+    end
+  in
+  let run params engine horizon warmup seed mtbf mttr degrade target =
+    match fault_plan mtbf mttr degrade target with
+    | Error msg -> `Error (false, msg)
+    | Ok faults ->
+      Format.printf "%a@." Params.pp params;
+      if Lattol_robust.Fault_plan.active faults then
+        Format.printf "fault plan: %a@." Lattol_robust.Fault_plan.pp faults;
+      Format.printf "@.";
+      (match engine with
+      | `Des ->
+        let r =
+          Lattol_sim.Mms_des.run
+            ~config:
+              {
+                Lattol_sim.Mms_des.default_config with
+                Lattol_sim.Mms_des.horizon;
+                warmup;
+                seed;
+                faults;
+              }
+            params
+        in
+        Format.printf "%a@." Measures.pp r.Lattol_sim.Mms_des.measures;
+        let mean, half = r.Lattol_sim.Mms_des.u_p_ci in
+        Format.printf "U_p 95%% CI: %.4f +- %.4f (%d events, %d remote trips)@."
+          mean half r.Lattol_sim.Mms_des.events
+          r.Lattol_sim.Mms_des.remote_trips;
+        List.iter
+          (Format.printf "%a@." Lattol_sim.Mms_des.pp_fault_stats)
+          r.Lattol_sim.Mms_des.faults
+      | `Stpn ->
+        let r =
+          Lattol_petri.Mms_stpn.run ~seed ~warmup ~horizon ~faults params
+        in
+        Format.printf "%a@." Measures.pp r.Lattol_petri.Mms_stpn.measures;
+        if Lattol_robust.Fault_plan.active faults then
+          Format.printf
+            "fault plan applied quasi-statically: S=%g L=%g after degradation@."
+            r.Lattol_petri.Mms_stpn.layout.Lattol_petri.Mms_stpn.params
+              .Params.s_switch
+            r.Lattol_petri.Mms_stpn.layout.Lattol_petri.Mms_stpn.params
+              .Params.l_mem;
+        Format.printf "%a, %d firings@." Lattol_petri.Petri.pp
+          r.Lattol_petri.Mms_stpn.layout.Lattol_petri.Mms_stpn.net
+          r.Lattol_petri.Mms_stpn.stats.Lattol_petri.Simulation.events);
+      `Ok ()
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Simulate the machine (DES or STPN)")
-    Term.(const run $ params_term $ engine_arg $ horizon_arg $ warmup_arg $ seed_arg)
+    Term.(
+      ret
+        (const run $ params_term $ engine_arg $ horizon_arg $ warmup_arg
+       $ seed_arg $ fault_mtbf_arg $ fault_mttr_arg $ fault_degrade_arg
+       $ fault_target_arg))
 
 (* ------------------------------------------------------------------ *)
 (* partition *)
@@ -415,13 +547,20 @@ let kernels_cmd =
 (* report *)
 
 let report_cmd =
-  let run () params solver =
-    Format.printf "%a@." Report.pp (Report.analyze ?solver params)
+  let run () params solver supervise base_iterations time_budget =
+    if supervise then
+      (* Vet the configuration through the supervisor first: if no solver
+         converges, refuse to print a report built on garbage. *)
+      supervised_exit params ~base_iterations ~time_budget (fun _ ->
+          Format.printf "%a@." Report.pp (Report.analyze ?solver params))
+    else Format.printf "%a@." Report.pp (Report.analyze ?solver params)
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Full analysis: measures, tolerance, bottlenecks, sensitivities")
-    Term.(const run $ verbose_term $ params_term $ solver_term)
+    Term.(
+      const run $ verbose_term $ params_term $ solver_term $ supervise_arg
+      $ budget_iterations_arg $ budget_time_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sensitivity *)

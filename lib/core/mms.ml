@@ -122,7 +122,10 @@ let translate p topo m cls =
   let kind = m / n and node = m mod n in
   (kind * n) + Topology.subtract topo node ~by:cls
 
-let solve_symmetric ?(tolerance = 1e-10) ?(max_iterations = 100_000) p =
+let solve_symmetric ?(tolerance = 1e-10) ?(max_iterations = 100_000)
+    ?(damping = 0.) ?on_sweep p =
+  if damping < 0. || damping >= 1. then
+    invalid_arg "Mms.solve_symmetric: damping in [0, 1)";
   let n = Params.num_processors p in
   let nst = num_stations p in
   let visits = class_visits p ~cls:0 in
@@ -139,11 +142,12 @@ let solve_symmetric ?(tolerance = 1e-10) ?(max_iterations = 100_000) p =
   let lambda = ref 0. in
   let iterations = ref 0 in
   let converged = ref false in
+  let stopped = ref false in
   (* Per-type totals: by vertex transitivity the all-class queue at every
      station of a type equals the sum of class-0 queues over that type. *)
   let num_types = stations_per_node p in
   let type_total = Array.make num_types 0. in
-  while (not !converged) && !iterations < max_iterations do
+  while (not !converged) && (not !stopped) && !iterations < max_iterations do
     incr iterations;
     Array.fill type_total 0 num_types 0.;
     Array.iteri (fun m qm -> type_total.(m / n) <- type_total.(m / n) +. qm) q;
@@ -169,22 +173,48 @@ let solve_symmetric ?(tolerance = 1e-10) ?(max_iterations = 100_000) p =
         cycle := !cycle +. residence0.(m)
       end
     done;
-    lambda := pop /. !cycle;
-    let max_delta = ref 0. in
-    for m = 0 to nst - 1 do
-      if visits.(m) > 0. then begin
-        let updated = !lambda *. residence0.(m) in
-        let delta = abs_float (updated -. q.(m)) in
-        if delta > !max_delta then max_delta := delta;
-        q.(m) <- updated
+    if !cycle <= 0. then begin
+      (* All service demands are zero: no fixed point exists (pop / 0). *)
+      Log.warn (fun m ->
+          m "zero cycle demand at iteration %d; throughput forced to 0"
+            !iterations);
+      lambda := 0.;
+      stopped := true
+    end
+    else begin
+      lambda := pop /. !cycle;
+      let max_delta = ref 0. in
+      for m = 0 to nst - 1 do
+        if visits.(m) > 0. then begin
+          let updated =
+            (damping *. q.(m)) +. ((1. -. damping) *. (!lambda *. residence0.(m)))
+          in
+          let delta = abs_float (updated -. q.(m)) in
+          (* NaN-catching accumulation; see the matching comment in Amva. *)
+          if not (delta <= !max_delta) then max_delta := delta;
+          q.(m) <- updated
+        end
+      done;
+      if not (Float.is_finite !max_delta) then begin
+        Log.warn (fun m ->
+            m "non-finite residual %g at iteration %d; aborting" !max_delta
+              !iterations);
+        stopped := true
       end
-    done;
-    if !max_delta < tolerance then converged := true
+      else if !max_delta < tolerance then converged := true
+      else
+        match on_sweep with
+        | None -> ()
+        | Some f -> (
+          match f ~iteration:!iterations ~residual:!max_delta with
+          | Amva.Continue -> ()
+          | Amva.Abort -> stopped := true)
+    end
   done;
   if !converged then
     Log.debug (fun m ->
         m "symmetric fixed point in %d iterations (P = %d)" !iterations n)
-  else
+  else if not !stopped then
     Log.warn (fun m ->
         m "symmetric solver hit the %d-iteration cap" max_iterations);
   (* Expand the symmetric fixed point into a full multi-class solution. *)
@@ -211,7 +241,7 @@ let solve_symmetric ?(tolerance = 1e-10) ?(max_iterations = 100_000) p =
 let symmetric_applicable p =
   Access.is_translation_invariant (Params.make_access p)
 
-let solve_network ?solver ?tolerance ?max_iterations p =
+let solve_network ?solver ?tolerance ?max_iterations ?damping ?on_sweep p =
   let solver =
     match solver with
     | Some s -> s
@@ -219,12 +249,13 @@ let solve_network ?solver ?tolerance ?max_iterations p =
   in
   let amva_options =
     {
-      Amva.default_options with
       Amva.tolerance =
         Option.value tolerance ~default:Amva.default_options.Amva.tolerance;
       max_iterations =
         Option.value max_iterations
           ~default:Amva.default_options.Amva.max_iterations;
+      damping = Option.value damping ~default:Amva.default_options.Amva.damping;
+      on_sweep;
     }
   in
   match solver with
@@ -233,7 +264,7 @@ let solve_network ?solver ?tolerance ?max_iterations p =
       invalid_arg
         "Mms.solve_network: symmetric solver needs a torus with a \
          translation-invariant access pattern";
-    solve_symmetric ?tolerance ?max_iterations p
+    solve_symmetric ?tolerance ?max_iterations ?damping ?on_sweep p
   | General_amva -> Amva.solve ~options:amva_options (build_network p)
   | Linearizer_amva -> Linearizer.solve ~options:amva_options (build_network p)
   | Exact_mva -> Mva.solve (build_network p)
@@ -367,8 +398,9 @@ let zero_measures =
     converged = true;
   }
 
-let solve ?solver ?tolerance ?max_iterations p =
+let solve ?solver ?tolerance ?max_iterations ?damping p =
   let p = Params.validate_exn p in
   if p.Params.n_t = 0 then zero_measures
   else
-    measures_of_solution p (solve_network ?solver ?tolerance ?max_iterations p)
+    measures_of_solution p
+      (solve_network ?solver ?tolerance ?max_iterations ?damping p)

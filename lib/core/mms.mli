@@ -58,20 +58,31 @@ val class_service : Params.t -> float array
 val build_network : Params.t -> Network.t
 (** Full multi-class network ([P] classes, [4 P] stations). *)
 
+val symmetric_applicable : Params.t -> bool
+(** Whether {!Symmetric_amva} is valid for these parameters: the access
+    pattern must be translation-invariant (SPMD on a torus). *)
+
 val solve_network :
-  ?solver:solver -> ?tolerance:float -> ?max_iterations:int -> Params.t ->
-  Solution.t
+  ?solver:solver -> ?tolerance:float -> ?max_iterations:int ->
+  ?damping:float ->
+  ?on_sweep:(iteration:int -> residual:float -> Lattol_queueing.Amva.progress) ->
+  Params.t -> Solution.t
 (** Solve with the chosen solver (default [Symmetric_amva] on a torus with
     a translation-invariant pattern, [General_amva] otherwise).  The
     symmetric solver returns a full [Solution.t] with every class filled
     in by translation.  [tolerance] (default 1e-8 general / 1e-10
     symmetric) and [max_iterations] (default 10_000 / 100_000) control the
     fixed-point iteration; hitting the cap is reported through the
-    solution's [converged] flag, never an exception. *)
+    solution's [converged] flag, never an exception.  [damping] (default 0)
+    under-relaxes the queue-length updates of the iterative solvers, and
+    [on_sweep] observes every sweep's residual (see {!Amva.options}) — the
+    hooks the {!Lattol_robust.Supervisor} escalation ladder is built on.
+    Non-finite residuals terminate any solver immediately with
+    [converged = false]. *)
 
 val solve :
-  ?solver:solver -> ?tolerance:float -> ?max_iterations:int -> Params.t ->
-  Measures.t
+  ?solver:solver -> ?tolerance:float -> ?max_iterations:int ->
+  ?damping:float -> Params.t -> Measures.t
 (** End-to-end: validate parameters, build, solve, extract the paper's
     measures for (the representative) class 0. *)
 

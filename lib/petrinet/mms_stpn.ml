@@ -272,7 +272,16 @@ type result = {
   layout : layout;
 }
 
-let run ?(seed = 1) ?(warmup = 1_000.) ?(horizon = 100_000.) ?memory p =
+let run ?(seed = 1) ?(warmup = 1_000.) ?(horizon = 100_000.) ?memory ?faults p
+    =
+  (* The token game has no native failure-repair transitions; mirror the
+     DES fault plan quasi-statically by inflating the affected service
+     times to their availability-weighted means. *)
+  let p =
+    match faults with
+    | None -> p
+    | Some plan -> Lattol_robust.Fault_plan.degrade_params plan p
+  in
   let layout = build ?memory p in
   let stats = Simulation.simulate ~seed ~warmup ~horizon layout.net in
   let exec_rate =

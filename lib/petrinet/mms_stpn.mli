@@ -52,9 +52,15 @@ type result = {
 
 val run :
   ?seed:int -> ?warmup:float -> ?horizon:float ->
-  ?memory:memory_distribution -> Params.t -> result
+  ?memory:memory_distribution ->
+  ?faults:Lattol_robust.Fault_plan.t -> Params.t -> result
 (** Token-game simulation (default warm-up 1_000, horizon 100_000 — the
-    paper's run length). *)
+    paper's run length).  [faults] applies the quasi-static view of a
+    fault plan ({!Lattol_robust.Fault_plan.degrade_params}): switch and
+    memory service times are inflated to their availability-weighted
+    means, so the net models the long-run average of the degraded machine
+    rather than individual outages (the DES injects those exactly).  The
+    returned [layout.params] carries the degraded service times. *)
 
 val exact : ?max_states:int -> Params.t -> Measures.t
 (** Exact stationary solution via the tangible reachability graph; only

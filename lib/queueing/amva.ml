@@ -2,13 +2,17 @@ let log_src = Logs.Src.create "lattol.amva" ~doc:"Approximate MVA solver"
 
 module Log = (val Logs.src_log log_src)
 
+type progress = Continue | Abort
+
 type options = {
   tolerance : float;
   max_iterations : int;
   damping : float;
+  on_sweep : (iteration:int -> residual:float -> progress) option;
 }
 
-let default_options = { tolerance = 1e-8; max_iterations = 10_000; damping = 0. }
+let default_options =
+  { tolerance = 1e-8; max_iterations = 10_000; damping = 0.; on_sweep = None }
 
 let solve ?(options = default_options) network =
   if options.tolerance <= 0. then invalid_arg "Amva.solve: tolerance > 0";
@@ -17,6 +21,23 @@ let solve ?(options = default_options) network =
   let num_cls = Network.num_classes network in
   let num_st = Network.num_stations network in
   let pops = Network.populations network in
+  (* A populated class whose every demand is zero has no cycle time: its
+     throughput is undefined (pops / 0 = inf).  Flag it once and keep it
+     inert instead of poisoning the solution with infinities. *)
+  let inert =
+    Array.init num_cls (fun c ->
+        pops.(c) > 0 && Network.total_demand network ~cls:c <= 0.)
+  in
+  Array.iteri
+    (fun c degenerate ->
+      if degenerate then
+        Log.warn (fun m ->
+            m "class %s has population %d but zero total demand; throughput \
+               forced to 0"
+              (Network.class_name network c)
+              pops.(c)))
+    inert;
+  let active c = pops.(c) > 0 && not inert.(c) in
   (* Step 1 of Figure 3: spread each class evenly over the stations it
      visits. *)
   let queue = Array.make_matrix num_cls num_st 0. in
@@ -35,13 +56,15 @@ let solve ?(options = default_options) network =
   let throughput = Array.make num_cls 0. in
   let iterations = ref 0 in
   let converged = ref false in
-  while (not !converged) && !iterations < options.max_iterations do
+  let stopped = ref false in
+  while (not !converged) && (not !stopped) && !iterations < options.max_iterations
+  do
     incr iterations;
     let max_delta = ref 0. in
     (* One sweep: steps 2-4 of Figure 3 for every class. *)
     let new_queue = Array.make_matrix num_cls num_st 0. in
     for c = 0 to num_cls - 1 do
-      if pops.(c) > 0 then begin
+      if active c then begin
         let shrink =
           float_of_int (pops.(c) - 1) /. float_of_int pops.(c)
         in
@@ -96,17 +119,39 @@ let solve ?(options = default_options) network =
           +. ((1. -. options.damping) *. new_queue.(c).(m))
         in
         let delta = abs_float (updated -. queue.(c).(m)) in
-        if delta > !max_delta then max_delta := delta;
+        (* [not (<=)] instead of [(>)] so a NaN delta lands in [max_delta]
+           and trips the non-finite guard below rather than comparing as
+           false and masquerading as convergence. *)
+        if not (delta <= !max_delta) then max_delta := delta;
         queue.(c).(m) <- updated
       done
     done;
-    if !max_delta < options.tolerance then converged := true
+    if not (Float.is_finite !max_delta) then begin
+      (* NaN/Inf can never shrink below the tolerance; terminate now with
+         [converged = false] instead of spinning to the iteration cap. *)
+      Log.warn (fun m ->
+          m "non-finite residual %g at iteration %d; aborting" !max_delta
+            !iterations);
+      stopped := true
+    end
+    else if !max_delta < options.tolerance then converged := true
+    else
+      match options.on_sweep with
+      | None -> ()
+      | Some f -> (
+        match f ~iteration:!iterations ~residual:!max_delta with
+        | Continue -> ()
+        | Abort ->
+          Log.info (fun m ->
+              m "observer aborted at iteration %d (residual %g)" !iterations
+                !max_delta);
+          stopped := true)
   done;
   if !converged then
     Log.debug (fun m ->
         m "converged in %d iterations (%d classes, %d stations)" !iterations
           num_cls num_st)
-  else
+  else if not !stopped then
     Log.warn (fun m ->
         m "no convergence after %d iterations (tolerance %g)" !iterations
           options.tolerance);

@@ -13,6 +13,10 @@
     populations, which is what makes the paper's 100-processor experiments
     feasible. *)
 
+type progress = Continue | Abort
+(** Verdict of a per-sweep observer: [Abort] stops the iteration after the
+    current sweep with [converged = false]. *)
+
 type options = {
   tolerance : float;
       (** stop when the largest queue-length change in a sweep is below
@@ -20,12 +24,26 @@ type options = {
   max_iterations : int;
   damping : float;
       (** new value = damping x old + (1 - damping) x update; 0 disables *)
+  on_sweep : (iteration:int -> residual:float -> progress) option;
+      (** called after every sweep with the sweep index (1-based) and the
+          largest queue-length change; supervisors use this to watch the
+          residual trajectory and abort divergent or stalled runs.  Not
+          called once the iteration has converged or been stopped by the
+          non-finite guard. *)
 }
 
 val default_options : options
-(** tolerance 1e-8, 10_000 iterations, no damping. *)
+(** tolerance 1e-8, 10_000 iterations, no damping, no observer. *)
 
 val solve : ?options:options -> Network.t -> Solution.t
 (** Fixed point of the Bard-Schweitzer iteration.  [converged] is false in
-    the result if the iteration cap was reached; the last iterate is still
-    returned so callers can inspect it. *)
+    the result if the iteration cap was reached, the observer aborted, or
+    the residual became non-finite (NaN/infinite residuals terminate the
+    loop immediately instead of burning the full iteration budget); the
+    last iterate is still returned so callers can inspect it.
+
+    A class with positive population whose total demand is zero (all visit
+    ratios or all service times zero — possible through
+    {!Network.with_population}) is reported with a warning and treated as
+    inert: its throughput is 0 rather than the [inf] a division by a zero
+    cycle time would produce. *)

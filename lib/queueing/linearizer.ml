@@ -31,12 +31,22 @@ let core network ~pops ~f ~(options : Amva.options) =
   let throughput = Array.make num_cls 0. in
   let iterations = ref 0 in
   let converged = ref false in
-  while (not !converged) && !iterations < options.Amva.max_iterations do
+  let stopped = ref false in
+  (* Same inert-class guard as {!Amva.solve}: a populated class with zero
+     total demand has no cycle time, so dividing by it would poison the
+     whole solution with infinities. *)
+  let active c =
+    pops.(c) > 0 && Network.total_demand network ~cls:c > 0.
+  in
+  while
+    (not !converged) && (not !stopped)
+    && !iterations < options.Amva.max_iterations
+  do
     incr iterations;
     let max_delta = ref 0. in
     let new_queue = Array.make_matrix num_cls num_st 0. in
     for c = 0 to num_cls - 1 do
-      if pops.(c) > 0 then begin
+      if active c then begin
         let cycle = ref 0. in
         for m = 0 to num_st - 1 do
           let v = Network.visit network ~cls:c ~station:m in
@@ -86,11 +96,20 @@ let core network ~pops ~f ~(options : Amva.options) =
     for c = 0 to num_cls - 1 do
       for m = 0 to num_st - 1 do
         let delta = abs_float (new_queue.(c).(m) -. queue.(c).(m)) in
-        if delta > !max_delta then max_delta := delta;
+        (* NaN-catching accumulation; see the matching comment in Amva. *)
+        if not (delta <= !max_delta) then max_delta := delta;
         queue.(c).(m) <- new_queue.(c).(m)
       done
     done;
-    if !max_delta < options.Amva.tolerance then converged := true
+    if not (Float.is_finite !max_delta) then stopped := true
+    else if !max_delta < options.Amva.tolerance then converged := true
+    else
+      match options.Amva.on_sweep with
+      | None -> ()
+      | Some f -> (
+        match f ~iteration:!iterations ~residual:!max_delta with
+        | Amva.Continue -> ()
+        | Amva.Abort -> stopped := true)
   done;
   { throughput; residence; queue; iterations = !iterations; converged = !converged }
 

@@ -1,0 +1,75 @@
+type process = {
+  mtbf : float;
+  mttr : float;
+  degrade : float;
+}
+
+type t = {
+  switch : process option;
+  memory : process option;
+}
+
+let none = { switch = None; memory = None }
+
+let active t = t.switch <> None || t.memory <> None
+
+let process ~mtbf ~mttr ~degrade = { mtbf; mttr; degrade }
+
+let validate_process label pr =
+  if pr.mtbf <= 0. || not (Float.is_finite pr.mtbf) then
+    Error (Printf.sprintf "%s fault: mtbf %g must be positive" label pr.mtbf)
+  else if pr.mttr <= 0. || not (Float.is_finite pr.mttr) then
+    Error (Printf.sprintf "%s fault: mttr %g must be positive" label pr.mttr)
+  else if pr.degrade < 0. || pr.degrade > 1. || Float.is_nan pr.degrade then
+    Error
+      (Printf.sprintf "%s fault: degrade %g must lie in [0, 1]" label
+         pr.degrade)
+  else Ok ()
+
+let validate t =
+  let check label = function
+    | None -> Ok ()
+    | Some pr -> validate_process label pr
+  in
+  match check "switch" t.switch with
+  | Error _ as e -> e
+  | Ok () -> (
+    match check "memory" t.memory with Error _ as e -> e | Ok () -> Ok t)
+
+let validate_exn t =
+  match validate t with Ok t -> t | Error msg -> invalid_arg msg
+
+let availability pr = pr.mtbf /. (pr.mtbf +. pr.mttr)
+
+let slowdown pr =
+  let a = availability pr in
+  let mean_speed = a +. ((1. -. a) *. pr.degrade) in
+  if mean_speed <= 0. then infinity else 1. /. mean_speed
+
+let degrade_params t p =
+  let t = validate_exn t in
+  let scale pr s = match pr with None -> s | Some pr -> s *. slowdown pr in
+  {
+    p with
+    Lattol_core.Params.s_switch = scale t.switch p.Lattol_core.Params.s_switch;
+    l_mem = scale t.memory p.Lattol_core.Params.l_mem;
+  }
+
+let pp_process ppf pr =
+  Format.fprintf ppf "mtbf=%g mttr=%g degrade=%g (avail %.4f, slowdown %.4f)"
+    pr.mtbf pr.mttr pr.degrade (availability pr) (slowdown pr)
+
+let pp ppf t =
+  if not (active t) then Format.fprintf ppf "no faults"
+  else begin
+    let first = ref true in
+    let field label = function
+      | None -> ()
+      | Some pr ->
+        if not !first then Format.fprintf ppf "; ";
+        first := false;
+        Format.fprintf ppf "%s: %a" label pp_process pr
+    in
+    field "switch" t.switch;
+    field "memory" t.memory
+  end

@@ -1,0 +1,104 @@
+(** Resilient solver supervision for the MMS analytical model.
+
+    [Mms.solve_network] reports non-convergence through a flag and happily
+    returns NaN-laced iterates; left unchecked, those poison every measure
+    and tolerance index computed downstream.  The supervisor wraps the
+    solver with an {e escalation ladder}: it watches the fixed-point
+    residual of every sweep (through {!Lattol_core.Mms.solve_network}'s
+    [on_sweep] hook), aborts attempts that diverge (non-finite residual) or
+    stall (no residual improvement over a window), and retries with
+    progressively heavier artillery — more damping (0, 0.5, 0.9 by
+    default), then the next solver in the chain
+    [Symmetric_amva -> General_amva -> Linearizer_amva] — doubling the
+    iteration budget at every rung, under an optional overall CPU-time
+    budget.
+
+    The accepted solution is cross-checked against solver-free closed
+    forms: per-class asymptotic bounds ([X_c <= 1 / D_max,c] and
+    [X_c <= N_c / D_c]), the paper's Eq. 4 network ceiling and memory
+    bound ({!Lattol_core.Bottleneck}), and the Little's-law residual.
+    Violations are flagged in the diagnosis, not turned into failures —
+    approximate MVA may legitimately sit a few percent past a bound. *)
+
+open Lattol_core
+
+type abort_reason =
+  | Non_finite  (** NaN or infinite residual *)
+  | Stalled  (** no residual improvement over [stall_window] sweeps *)
+  | Iteration_cap  (** the rung's iteration budget ran out *)
+  | Time_budget  (** the overall CPU-time budget ran out *)
+  | Solver_error of string  (** the solver raised (message recorded) *)
+
+type attempt = {
+  solver : Mms.solver;
+  damping : float;
+  iteration_budget : int;  (** this rung's [max_iterations] *)
+  iterations : int;  (** sweeps actually used *)
+  residual : float;
+      (** last residual observed before the attempt ended ([nan] if the
+          solver converged before the first observation) *)
+  converged : bool;
+  reason : abort_reason option;  (** [None] iff the attempt was accepted *)
+}
+
+type violation = {
+  check : string;  (** which closed form was violated *)
+  bound : float;
+  actual : float;
+}
+
+type diagnosis = {
+  attempts : attempt list;  (** chronological, accepted attempt last *)
+  fallbacks : int;  (** failed attempts before the accepted one *)
+  violations : violation list;  (** bound cross-check on the accepted run *)
+  elapsed : float;  (** CPU seconds spent across all attempts *)
+}
+
+type outcome = Converged | Converged_after_fallback | Failed
+
+val solve :
+  ?solvers:Mms.solver list ->
+  ?dampings:float list ->
+  ?tolerance:float ->
+  ?base_iterations:int ->
+  ?time_budget:float ->
+  ?stall_window:int ->
+  ?slack:float ->
+  Params.t ->
+  (Measures.t * diagnosis, diagnosis) result
+(** Climb the ladder until a solver converges to a finite solution.
+
+    - [solvers] (default [Symmetric_amva; General_amva; Linearizer_amva]
+      when the symmetric solver applies, the last two otherwise) is the
+      fallback chain; each solver is tried with every damping factor.
+    - [dampings] (default [[0.; 0.5; 0.9]]) escalates under-relaxation.
+    - [tolerance] (default 1e-8) is the fixed-point tolerance.
+    - [base_iterations] (default 2_000) is the first rung's iteration
+      budget; every later rung doubles it.
+    - [time_budget] (optional, CPU seconds) bounds the whole ladder;
+      attempts in flight are aborted and remaining rungs skipped once it
+      is exhausted.
+    - [stall_window] (default 1_000): abort an attempt whose best residual
+      has not improved for this many sweeps.
+    - [slack] (default 0.02) is the relative headroom allowed before a
+      bound cross-check counts as a violation.
+
+    [Ok (measures, diagnosis)] carries the first accepted solution;
+    [Error diagnosis] means every rung failed (the measures of the last
+    iterate are deliberately withheld — they are untrustworthy).  Raises
+    [Invalid_argument] only for malformed parameters or option values. *)
+
+val outcome : ('a * diagnosis, diagnosis) result -> outcome
+
+val exit_code : outcome -> int
+(** Process exit code for CLI use: 0 = converged, 3 = converged after
+    fallback, 4 = failed. *)
+
+val solver_name : Mms.solver -> string
+
+val pp_attempt : Format.formatter -> attempt -> unit
+val pp_violation : Format.formatter -> violation -> unit
+
+val pp_diagnosis : Format.formatter -> diagnosis -> unit
+(** Multi-line report of the ladder and the bound cross-check.  Elapsed
+    time is deliberately omitted so output stays reproducible. *)

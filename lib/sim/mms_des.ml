@@ -1,6 +1,7 @@
 open Lattol_stats
 open Lattol_topology
 open Lattol_core
+open Lattol_robust
 
 type service_model = Exponential | Deterministic
 
@@ -13,6 +14,7 @@ type config = {
   mem_model : service_model;
   switch_model : service_model;
   local_memory_priority : bool;
+  faults : Fault_plan.t;
 }
 
 let default_config =
@@ -25,7 +27,17 @@ let default_config =
     mem_model = Exponential;
     switch_model = Exponential;
     local_memory_priority = false;
+    faults = Fault_plan.none;
   }
+
+type fault_stats = {
+  component : string;
+  stations : int;
+  failures : int;
+  downtime : float;
+  unavailability : float;
+  mean_outage : float;
+}
 
 type result = {
   measures : Measures.t;
@@ -34,12 +46,22 @@ type result = {
   remote_trips : int;
   events : int;
   sim_time : float;
+  faults : fault_stats list;
 }
 
 let variate model mean =
   match model with
   | Exponential -> Variate.Exponential mean
   | Deterministic -> Variate.Deterministic mean
+
+(* Per-component-class accumulator of the fault-injection layer. *)
+type fault_acc = {
+  label : string;
+  num_stations : int;
+  mutable failures : int; (* failure instants inside the measuring window *)
+  mutable downtime : float; (* completed outages, clipped to the window *)
+  mutable open_outages : float list; (* start times of outages in progress *)
+}
 
 type state = {
   engine : Engine.t;
@@ -56,11 +78,15 @@ type state = {
   mutable completions : int;     (* thread activations finished (measured) *)
   mutable remote_issued : int;
   mutable measuring : bool;
+  mutable measure_start : float; (* clock value when measuring began *)
   mem_priority : bool;
+  fault_targets :
+    (Fault_plan.process * fault_acc * unit Station.t array) list;
 }
 
-let build config p =
+let build (config : config) p =
   let p = Params.validate_exn p in
+  let faults = Fault_plan.validate_exn config.faults in
   let engine = Engine.create () in
   let rng = Prng.create ~seed:config.seed () in
   let topo = Params.make_topology p in
@@ -75,24 +101,53 @@ let build config p =
           ~name:(Printf.sprintf "%s%d" prefix node)
           ~service)
   in
+  let procs =
+    mk "proc" (variate config.proc_model (Params.processor_occupancy p))
+  in
+  let mems =
+    Array.init n (fun node ->
+        Station.create ~servers:p.Params.mem_ports
+          ~priority_levels:(if config.local_memory_priority then 2 else 1)
+          engine ~rng:(Prng.split rng)
+          ~name:(Printf.sprintf "mem%d" node)
+          ~service:(variate config.mem_model p.Params.l_mem))
+  in
+  let sw_in =
+    mk ~servers:p.Params.switch_pipeline "in"
+      (variate config.switch_model p.Params.s_switch)
+  in
+  let sw_out =
+    mk ~servers:p.Params.switch_pipeline "out"
+      (variate config.switch_model p.Params.s_switch)
+  in
+  let fault_targets =
+    let entry label pr stations =
+      ( pr,
+        {
+          label;
+          num_stations = Array.length stations;
+          failures = 0;
+          downtime = 0.;
+          open_outages = [];
+        },
+        stations )
+    in
+    (match faults.Fault_plan.switch with
+    | None -> []
+    | Some pr -> [ entry "switch" pr (Array.append sw_in sw_out) ])
+    @
+    match faults.Fault_plan.memory with
+    | None -> []
+    | Some pr -> [ entry "memory" pr mems ]
+  in
   {
     engine;
     topo;
     probs;
-    procs = mk "proc" (variate config.proc_model (Params.processor_occupancy p));
-    mems =
-      Array.init n (fun node ->
-          Station.create ~servers:p.Params.mem_ports
-            ~priority_levels:(if config.local_memory_priority then 2 else 1)
-            engine ~rng:(Prng.split rng)
-            ~name:(Printf.sprintf "mem%d" node)
-            ~service:(variate config.mem_model p.Params.l_mem));
-    sw_in =
-      mk ~servers:p.Params.switch_pipeline "in"
-        (variate config.switch_model p.Params.s_switch);
-    sw_out =
-      mk ~servers:p.Params.switch_pipeline "out"
-        (variate config.switch_model p.Params.s_switch);
+    procs;
+    mems;
+    sw_in;
+    sw_out;
     sync_units =
       (if p.Params.sync_unit > 0. then
          Some (mk "su" (variate config.switch_model p.Params.sync_unit))
@@ -102,8 +157,88 @@ let build config p =
     completions = 0;
     remote_issued = 0;
     measuring = false;
+    measure_start = 0.;
     mem_priority = config.local_memory_priority;
+    fault_targets;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection: per-station alternating failure-repair renewal
+   processes (exponential up and down times).  A full outage
+   ([degrade = 0]) seizes every server with a repair job of the outage
+   length, so traffic queues behind the breakdown; partial degradation
+   ([0 < degrade < 1]) slows the station through {!Station.set_speed}.
+   Both are non-preemptive: jobs already in service finish undisturbed. *)
+
+let remove_first x l =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | y :: rest ->
+      if y = x then List.rev_append acc rest else go (y :: acc) rest
+  in
+  go [] l
+
+let rec station_fault_cycle st acc (pr : Fault_plan.process) rng station =
+  let ttf = Variate.exponential rng ~mean:pr.Fault_plan.mtbf in
+  Engine.schedule st.engine ~delay:ttf (fun () ->
+      let t_fail = Engine.now st.engine in
+      if st.measuring then acc.failures <- acc.failures + 1;
+      acc.open_outages <- t_fail :: acc.open_outages;
+      let ttr = Variate.exponential rng ~mean:pr.Fault_plan.mttr in
+      if pr.Fault_plan.degrade > 0. then
+        Station.set_speed station pr.Fault_plan.degrade
+      else
+        for _ = 1 to Station.servers station do
+          Station.submit ~duration:ttr station () (fun () -> ())
+        done;
+      Engine.schedule st.engine ~delay:ttr (fun () ->
+          if pr.Fault_plan.degrade > 0. then Station.set_speed station 1.;
+          acc.open_outages <- remove_first t_fail acc.open_outages;
+          if st.measuring then
+            acc.downtime <-
+              acc.downtime
+              +. (Engine.now st.engine -. Float.max t_fail st.measure_start);
+          station_fault_cycle st acc pr rng station))
+
+let launch_faults st =
+  List.iter
+    (fun (pr, acc, stations) ->
+      Array.iter
+        (fun station ->
+          station_fault_cycle st acc pr (Prng.split st.rng) station)
+        stations)
+    st.fault_targets
+
+let pp_fault_stats ppf f =
+  Format.fprintf ppf
+    "faults[%s]: %d failures over %d stations, downtime %.1f (unavail %.4f, \
+     mean outage %.1f)"
+    f.component f.failures f.stations f.downtime f.unavailability f.mean_outage
+
+(* Snapshot the per-component downtime statistics, charging outages still
+   in progress up to the current clock. *)
+let fault_report st ~sim_time =
+  List.map
+    (fun ((_ : Fault_plan.process), acc, (_ : unit Station.t array)) ->
+      let now = Engine.now st.engine in
+      let open_downtime =
+        List.fold_left
+          (fun total t0 -> total +. (now -. Float.max t0 st.measure_start))
+          0. acc.open_outages
+      in
+      let downtime = acc.downtime +. open_downtime in
+      let span = sim_time *. float_of_int acc.num_stations in
+      {
+        component = acc.label;
+        stations = acc.num_stations;
+        failures = acc.failures;
+        downtime;
+        unavailability = (if span > 0. then downtime /. span else 0.);
+        mean_outage =
+          (if acc.failures = 0 then nan
+           else downtime /. float_of_int acc.failures);
+      })
+    st.fault_targets
 
 (* Walk a message through the inbound switches along [route], then continue. *)
 let rec traverse st route k =
@@ -179,6 +314,10 @@ let total_proc_busy st =
 let start ?launch config p =
   let st = build config p in
   let n = Params.num_processors p in
+  (* Fault processes are seeded before the workload threads touch the
+     shared PRNG so that a given seed yields the same fault trajectory
+     regardless of the workload wiring. *)
+  launch_faults st;
   (match launch with
   | Some f -> f st
   | None ->
@@ -194,6 +333,7 @@ let start ?launch config p =
   Array.iter Station.reset_stats st.sw_out;
   Option.iter (Array.iter Station.reset_stats) st.sync_units;
   st.measuring <- true;
+  st.measure_start <- Engine.now st.engine;
   st
 
 (* Advance one batch of [batch_span] and record the per-batch throughput
@@ -304,6 +444,7 @@ and collect st p ~sim_time ~lambda_batches ~u_p_batches =
     remote_trips = Moments.count st.trip_times;
     events = Engine.events_processed st.engine;
     sim_time;
+    faults = fault_report st ~sim_time;
   }
 
 let run_until_precision ?(config = default_config) ?(batch_span = 2_000.)

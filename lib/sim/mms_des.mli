@@ -29,11 +29,30 @@ type config = {
       (** serve accesses from the local processor before remote ones at
           each memory module (non-preemptive) — the EM-4 design choice the
           paper's Section 7 discusses for machines with fast networks *)
+  faults : Lattol_robust.Fault_plan.t;
+      (** fault-injection plan: independent exponential failure-repair
+          processes per switch / memory module.  A full outage
+          ([degrade = 0]) seizes the station's servers for the repair
+          duration (non-preemptive, so a service in progress completes
+          first); partial degradation slows the station by the [degrade]
+          factor.  Default {!Lattol_robust.Fault_plan.none}. *)
 }
 
 val default_config : config
 (** seed 1, warm-up 1_000, horizon 100_000 (the paper's run length),
-    20 batches, exponential everywhere, no memory priority. *)
+    20 batches, exponential everywhere, no memory priority, no faults. *)
+
+type fault_stats = {
+  component : string;       (** ["switch"] or ["memory"] *)
+  stations : int;           (** stations the process was attached to *)
+  failures : int;           (** failures inside the measuring window *)
+  downtime : float;
+      (** total nominal outage time inside the window, summed over
+          stations (outages still open at the end are charged up to the
+          final clock) *)
+  unavailability : float;   (** downtime / (stations x measured time) *)
+  mean_outage : float;      (** downtime / failures; [nan] if none *)
+}
 
 type result = {
   measures : Measures.t;      (** same record the analytical model produces *)
@@ -42,7 +61,10 @@ type result = {
   remote_trips : int;         (** one-way network trips measured *)
   events : int;               (** simulation events processed *)
   sim_time : float;           (** measured horizon *)
+  faults : fault_stats list;  (** one entry per faulty component class *)
 }
+
+val pp_fault_stats : Format.formatter -> fault_stats -> unit
 
 val run : ?config:config -> Params.t -> result
 (** Simulate the machine described by the parameters.  Deterministic for a

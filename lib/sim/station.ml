@@ -15,6 +15,7 @@ type 'a t = {
   servers : int;
   queues : 'a job Queue.t array; (* index = priority level, 0 first *)
   mutable in_service : int; (* occupied servers *)
+  mutable speed : float; (* service-rate multiplier; durations divide by it *)
   (* statistics *)
   mutable stats_start : float;
   mutable busy_area : float; (* integral of occupied servers over time *)
@@ -39,6 +40,7 @@ let create ?(servers = 1) ?(priority_levels = 1) engine ~rng ~name ~service =
     servers;
     queues = Array.init priority_levels (fun _ -> Queue.create ());
     in_service = 0;
+    speed = 1.;
     stats_start = Engine.now engine;
     busy_area = 0.;
     busy_last_change = Engine.now engine;
@@ -88,12 +90,16 @@ let rec start_service t =
     | Some job ->
       note_busy_change t;
       t.in_service <- t.in_service + 1;
-      let duration =
+      let work =
         match job.duration with
         | Some d -> d
         | None -> Variate.draw t.service t.rng
       in
-      Engine.schedule t.engine ~delay:duration (fun () -> complete t job);
+      (* [work] is nominal service demand; a degraded station (speed < 1)
+         stretches it.  Jobs already in service keep the speed they started
+         with (non-preemptive degradation). *)
+      Engine.schedule t.engine ~delay:(work /. t.speed) (fun () ->
+          complete t job);
       start_service t
 
 and complete t job =
@@ -114,6 +120,17 @@ let submit ?(priority = 0) ?duration t payload on_complete =
   Queue.add
     { payload; arrived = Engine.now t.engine; duration; on_complete }
     t.queues.(level);
+  start_service t
+
+let speed t = t.speed
+
+let set_speed t s =
+  if s <= 0. || not (Float.is_finite s) then
+    invalid_arg "Station.set_speed: speed must be positive and finite";
+  t.speed <- s;
+  (* A speed-up may not retroactively shorten jobs in service, but waiting
+     jobs should start under the new speed as servers free up; nothing to
+     do — [start_service] reads [t.speed] at dispatch time. *)
   start_service t
 
 let elapsed t = Engine.now t.engine -. t.stats_start

@@ -30,6 +30,18 @@ val submit : ?priority:int -> ?duration:float -> 'a t -> 'a -> ('a -> unit) -> u
 val queue_length : 'a t -> int
 (** Jobs currently present (waiting + in service). *)
 
+val speed : 'a t -> float
+(** Current service-rate multiplier (1 when healthy). *)
+
+val set_speed : 'a t -> float -> unit
+(** Change the station's service-rate multiplier: a job dispatched while
+    the speed is [s] takes [work / s] time, where [work] is the drawn (or
+    per-job) service demand.  Jobs already in service are unaffected
+    (non-preemptive degradation).  The fault-injection layer uses this to
+    model degraded switches and memory modules; [speed] must be positive
+    and finite — model a full outage by seizing the servers with
+    maximum-priority jobs of the repair duration instead. *)
+
 val busy : 'a t -> bool
 (** At least one server occupied. *)
 

@@ -57,3 +57,77 @@ Reports carry a verdict:
 
   $ ../bin/mms_cli.exe report -k 2 --threads 2 | grep verdict
   verdict     memory-bound
+
+Supervised solve on a healthy configuration: one attempt, clean cross-check,
+exit code 0:
+
+  $ ../bin/mms_cli.exe solve -k 2 --threads 2 --supervise; echo "exit: $?"
+  MMS torus 2x2: n_t=2 R=1 C=0 p_remote=0.2 geometric(p_sw=0.5) L=1 S=1
+  
+  supervisor: 1 attempt, 0 fallbacks
+    #1 symmetric damping=0 budget=2000: converged in 14 sweeps
+  bound cross-check: ok
+  
+  U_p        = 0.4978
+  lambda     = 0.4978
+  lambda_net = 0.0996
+  S_obs      = 2.927
+  L_obs      = 1.516
+  cycle      = 4.018
+  util: mem 0.498, sw_in 0.265, sw_out 0.199, su 0.000
+  queue: proc 0.663, mem 0.754, net 0.583
+  exit: 0
+
+An ill-conditioned configuration under a tiny iteration budget climbs the
+escalation ladder and converges after fallbacks (exit code 3):
+
+  $ ../bin/mms_cli.exe solve --threads 10 --p-remote 0.9 --supervise --budget-iterations 8 2>/dev/null; echo "exit: $?"
+  MMS torus 4x4: n_t=10 R=1 C=0 p_remote=0.9 geometric(p_sw=0.5) L=1 S=1
+  
+  supervisor: 4 attempts, 3 fallbacks
+    #1 symmetric damping=0 budget=8: failed (iteration cap) after 8 sweeps
+    #2 symmetric damping=0.5 budget=16: failed (iteration cap) after 16 sweeps
+    #3 symmetric damping=0.9 budget=32: failed (iteration cap) after 32 sweeps
+    #4 amva damping=0 budget=64: converged in 33 sweeps
+  bound cross-check: ok
+  
+  U_p        = 0.2890
+  lambda     = 0.2890
+  lambda_net = 0.2601
+  S_obs      = 17.691
+  L_obs      = 1.402
+  cycle      = 34.597
+  util: mem 0.289, sw_in 0.902, sw_out 0.520, su 0.000
+  queue: proc 0.391, mem 0.405, net 9.204
+  exit: 3
+
+Fault plans must be well formed:
+
+  $ ../bin/mms_cli.exe simulate --fault-mtbf 500 --fault-mttr 50 --fault-degrade 1.5 2>&1 | head -n 1
+  mms_cli: switch fault: degrade 1.5 must lie in [0, 1]
+
+Fault injection in the DES reports per-component downtime statistics:
+
+  $ ../bin/mms_cli.exe simulate -k 2 --threads 2 --horizon 5000 --fault-mtbf 500 --fault-mttr 50; echo "exit: $?"
+  MMS torus 2x2: n_t=2 R=1 C=0 p_remote=0.2 geometric(p_sw=0.5) L=1 S=1
+  fault plan: switch: mtbf=500 mttr=50 degrade=0 (avail 0.9091, slowdown 1.1000); memory: mtbf=500 mttr=50 degrade=0 (avail 0.9091, slowdown 1.1000)
+  
+  U_p        = 0.2190
+  lambda     = 0.2229
+  lambda_net = 0.0445
+  S_obs      = 11.455
+  L_obs      = 3.696
+  cycle      = 8.973
+  util: mem 0.325, sw_in 0.210, sw_out 0.183, su 0.000
+  queue: proc 0.266, mem 0.812, net 1.213
+  U_p 95% CI: 0.2190 +- 0.0411 (17045 events, 1771 remote trips)
+  faults[switch]: 70 failures over 8 stations, downtime 3792.3 (unavail 0.0948, mean outage 54.2)
+  faults[memory]: 33 failures over 4 stations, downtime 2005.9 (unavail 0.1003, mean outage 60.8)
+  exit: 0
+
+The STPN engine applies the same plan quasi-statically:
+
+  $ ../bin/mms_cli.exe simulate -k 2 --threads 2 --engine stpn --horizon 2000 --fault-mtbf 900 --fault-mttr 100 --fault-target memory | head -n 3
+  MMS torus 2x2: n_t=2 R=1 C=0 p_remote=0.2 geometric(p_sw=0.5) L=1 S=1
+  fault plan: memory: mtbf=900 mttr=100 degrade=0 (avail 0.9000, slowdown 1.1111)
+  
