@@ -168,6 +168,94 @@ let solver_term =
            $(b,linearizer), or $(b,exact).")
 
 (* ------------------------------------------------------------------ *)
+(* telemetry sinks (shared by solve, sweep, simulate, profile) *)
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's metrics registry to $(docv): long-form CSV when \
+           the name ends in .csv, JSON otherwise.")
+
+let trace_out_arg doc =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let solver_trace_doc =
+  "Write solver telemetry (one attempt per solve with its residual \
+   trajectory) to $(docv): CSV when the name ends in .csv, JSONL otherwise."
+
+let span_trace_doc =
+  "Write the simulation's span trace to $(docv) in Chrome trace-event JSON \
+   (open in Perfetto or chrome://tracing)."
+
+let with_out file f =
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let write_metrics reg file =
+  with_out file (fun oc ->
+      if Filename.check_suffix file ".csv" then
+        Lattol_obs.Metrics.write_csv reg oc
+      else Lattol_obs.Metrics.write_json reg oc)
+
+let write_solver_trace tel file =
+  with_out file (fun oc ->
+      if Filename.check_suffix file ".csv" then
+        Lattol_obs.Solver_trace.write_csv tel oc
+      else Lattol_obs.Solver_trace.write_jsonl tel oc)
+
+let write_span_trace trace file =
+  with_out file (fun oc -> Lattol_obs.Events.write_chrome trace oc)
+
+(* Analytical measures as gauges, one labeled series family per field. *)
+let register_measures reg ?labels (m : Measures.t) =
+  let g name v =
+    Lattol_obs.Metrics.set_gauge (Lattol_obs.Metrics.gauge reg ?labels name) v
+  in
+  g "u_p" m.Measures.u_p;
+  g "lambda" m.Measures.lambda;
+  g "lambda_net" m.Measures.lambda_net;
+  g "s_obs" m.Measures.s_obs;
+  g "l_obs" m.Measures.l_obs;
+  g "cycle_time" m.Measures.cycle_time;
+  g "util_memory" m.Measures.util_memory;
+  g "util_switch_in" m.Measures.util_switch_in;
+  g "util_switch_out" m.Measures.util_switch_out;
+  g "queue_processor" m.Measures.queue_processor;
+  g "queue_memory" m.Measures.queue_memory;
+  g "queue_network" m.Measures.queue_network;
+  g "sweeps" (float_of_int m.Measures.iterations)
+
+(* [Mms.solve] with the sweeps routed into a solver-trace attempt. *)
+let solve_with_telemetry ?solver ?telemetry ?label params =
+  match telemetry with
+  | Some tel when params.Params.n_t > 0 ->
+    let open Lattol_queueing in
+    let resolved =
+      match solver with
+      | Some s -> s
+      | None ->
+        if Mms.symmetric_applicable params then Mms.Symmetric_amva
+        else Mms.General_amva
+    in
+    Lattol_obs.Solver_trace.start_attempt tel ?label
+      ~budget:Amva.default_options.Amva.max_iterations
+      ~solver:(Lattol_robust.Supervisor.solver_name resolved)
+      ~damping:Amva.default_options.Amva.damping ();
+    let on_sweep ~iteration ~residual =
+      Lattol_obs.Solver_trace.record tel ~iteration ~residual;
+      Amva.Continue
+    in
+    let solution = Mms.solve_network ~solver:resolved ~on_sweep params in
+    Lattol_obs.Solver_trace.finish_attempt tel
+      ~converged:solution.Solution.converged
+      ~iterations:solution.Solution.iterations;
+    Mms.measures_of_solution params solution
+  | Some _ | None -> Mms.solve ?solver params
+
+(* ------------------------------------------------------------------ *)
 (* supervised solving (shared by solve and report) *)
 
 let supervise_arg =
@@ -196,8 +284,10 @@ let budget_time_arg =
         ~doc:"CPU-time budget across all supervisor attempts.")
 
 (* Run the supervisor, print its diagnosis, hand the measures to [k], and
-   exit with the outcome's code (0 converged / 3 after fallback / 4 failed). *)
-let supervised_exit params ~base_iterations ~time_budget k =
+   exit with the outcome's code (0 converged / 3 after fallback / 4 failed).
+   The solver trace, when requested, is written before exiting so failed
+   ladders leave their telemetry behind too. *)
+let supervised_exit ?trace_out params ~base_iterations ~time_budget k =
   if base_iterations < 1 then begin
     Format.eprintf "mms_cli: --budget-iterations must be at least 1@.";
     exit 124
@@ -207,9 +297,16 @@ let supervised_exit params ~base_iterations ~time_budget k =
     Format.eprintf "mms_cli: --budget-time must be positive@.";
     exit 124
   | _ -> ());
-  let result =
-    Lattol_robust.Supervisor.solve ~base_iterations ?time_budget params
+  let telemetry =
+    Option.map (fun _ -> Lattol_obs.Solver_trace.create ()) trace_out
   in
+  let result =
+    Lattol_robust.Supervisor.solve ?telemetry ~base_iterations ?time_budget
+      params
+  in
+  (match (telemetry, trace_out) with
+  | Some tel, Some file -> write_solver_trace tel file
+  | _ -> ());
   (match result with
   | Ok (m, d) ->
     Format.printf "%a@.@." Lattol_robust.Supervisor.pp_diagnosis d;
@@ -224,21 +321,37 @@ let supervised_exit params ~base_iterations ~time_budget k =
 (* solve *)
 
 let solve_cmd =
-  let run () params solver supervise base_iterations time_budget =
+  let run () params solver supervise base_iterations time_budget metrics_out
+      trace_out =
     Format.printf "%a@.@." Params.pp params;
+    let finish m =
+      Format.printf "%a@." Measures.pp m;
+      Option.iter
+        (fun file ->
+          let reg = Lattol_obs.Metrics.create () in
+          register_measures reg m;
+          write_metrics reg file)
+        metrics_out
+    in
     if supervise then
-      supervised_exit params ~base_iterations ~time_budget (fun m ->
-          Format.printf "%a@." Measures.pp m)
+      supervised_exit ?trace_out params ~base_iterations ~time_budget finish
     else begin
-      let m = Mms.solve ?solver params in
-      Format.printf "%a@." Measures.pp m
+      let telemetry =
+        Option.map (fun _ -> Lattol_obs.Solver_trace.create ()) trace_out
+      in
+      let m = solve_with_telemetry ?solver ?telemetry params in
+      (match (telemetry, trace_out) with
+      | Some tel, Some file -> write_solver_trace tel file
+      | _ -> ());
+      finish m
     end
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Evaluate the analytical model once")
     Term.(
       const run $ verbose_term $ params_term $ solver_term $ supervise_arg
-      $ budget_iterations_arg $ budget_time_arg)
+      $ budget_iterations_arg $ budget_time_arg $ metrics_out_arg
+      $ trace_out_arg solver_trace_doc)
 
 (* ------------------------------------------------------------------ *)
 (* tolerance *)
@@ -303,7 +416,7 @@ let sweep_cmd =
   let steps_arg =
     Arg.(value & opt int 11 & info [ "steps" ] ~docv:"N" ~doc:"Number of points.")
   in
-  let run params solver param lo hi steps =
+  let run params solver param lo hi steps metrics_out trace_out =
     if steps < 2 then `Error (false, "--steps must be at least 2")
     else begin
       Format.printf
@@ -318,6 +431,12 @@ let sweep_cmd =
         | P_sw -> "p_sw"
         | L_mem -> "l_mem"
         | S_switch -> "s_switch"
+      in
+      let telemetry =
+        Option.map (fun _ -> Lattol_obs.Solver_trace.create ()) trace_out
+      in
+      let registry =
+        Option.map (fun _ -> Lattol_obs.Metrics.create ()) metrics_out
       in
       for i = 0 to steps - 1 do
         let v = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (steps - 1)) in
@@ -334,13 +453,25 @@ let sweep_cmd =
         match Params.validate p with
         | Error msg -> Format.printf "# skipped %s=%g: %s@." name v msg
         | Ok p ->
-          let m = Mms.solve ?solver p in
+          let label = Printf.sprintf "%s=%g" name v in
+          let m = solve_with_telemetry ?solver ?telemetry ~label p in
+          Option.iter
+            (fun reg ->
+              register_measures reg ~labels:[ (name, Printf.sprintf "%g" v) ]
+                m)
+            registry;
           let net = Tolerance.network ?solver p in
           let mem = Tolerance.memory ?solver p in
           Format.printf "%s,%g,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f@." name v
             m.Measures.u_p m.Measures.lambda m.Measures.lambda_net
             m.Measures.s_obs m.Measures.l_obs net.Tolerance.tol mem.Tolerance.tol
       done;
+      (match (telemetry, trace_out) with
+      | Some tel, Some file -> write_solver_trace tel file
+      | _ -> ());
+      (match (registry, metrics_out) with
+      | Some reg, Some file -> write_metrics reg file
+      | _ -> ());
       `Ok ()
     end
   in
@@ -349,7 +480,7 @@ let sweep_cmd =
     Term.(
       ret
         (const run $ params_term $ solver_term $ param_arg $ from_arg $ to_arg
-       $ steps_arg))
+       $ steps_arg $ metrics_out_arg $ trace_out_arg solver_trace_doc))
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)
@@ -422,52 +553,80 @@ let simulate_cmd =
       Lattol_robust.Fault_plan.validate plan
     end
   in
-  let run params engine horizon warmup seed mtbf mttr degrade target =
+  let run params engine horizon warmup seed mtbf mttr degrade target
+      metrics_out trace_out =
     match fault_plan mtbf mttr degrade target with
     | Error msg -> `Error (false, msg)
     | Ok faults ->
-      Format.printf "%a@." Params.pp params;
-      if Lattol_robust.Fault_plan.active faults then
-        Format.printf "fault plan: %a@." Lattol_robust.Fault_plan.pp faults;
-      Format.printf "@.";
-      (match engine with
-      | `Des ->
-        let r =
-          Lattol_sim.Mms_des.run
-            ~config:
-              {
-                Lattol_sim.Mms_des.default_config with
-                Lattol_sim.Mms_des.horizon;
-                warmup;
-                seed;
-                faults;
-              }
-            params
-        in
-        Format.printf "%a@." Measures.pp r.Lattol_sim.Mms_des.measures;
-        let mean, half = r.Lattol_sim.Mms_des.u_p_ci in
-        Format.printf "U_p 95%% CI: %.4f +- %.4f (%d events, %d remote trips)@."
-          mean half r.Lattol_sim.Mms_des.events
-          r.Lattol_sim.Mms_des.remote_trips;
-        List.iter
-          (Format.printf "%a@." Lattol_sim.Mms_des.pp_fault_stats)
-          r.Lattol_sim.Mms_des.faults
-      | `Stpn ->
-        let r =
-          Lattol_petri.Mms_stpn.run ~seed ~warmup ~horizon ~faults params
-        in
-        Format.printf "%a@." Measures.pp r.Lattol_petri.Mms_stpn.measures;
+      if engine = `Stpn && (metrics_out <> None || trace_out <> None) then
+        `Error (false, "--metrics-out/--trace-out require --engine des")
+      else begin
+        Format.printf "%a@." Params.pp params;
         if Lattol_robust.Fault_plan.active faults then
-          Format.printf
-            "fault plan applied quasi-statically: S=%g L=%g after degradation@."
-            r.Lattol_petri.Mms_stpn.layout.Lattol_petri.Mms_stpn.params
-              .Params.s_switch
-            r.Lattol_petri.Mms_stpn.layout.Lattol_petri.Mms_stpn.params
-              .Params.l_mem;
-        Format.printf "%a, %d firings@." Lattol_petri.Petri.pp
-          r.Lattol_petri.Mms_stpn.layout.Lattol_petri.Mms_stpn.net
-          r.Lattol_petri.Mms_stpn.stats.Lattol_petri.Simulation.events);
-      `Ok ()
+          Format.printf "fault plan: %a@." Lattol_robust.Fault_plan.pp faults;
+        Format.printf "@.";
+        (match engine with
+        | `Des ->
+          let trace =
+            Option.map (fun _ -> Lattol_obs.Events.create ()) trace_out
+          in
+          let metrics =
+            Option.map (fun _ -> Lattol_obs.Metrics.create ()) metrics_out
+          in
+          let r =
+            Lattol_sim.Mms_des.run
+              ~config:
+                {
+                  Lattol_sim.Mms_des.default_config with
+                  Lattol_sim.Mms_des.horizon;
+                  warmup;
+                  seed;
+                  faults;
+                  trace;
+                  metrics;
+                }
+              params
+          in
+          Format.printf "%a@." Measures.pp r.Lattol_sim.Mms_des.measures;
+          let mean, half = r.Lattol_sim.Mms_des.u_p_ci in
+          Format.printf "U_p 95%% CI: %.4f +- %.4f (%d events, %d remote trips)@."
+            mean half r.Lattol_sim.Mms_des.events
+            r.Lattol_sim.Mms_des.remote_trips;
+          List.iter
+            (Format.printf "%a@." Lattol_sim.Mms_des.pp_fault_stats)
+            r.Lattol_sim.Mms_des.faults;
+          (match (trace, trace_out) with
+          | Some tr, Some file ->
+            write_span_trace tr file;
+            Format.printf "trace: %d spans -> %s%s@." (Lattol_obs.Events.count tr)
+              file
+              (if Lattol_obs.Events.dropped tr = 0 then ""
+               else
+                 Printf.sprintf " (%d dropped)" (Lattol_obs.Events.dropped tr))
+          | _ -> ());
+          (match (metrics, metrics_out) with
+          | Some reg, Some file ->
+            write_metrics reg file;
+            Format.printf "metrics: %d series -> %s@."
+              (Lattol_obs.Metrics.size reg) file
+          | _ -> ())
+        | `Stpn ->
+          let r =
+            Lattol_petri.Mms_stpn.run ~seed ~warmup ~horizon ~faults params
+          in
+          Format.printf "%a@." Measures.pp r.Lattol_petri.Mms_stpn.measures;
+          if Lattol_robust.Fault_plan.active faults then
+            Format.printf
+              "fault plan applied quasi-statically: S=%g L=%g after degradation@."
+              r.Lattol_petri.Mms_stpn.layout.Lattol_petri.Mms_stpn.params
+                .Params.s_switch
+              r.Lattol_petri.Mms_stpn.layout.Lattol_petri.Mms_stpn.params
+                .Params.l_mem;
+          Format.printf "%a, %d firings@." Lattol_petri.Petri.pp
+            r.Lattol_petri.Mms_stpn.layout.Lattol_petri.Mms_stpn.net
+            r.Lattol_petri.Mms_stpn.stats.Lattol_petri.Simulation.events);
+        `Ok ()
+      end
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Simulate the machine (DES or STPN)")
@@ -475,7 +634,96 @@ let simulate_cmd =
       ret
         (const run $ params_term $ engine_arg $ horizon_arg $ warmup_arg
        $ seed_arg $ fault_mtbf_arg $ fault_mttr_arg $ fault_degrade_arg
-       $ fault_target_arg))
+       $ fault_target_arg $ metrics_out_arg $ trace_out_arg span_trace_doc))
+
+(* ------------------------------------------------------------------ *)
+(* profile *)
+
+let profile_cmd =
+  let horizon_arg =
+    Arg.(
+      value & opt float 10_000.
+      & info [ "horizon" ] ~docv:"T" ~doc:"Measured simulation time.")
+  in
+  let warmup_arg =
+    Arg.(
+      value & opt float 1_000.
+      & info [ "warmup" ] ~docv:"T" ~doc:"Warm-up time discarded before measuring.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let run () params solver horizon warmup seed metrics_out trace_out =
+    (* The cross-check defaults to the Linearizer so the empirical-vs-model
+       gap reflects simulation noise, not Bard-Schweitzer approximation
+       error (~3% on U_p at the default configuration). *)
+    let solver = Some (Option.value solver ~default:Mms.Linearizer_amva) in
+    Format.printf "%a@.@." Params.pp params;
+    let trace = Lattol_obs.Events.create () in
+    let metrics =
+      Option.map (fun _ -> Lattol_obs.Metrics.create ()) metrics_out
+    in
+    let config =
+      {
+        Lattol_sim.Mms_des.default_config with
+        Lattol_sim.Mms_des.horizon;
+        warmup;
+        seed;
+        trace = Some trace;
+        metrics;
+      }
+    in
+    let r = Lattol_sim.Mms_des.run ~config params in
+    if Lattol_obs.Events.dropped trace > 0 then
+      Format.printf
+        "warning: span buffer full, %d spans dropped — shorten the horizon \
+         for an exact breakdown@."
+        (Lattol_obs.Events.dropped trace);
+    let profile = Lattol_obs.Latency_profile.of_events trace in
+    let summary =
+      Lattol_obs.Latency_profile.summarize profile
+        ~processors:(Params.num_processors params)
+        ~span_time:horizon
+    in
+    Format.printf "%a@.@." Lattol_obs.Latency_profile.pp_summary summary;
+    Format.printf "%a@.@." Lattol_obs.Latency_profile.pp_vs_model
+      (summary, Mms.solve ?solver params);
+    (if params.Params.p_remote > 0. then begin
+       (* Second run on the paper's ideal (p_remote = 0) machine yields the
+          empirical tolerance index; its CI decides the agreement verdict. *)
+       let ideal_p =
+         Tolerance.ideal_params Tolerance.Network_latency Tolerance.Zero_remote
+           params
+       in
+       let ideal =
+         Lattol_sim.Mms_des.run
+           ~config:
+             { config with Lattol_sim.Mms_des.trace = None; metrics = None }
+           ideal_p
+       in
+       let check =
+         Lattol_obs.Latency_profile.check_tolerance
+           ~u_p:r.Lattol_sim.Mms_des.u_p_ci
+           ~u_p_ideal:ideal.Lattol_sim.Mms_des.u_p_ci
+           ~analytical:(Tolerance.network ?solver params).Tolerance.tol
+       in
+       Format.printf "%a@." Lattol_obs.Latency_profile.pp_tolerance_check check
+     end
+     else
+       Format.printf "network tolerance: trivially 1 (p_remote = 0)@.");
+    Option.iter (write_span_trace trace) trace_out;
+    (match (metrics, metrics_out) with
+    | Some reg, Some file -> write_metrics reg file
+    | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Empirical latency breakdown from the DES, cross-checked against \
+          the analytical model and tolerance prediction")
+    Term.(
+      const run $ verbose_term $ params_term $ solver_term $ horizon_arg
+      $ warmup_arg $ seed_arg $ metrics_out_arg $ trace_out_arg span_trace_doc)
 
 (* ------------------------------------------------------------------ *)
 (* partition *)
@@ -585,7 +833,7 @@ let main_cmd =
     (Cmd.info "mms_cli" ~version:"1.0.0" ~doc)
     [
       solve_cmd; tolerance_cmd; bottleneck_cmd; sweep_cmd; simulate_cmd;
-      partition_cmd; sensitivity_cmd; report_cmd; kernels_cmd;
+      profile_cmd; partition_cmd; sensitivity_cmd; report_cmd; kernels_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -241,11 +241,30 @@ let solve_symmetric ?(tolerance = 1e-10) ?(max_iterations = 100_000)
 let symmetric_applicable p =
   Access.is_translation_invariant (Params.make_access p)
 
+let solver_label = function
+  | Symmetric_amva -> "symmetric"
+  | General_amva -> "amva"
+  | Linearizer_amva -> "linearizer"
+  | Exact_mva -> "exact"
+
 let solve_network ?solver ?tolerance ?max_iterations ?damping ?on_sweep p =
   let solver =
     match solver with
     | Some s -> s
     | None -> if symmetric_applicable p then Symmetric_amva else General_amva
+  in
+  (* Periodic sweep summaries at debug verbosity (-v -v on the CLI),
+     composed with whatever observer the caller installed. *)
+  let on_sweep =
+    Some
+      (fun ~iteration ~residual ->
+        if iteration mod 200 = 0 then
+          Log.debug (fun m ->
+              m "%s sweep %d: residual %.3g" (solver_label solver) iteration
+                residual);
+        match on_sweep with
+        | None -> Amva.Continue
+        | Some f -> f ~iteration ~residual)
   in
   let amva_options =
     {
@@ -258,16 +277,25 @@ let solve_network ?solver ?tolerance ?max_iterations ?damping ?on_sweep p =
       on_sweep;
     }
   in
-  match solver with
-  | Symmetric_amva ->
-    if not (symmetric_applicable p) then
-      invalid_arg
-        "Mms.solve_network: symmetric solver needs a torus with a \
-         translation-invariant access pattern";
-    solve_symmetric ?tolerance ?max_iterations ?damping ?on_sweep p
-  | General_amva -> Amva.solve ~options:amva_options (build_network p)
-  | Linearizer_amva -> Linearizer.solve ~options:amva_options (build_network p)
-  | Exact_mva -> Mva.solve (build_network p)
+  let solution =
+    match solver with
+    | Symmetric_amva ->
+      if not (symmetric_applicable p) then
+        invalid_arg
+          "Mms.solve_network: symmetric solver needs a torus with a \
+           translation-invariant access pattern";
+      solve_symmetric ?tolerance ?max_iterations ?damping ?on_sweep p
+    | General_amva -> Amva.solve ~options:amva_options (build_network p)
+    | Linearizer_amva ->
+      Linearizer.solve ~options:amva_options (build_network p)
+    | Exact_mva -> Mva.solve (build_network p)
+  in
+  Log.debug (fun m ->
+      m "%s solver %s in %d sweeps" (solver_label solver)
+        (if solution.Solution.converged then "converged"
+         else "did not converge")
+        solution.Solution.iterations);
+  solution
 
 let measures_of_solution p solution =
   let n = Params.num_processors p in

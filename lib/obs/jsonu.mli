@@ -1,0 +1,10 @@
+(** Minimal JSON emission helpers shared by the telemetry sinks.  Writing
+    only — the observability layer never parses JSON — so a full parser
+    dependency would be dead weight. *)
+
+val escape : string -> string
+(** JSON string-literal body for [s] (quotes not included). *)
+
+val number : float -> string
+(** JSON-legal rendering of a float: [null] for NaN/infinities (JSON has no
+    non-finite numbers), shortest round-trippable decimal otherwise. *)

@@ -1,0 +1,204 @@
+open Lattol_stats
+
+type component =
+  | Compute
+  | Ready_queue
+  | Switch_queue
+  | Network_transit
+  | Memory_queue
+  | Memory_service
+  | Sync_unit
+  | Network_trip
+  | Other
+
+(* Fixed presentation order; [Network_trip] and [Other] last. *)
+let all_components =
+  [
+    Compute; Ready_queue; Switch_queue; Network_transit; Memory_queue;
+    Memory_service; Sync_unit; Network_trip; Other;
+  ]
+
+let component_index = function
+  | Compute -> 0
+  | Ready_queue -> 1
+  | Switch_queue -> 2
+  | Network_transit -> 3
+  | Memory_queue -> 4
+  | Memory_service -> 5
+  | Sync_unit -> 6
+  | Network_trip -> 7
+  | Other -> 8
+
+let component_name = function
+  | Compute -> "compute"
+  | Ready_queue -> "ready-queue"
+  | Switch_queue -> "switch-queue"
+  | Network_transit -> "network-transit"
+  | Memory_queue -> "memory-queue"
+  | Memory_service -> "memory-service"
+  | Sync_unit -> "sync-unit"
+  | Network_trip -> "network-trip"
+  | Other -> "other"
+
+let component_of_span_name = function
+  | "compute" -> Compute
+  | "ready-queue" -> Ready_queue
+  | "switch-queue" -> Switch_queue
+  | "network-transit" -> Network_transit
+  | "memory-queue" -> Memory_queue
+  | "memory-service" -> Memory_service
+  | "su-queue" | "su-service" -> Sync_unit
+  | "network-trip" -> Network_trip
+  | _ -> Other
+
+type t = Moments.t array (* indexed by component_index *)
+
+let create () = Array.init 9 (fun _ -> Moments.create ())
+
+let add t component dur = Moments.add t.(component_index component) dur
+
+let of_events events =
+  let t = create () in
+  Events.iter events (fun s ->
+      add t (component_of_span_name s.Events.name) s.Events.dur);
+  t
+
+type row = {
+  component : component;
+  total : float;
+  count : int;
+  mean : float;
+  share : float;
+  per_cycle : float;
+}
+
+type summary = {
+  processors : int;
+  span_time : float;
+  cycles : int;
+  u_p : float;
+  lambda : float;
+  s_obs : float;
+  l_obs : float;
+  rows : row list;
+}
+
+let summarize t ~processors ~span_time =
+  if processors < 1 then invalid_arg "Latency_profile.summarize: processors >= 1";
+  if span_time <= 0. then
+    invalid_arg "Latency_profile.summarize: span_time > 0";
+  let total c = Moments.sum t.(component_index c) in
+  let count c = Moments.count t.(component_index c) in
+  (* The share denominator is accounted thread time: every component once,
+     trips excluded (a trip re-counts its switch spans). *)
+  let accounted =
+    List.fold_left
+      (fun acc c -> if c = Network_trip then acc else acc +. total c)
+      0. all_components
+  in
+  let cycles = count Compute in
+  let rows =
+    List.filter_map
+      (fun c ->
+        if c = Network_trip || count c = 0 then None
+        else
+          Some
+            {
+              component = c;
+              total = total c;
+              count = count c;
+              mean = Moments.mean t.(component_index c);
+              share = (if accounted > 0. then total c /. accounted else 0.);
+              per_cycle =
+                (if cycles > 0 then total c /. float_of_int cycles else 0.);
+            })
+      all_components
+  in
+  let mem_accesses = count Memory_service in
+  {
+    processors;
+    span_time;
+    cycles;
+    u_p = total Compute /. (span_time *. float_of_int processors);
+    lambda =
+      float_of_int cycles /. span_time /. float_of_int processors;
+    s_obs =
+      (if count Network_trip = 0 then nan
+       else Moments.mean t.(component_index Network_trip));
+    l_obs =
+      (if mem_accesses = 0 then 0.
+       else
+         (total Memory_queue +. total Memory_service)
+         /. float_of_int mem_accesses);
+    rows;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "@[<v>latency profile: P=%d, window %g, %d activations"
+    s.processors s.span_time s.cycles;
+  Format.fprintf ppf "@,  %-16s %12s %9s %9s %8s %10s" "component" "total"
+    "count" "mean" "share" "per-cycle";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "@,  %-16s %12.1f %9d %9.3f %7.1f%% %10.3f"
+        (component_name r.component)
+        r.total r.count r.mean (100. *. r.share) r.per_cycle)
+    s.rows;
+  Format.fprintf ppf
+    "@,  U_p = %.4f, lambda = %.4f, S_obs = %.3f, L_obs = %.3f" s.u_p s.lambda
+    s.s_obs s.l_obs;
+  Format.fprintf ppf "@]"
+
+let pp_vs_model ppf (s, (m : Lattol_core.Measures.t)) =
+  Format.fprintf ppf "@[<v>measured vs analytical model:";
+  Format.fprintf ppf "@,  %-8s %10s %10s" "" "empirical" "model";
+  let line name a b =
+    Format.fprintf ppf "@,  %-8s %10.4f %10.4f" name a b
+  in
+  line "U_p" s.u_p m.Lattol_core.Measures.u_p;
+  line "lambda" s.lambda m.Lattol_core.Measures.lambda;
+  line "S_obs" s.s_obs m.Lattol_core.Measures.s_obs;
+  line "L_obs" s.l_obs m.Lattol_core.Measures.l_obs;
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Empirical tolerance *)
+
+type tolerance_check = {
+  u_p : float * float;
+  u_p_ideal : float * float;
+  tol : float;
+  tol_half : float;
+  analytical : float;
+  within_ci : bool;
+}
+
+let check_tolerance ~u_p ~u_p_ideal ~analytical =
+  let mean_r, half_r = u_p and mean_i, half_i = u_p_ideal in
+  let tol = if mean_i = 0. then nan else mean_r /. mean_i in
+  let tol_half =
+    if mean_r = 0. || mean_i = 0. then nan
+    else
+      Float.abs tol
+      *. sqrt (((half_r /. mean_r) ** 2.) +. ((half_i /. mean_i) ** 2.))
+  in
+  {
+    u_p;
+    u_p_ideal;
+    tol;
+    tol_half;
+    analytical;
+    within_ci =
+      Float.is_finite tol && Float.is_finite tol_half
+      && Float.abs (tol -. analytical) <= tol_half;
+  }
+
+let pp_tolerance_check ppf c =
+  let mean_r, half_r = c.u_p and mean_i, half_i = c.u_p_ideal in
+  Format.fprintf ppf
+    "@[<v>empirical network tolerance: %.4f +- %.4f@,\
+    \  U_p real  = %.4f +- %.4f@,\
+    \  U_p ideal = %.4f +- %.4f@,\
+     analytical tolerance = %.4f -> within CI: %s@]"
+    c.tol c.tol_half mean_r half_r mean_i half_i c.analytical
+    (if c.within_ci then "yes" else "no")

@@ -1,0 +1,187 @@
+open Lattol_stats
+
+type labels = (string * string) list
+
+type counter = int ref
+
+type gauge = float ref
+
+type twa = {
+  mutable first : float;
+  mutable last_t : float;
+  mutable last_v : float;
+  mutable integral : float;
+  mutable started : bool;
+}
+
+type histogram = Histogram.t
+
+type value =
+  | Counter of counter
+  | Gauge of gauge
+  | Twa of twa
+  | Hist of histogram
+
+type entry = { name : string; labels : labels; help : string; value : value }
+
+type t = {
+  mutable entries : entry list; (* reverse registration order *)
+  index : (string * labels, unit) Hashtbl.t;
+}
+
+let create () = { entries = []; index = Hashtbl.create 64 }
+
+let register t ~name ~labels ~help value =
+  if name = "" then invalid_arg "Metrics: empty metric name";
+  let key = (name, labels) in
+  if Hashtbl.mem t.index key then
+    Format.kasprintf invalid_arg "Metrics: duplicate series %s" name;
+  Hashtbl.add t.index key ();
+  t.entries <- { name; labels; help; value } :: t.entries
+
+let counter t ?(labels = []) ?(help = "") name =
+  let c = ref 0 in
+  register t ~name ~labels ~help (Counter c);
+  c
+
+let incr ?(by = 1) c = c := !c + by
+
+let counter_value c = !c
+
+let gauge t ?(labels = []) ?(help = "") name =
+  let g = ref nan in
+  register t ~name ~labels ~help (Gauge g);
+  g
+
+let set_gauge g v = g := v
+
+let gauge_value g = !g
+
+let time_weighted t ?(labels = []) ?(help = "") name =
+  let w =
+    { first = 0.; last_t = 0.; last_v = 0.; integral = 0.; started = false }
+  in
+  register t ~name ~labels ~help (Twa w);
+  w
+
+let observe_twa w ~now v =
+  if not w.started then begin
+    w.started <- true;
+    w.first <- now
+  end
+  else begin
+    if now < w.last_t then
+      invalid_arg "Metrics.observe_twa: time went backwards";
+    w.integral <- w.integral +. (w.last_v *. (now -. w.last_t))
+  end;
+  w.last_t <- now;
+  w.last_v <- v
+
+let twa_value w =
+  let span = w.last_t -. w.first in
+  if span <= 0. then nan else w.integral /. span
+
+let histogram t ?(labels = []) ?(help = "") ?(lo = 0.) ~hi ~bins name =
+  let h = Histogram.create ~lo ~hi ~bins () in
+  register t ~name ~labels ~help (Hist h);
+  h
+
+let record h v = Histogram.add h v
+
+let histogram_data h = h
+
+let size t = List.length t.entries
+
+let entries t = List.rev t.entries
+
+(* ------------------------------------------------------------------ *)
+(* Sinks *)
+
+let kind_string = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Twa _ -> "twa"
+  | Hist _ -> "histogram"
+
+let json_labels labels =
+  String.concat ","
+    (List.map
+       (fun (k, v) ->
+         Printf.sprintf "\"%s\":\"%s\"" (Jsonu.escape k) (Jsonu.escape v))
+       labels)
+
+let hist_quantile h q =
+  if Histogram.count h = 0 then nan else Histogram.quantile h q
+
+let write_json t oc =
+  output_string oc "{\"metrics\":[\n";
+  let first = ref true in
+  List.iter
+    (fun e ->
+      if not !first then output_string oc ",\n";
+      first := false;
+      Printf.fprintf oc "{\"name\":\"%s\",\"type\":\"%s\",\"labels\":{%s}"
+        (Jsonu.escape e.name) (kind_string e.value) (json_labels e.labels);
+      if e.help <> "" then
+        Printf.fprintf oc ",\"help\":\"%s\"" (Jsonu.escape e.help);
+      (match e.value with
+      | Counter c -> Printf.fprintf oc ",\"value\":%d" !c
+      | Gauge g -> Printf.fprintf oc ",\"value\":%s" (Jsonu.number !g)
+      | Twa w -> Printf.fprintf oc ",\"value\":%s" (Jsonu.number (twa_value w))
+      | Hist h ->
+        Printf.fprintf oc
+          ",\"count\":%d,\"underflow\":%d,\"overflow\":%d,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"counts\":["
+          (Histogram.count h) (Histogram.underflow h) (Histogram.overflow h)
+          (Jsonu.number (hist_quantile h 0.5))
+          (Jsonu.number (hist_quantile h 0.9))
+          (Jsonu.number (hist_quantile h 0.99));
+        for i = 0 to Histogram.bins h - 1 do
+          if i > 0 then output_string oc ",";
+          Printf.fprintf oc "%d" (Histogram.bin_count h i)
+        done;
+        output_string oc "]");
+      output_string oc "}")
+    (entries t);
+  output_string oc "\n]}\n"
+
+let csv_labels labels =
+  String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let csv_number v = if Float.is_nan v then "nan" else Printf.sprintf "%.12g" v
+
+let write_csv t oc =
+  output_string oc "name,labels,type,field,value\n";
+  List.iter
+    (fun e ->
+      let row field value =
+        Printf.fprintf oc "%s,%s,%s,%s,%s\n" e.name (csv_labels e.labels)
+          (kind_string e.value) field value
+      in
+      match e.value with
+      | Counter c -> row "value" (string_of_int !c)
+      | Gauge g -> row "value" (csv_number !g)
+      | Twa w -> row "value" (csv_number (twa_value w))
+      | Hist h ->
+        row "count" (string_of_int (Histogram.count h));
+        row "underflow" (string_of_int (Histogram.underflow h));
+        row "overflow" (string_of_int (Histogram.overflow h));
+        row "p50" (csv_number (hist_quantile h 0.5));
+        row "p90" (csv_number (hist_quantile h 0.9));
+        row "p99" (csv_number (hist_quantile h 0.99)))
+    (entries t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Format.fprintf ppf "@,";
+      let labels =
+        if e.labels = [] then "" else "{" ^ csv_labels e.labels ^ "}"
+      in
+      match e.value with
+      | Counter c -> Format.fprintf ppf "%s%s = %d" e.name labels !c
+      | Gauge g -> Format.fprintf ppf "%s%s = %g" e.name labels !g
+      | Twa w -> Format.fprintf ppf "%s%s = %g (twa)" e.name labels (twa_value w)
+      | Hist h -> Format.fprintf ppf "%s%s = %a" e.name labels Histogram.pp h)
+    (entries t);
+  Format.fprintf ppf "@]"

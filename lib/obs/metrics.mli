@@ -1,0 +1,77 @@
+(** Metrics registry: named, optionally labeled instruments shared by the
+    analytical and simulation stacks.
+
+    Four instrument kinds cover everything the solvers and simulators
+    measure: monotone {e counters} (events processed, accesses issued),
+    point-in-time {e gauges} (utilizations, measures of a finished run),
+    {e time-weighted averages} of piecewise-constant signals (queue
+    lengths), and {!Lattol_stats.Histogram}-backed {e distributions}
+    (latency spreads).
+
+    A metric is identified by its name plus a label set, so one registry
+    holds whole families of series ([station_util{station="mem3"}], one
+    sweep point per label value).  Registration order is preserved by the
+    sinks, which makes the JSON/CSV output deterministic and diffable. *)
+
+type t
+
+val create : unit -> t
+
+type labels = (string * string) list
+(** Label pairs; order is preserved as given. *)
+
+(** {1 Instruments}
+
+    Registering the same (name, labels) pair twice raises
+    [Invalid_argument]: each series has exactly one owner. *)
+
+type counter
+
+val counter : t -> ?labels:labels -> ?help:string -> string -> counter
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : t -> ?labels:labels -> ?help:string -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+type twa
+(** Time-weighted average of a piecewise-constant signal. *)
+
+val time_weighted : t -> ?labels:labels -> ?help:string -> string -> twa
+
+val observe_twa : twa -> now:float -> float -> unit
+(** [observe_twa w ~now v]: the signal takes value [v] from [now] onwards.
+    Observations must be in non-decreasing [now] order. *)
+
+val twa_value : twa -> float
+(** Integral divided by observed span; [nan] before the second
+    observation. *)
+
+type histogram
+
+val histogram :
+  t -> ?labels:labels -> ?help:string -> ?lo:float -> hi:float -> bins:int ->
+  string -> histogram
+
+val record : histogram -> float -> unit
+val histogram_data : histogram -> Lattol_stats.Histogram.t
+
+(** {1 Sinks} *)
+
+val size : t -> int
+(** Number of registered series. *)
+
+val write_json : t -> out_channel -> unit
+(** One JSON object, one series per line inside a ["metrics"] array —
+    line-greppable yet a single valid document.  Histograms carry their
+    bin counts and the 0.5/0.9/0.99 quantiles. *)
+
+val write_csv : t -> out_channel -> unit
+(** Long-form CSV: [name,labels,type,field,value]; scalar instruments emit
+    one row, histograms one row per exported field. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump, one series per line. *)

@@ -131,7 +131,8 @@ let solution_finite solution =
 
 let solve ?solvers ?(dampings = default_dampings) ?(tolerance = 1e-8)
     ?(base_iterations = 2_000) ?time_budget ?(stall_window = 1_000)
-    ?(slack = 0.02) p =
+    ?(slack = 0.02) ?telemetry p =
+  let tel f = Option.iter f telemetry in
   let p = Params.validate_exn p in
   if dampings = [] then invalid_arg "Supervisor.solve: dampings is empty";
   List.iter
@@ -192,12 +193,23 @@ let solve ?solvers ?(dampings = default_dampings) ?(tolerance = 1e-8)
         end
         else begin
           let budget = base_iterations * (1 lsl Int.min index 20) in
+          Log.debug (fun m ->
+              m "rung %d/%d: solver %s, damping %g, budget %d sweeps"
+                (index + 1)
+                (index + 1 + List.length rest)
+                (solver_name solver) damping budget);
+          tel (fun t ->
+              Lattol_obs.Solver_trace.start_attempt t
+                ~label:(Printf.sprintf "rung %d" (index + 1))
+                ~budget
+                ~solver:(solver_name solver) ~damping ());
           let last_residual = ref nan in
           let last_iteration = ref 0 in
           let best_residual = ref infinity in
           let best_iteration = ref 0 in
           let abort = ref None in
           let on_sweep ~iteration ~residual =
+            tel (fun t -> Lattol_obs.Solver_trace.record t ~iteration ~residual);
             last_residual := residual;
             (* Linearizer restarts sweep numbering for each inner core;
                reset the stall tracker when the counter rewinds. *)
@@ -231,6 +243,13 @@ let solve ?solvers ?(dampings = default_dampings) ?(tolerance = 1e-8)
           in
           match outcome with
           | Error reason ->
+            Log.info (fun m ->
+                m "rung %d (%s, damping %g) raised: %s" (index + 1)
+                  (solver_name solver) damping (reason_string reason));
+            tel (fun t ->
+                Lattol_obs.Solver_trace.finish_attempt
+                  ~reason:(reason_string reason) t ~converged:false
+                  ~iterations:0);
             record
               {
                 solver;
@@ -245,6 +264,12 @@ let solve ?solvers ?(dampings = default_dampings) ?(tolerance = 1e-8)
           | Ok solution ->
             let accepted = solution.Solution.converged && solution_finite solution in
             if accepted then begin
+              Log.debug (fun m ->
+                  m "rung %d accepted: %s converged in %d sweeps" (index + 1)
+                    (solver_name solver) solution.Solution.iterations);
+              tel (fun t ->
+                  Lattol_obs.Solver_trace.finish_attempt t ~converged:true
+                    ~iterations:solution.Solution.iterations);
               record
                 {
                   solver;
@@ -287,6 +312,10 @@ let solve ?solvers ?(dampings = default_dampings) ?(tolerance = 1e-8)
               Log.info (fun m ->
                   m "rung %d (%s, damping %g, budget %d) failed: %s" (index + 1)
                     (solver_name solver) damping budget (reason_string reason));
+              tel (fun t ->
+                  Lattol_obs.Solver_trace.finish_attempt
+                    ~reason:(reason_string reason) t ~converged:false
+                    ~iterations:solution.Solution.iterations);
               record
                 {
                   solver;

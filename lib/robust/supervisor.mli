@@ -64,6 +64,7 @@ val solve :
   ?time_budget:float ->
   ?stall_window:int ->
   ?slack:float ->
+  ?telemetry:Lattol_obs.Solver_trace.t ->
   Params.t ->
   (Measures.t * diagnosis, diagnosis) result
 (** Climb the ladder until a solver converges to a finite solution.
@@ -82,6 +83,10 @@ val solve :
       has not improved for this many sweeps.
     - [slack] (default 0.02) is the relative headroom allowed before a
       bound cross-check counts as a violation.
+    - [telemetry] (optional) records every rung as a
+      {!Lattol_obs.Solver_trace} attempt, with the per-sweep residual
+      trajectory sampled through the same [on_sweep] hook the ladder
+      watches.
 
     [Ok (measures, diagnosis)] carries the first accepted solution;
     [Error diagnosis] means every rung failed (the measures of the last

@@ -2,6 +2,8 @@ open Lattol_stats
 open Lattol_topology
 open Lattol_core
 open Lattol_robust
+module Ev = Lattol_obs.Events
+module Metrics = Lattol_obs.Metrics
 
 type service_model = Exponential | Deterministic
 
@@ -15,6 +17,8 @@ type config = {
   switch_model : service_model;
   local_memory_priority : bool;
   faults : Fault_plan.t;
+  trace : Ev.t option;
+  metrics : Metrics.t option;
 }
 
 let default_config =
@@ -28,6 +32,8 @@ let default_config =
     switch_model = Exponential;
     local_memory_priority = false;
     faults = Fault_plan.none;
+    trace = None;
+    metrics = None;
   }
 
 type fault_stats = {
@@ -82,6 +88,9 @@ type state = {
   mem_priority : bool;
   fault_targets :
     (Fault_plan.process * fault_acc * unit Station.t array) list;
+  trace : Ev.t option;
+  metrics : Metrics.t option;
+  trip_hist : Metrics.histogram option; (* trip-time distribution series *)
 }
 
 let build (config : config) p =
@@ -160,6 +169,15 @@ let build (config : config) p =
     measure_start = 0.;
     mem_priority = config.local_memory_priority;
     fault_targets;
+    trace = config.trace;
+    metrics = config.metrics;
+    trip_hist =
+      Option.map
+        (fun m ->
+          Metrics.histogram m ~help:"one-way network trip times" ~lo:0.
+            ~hi:(50. *. Float.max 1. p.Params.s_switch)
+            ~bins:64 "trip_time")
+        config.metrics;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -240,48 +258,98 @@ let fault_report st ~sim_time =
       })
     st.fault_targets
 
+(* Submit work to [station] on behalf of thread [tid] of node [pid],
+   emitting a queue span (when any waiting occurred) and a service span to
+   the tracer.  Spans are attributed to the issuing thread's lane, not the
+   station's, so a thread's Perfetto track reads as the paper's latency
+   decomposition.  Without a tracer this is exactly [Station.submit]. *)
+let tsubmit ?priority ?duration st ~pid ~tid ~queue ~service ~cat station k =
+  match st.trace with
+  | None -> Station.submit ?priority ?duration station () k
+  | Some tr ->
+    let arrived = Engine.now st.engine in
+    let started = ref arrived in
+    Station.submit ?priority ?duration
+      ~on_start:(fun () ->
+        let now = Engine.now st.engine in
+        started := now;
+        if st.measuring && now > arrived then
+          Ev.emit tr ~pid ~cat ~track:tid ~name:queue ~t0:arrived
+            (now -. arrived))
+      station ()
+      (fun () ->
+        (if st.measuring then
+           let now = Engine.now st.engine in
+           Ev.emit tr ~pid ~cat ~track:tid ~name:service ~t0:!started
+             (now -. !started));
+        k ())
+
 (* Walk a message through the inbound switches along [route], then continue. *)
-let rec traverse st route k =
+let rec traverse st ~pid ~tid route k =
   match route with
   | [] -> k ()
   | hop :: rest ->
-    Station.submit st.sw_in.(hop) () (fun () -> traverse st rest k)
+    tsubmit st ~pid ~tid ~queue:"switch-queue" ~service:"network-transit"
+      ~cat:"net" st.sw_in.(hop)
+      (fun () -> traverse st ~pid ~tid rest k)
 
-let record_trip st t0 =
-  if st.measuring then
-    Moments.add st.trip_times (Engine.now st.engine -. t0)
+(* One finished one-way trip: feeds the [s_obs] estimator, the trip-time
+   histogram and — as a span covering the whole trip — the tracer, where
+   it overlays the switch spans it is made of. *)
+let record_trip st ~pid ~tid t0 =
+  if st.measuring then begin
+    let dur = Engine.now st.engine -. t0 in
+    Moments.add st.trip_times dur;
+    Option.iter (fun h -> Metrics.record h dur) st.trip_hist;
+    Option.iter
+      (fun tr ->
+        Ev.emit tr ~pid ~cat:"net" ~track:tid ~name:"network-trip" ~t0 dur)
+      st.trace
+  end
 
 (* Pass through the node's synchronization unit if the machine has one. *)
-let via_su st node k =
+let via_su st ~pid ~tid node k =
   match st.sync_units with
   | None -> k ()
-  | Some sus -> Station.submit sus.(node) () k
+  | Some sus ->
+    tsubmit st ~pid ~tid ~queue:"su-queue" ~service:"su-service" ~cat:"sync"
+      sus.(node) k
 
 (* Perform one memory access from [home] to [dst] and call [k] when the
    response is back at the thread.  Remote accesses are injected at the
    source SU, handled at the destination SU before the memory, and
    completed at the source SU (no-ops without SUs). *)
-let access st home dst k =
+let access st ~tid home dst k =
+  let pid = home in
   if dst = home then
     (* local accesses use the default (highest) priority level *)
-    Station.submit st.mems.(home) () k
+    tsubmit st ~pid ~tid ~queue:"memory-queue" ~service:"memory-service"
+      ~cat:"mem" st.mems.(home) k
   else begin
     if st.measuring then st.remote_issued <- st.remote_issued + 1;
-    via_su st home (fun () ->
+    via_su st ~pid ~tid home (fun () ->
         let t0 = Engine.now st.engine in
-        Station.submit st.sw_out.(home) () (fun () ->
-            traverse st (Topology.route st.topo ~src:home ~dst) (fun () ->
-                record_trip st t0;
-                via_su st dst (fun () ->
+        tsubmit st ~pid ~tid ~queue:"switch-queue" ~service:"network-transit"
+          ~cat:"net" st.sw_out.(home)
+          (fun () ->
+            traverse st ~pid ~tid (Topology.route st.topo ~src:home ~dst)
+              (fun () ->
+                record_trip st ~pid ~tid t0;
+                via_su st ~pid ~tid dst (fun () ->
                     let priority = if st.mem_priority then 1 else 0 in
-                    Station.submit ~priority st.mems.(dst) () (fun () ->
+                    tsubmit ~priority st ~pid ~tid ~queue:"memory-queue"
+                      ~service:"memory-service" ~cat:"mem" st.mems.(dst)
+                      (fun () ->
                         let t1 = Engine.now st.engine in
-                        Station.submit st.sw_out.(dst) () (fun () ->
-                            traverse st
+                        tsubmit st ~pid ~tid ~queue:"switch-queue"
+                          ~service:"network-transit" ~cat:"net"
+                          st.sw_out.(dst)
+                          (fun () ->
+                            traverse st ~pid ~tid
                               (Topology.route st.topo ~src:dst ~dst:home)
                               (fun () ->
-                                record_trip st t1;
-                                via_su st home k)))))))
+                                record_trip st ~pid ~tid t1;
+                                via_su st ~pid ~tid home k)))))))
   end
 
 let finish_step st =
@@ -289,22 +357,33 @@ let finish_step st =
 
 (* Statistical thread: exponential compute drawn by the processor station,
    destination sampled from the access matrix. *)
-let rec thread_cycle st home =
-  Station.submit st.procs.(home) () (fun () ->
+let rec thread_cycle st home tid =
+  tsubmit st ~pid:home ~tid ~queue:"ready-queue" ~service:"compute"
+    ~cat:"proc" st.procs.(home)
+    (fun () ->
       let dst = Variate.discrete st.rng st.probs.(home) in
-      access st home dst (fun () ->
+      access st ~tid home dst (fun () ->
           finish_step st;
-          thread_cycle st home))
+          thread_cycle st home tid))
 
 (* Scripted thread: compute times and targets replayed cyclically from a
    trace. *)
-let rec trace_cycle st home script pos =
+let rec trace_cycle st home tid script pos =
   let step = script.(!pos) in
   pos := (!pos + 1) mod Array.length script;
-  Station.submit ~duration:step.Trace.compute st.procs.(home) () (fun () ->
-      access st home step.Trace.target (fun () ->
+  tsubmit ~duration:step.Trace.compute st ~pid:home ~tid ~queue:"ready-queue"
+    ~service:"compute" ~cat:"proc" st.procs.(home)
+    (fun () ->
+      access st ~tid home step.Trace.target (fun () ->
           finish_step st;
-          trace_cycle st home script pos))
+          trace_cycle st home tid script pos))
+
+let name_thread st home tid =
+  Option.iter
+    (fun tr ->
+      if tid = 0 then Ev.name_process tr home (Printf.sprintf "node%d" home);
+      Ev.name_track tr ~pid:home tid (Printf.sprintf "thread%d" tid))
+    st.trace
 
 let total_proc_busy st =
   Array.fold_left (fun acc s -> acc +. Station.utilization s) 0. st.procs
@@ -322,8 +401,9 @@ let start ?launch config p =
   | Some f -> f st
   | None ->
     for home = 0 to n - 1 do
-      for _ = 1 to p.Params.n_t do
-        thread_cycle st home
+      for tid = 0 to p.Params.n_t - 1 do
+        name_thread st home tid;
+        thread_cycle st home tid
       done
     done);
   Engine.run ~until:config.warmup st.engine;
@@ -432,6 +512,43 @@ and collect st p ~sim_time ~lambda_batches ~u_p_batches =
       converged = true;
     }
   in
+  (match st.metrics with
+  | None -> ()
+  | Some reg ->
+    let gauge ?labels ?help name v =
+      Metrics.set_gauge (Metrics.gauge reg ?labels ?help name) v
+    in
+    let count ?help name v = Metrics.incr ~by:v (Metrics.counter reg ?help name) in
+    gauge ~help:"processor utilization" "u_p" measures.Measures.u_p;
+    gauge ~help:"thread activations per processor per time" "lambda"
+      measures.Measures.lambda;
+    gauge ~help:"remote access rate per processor" "lambda_net"
+      measures.Measures.lambda_net;
+    gauge ~help:"observed one-way network latency" "s_obs"
+      measures.Measures.s_obs;
+    gauge ~help:"observed memory residence time" "l_obs"
+      measures.Measures.l_obs;
+    gauge ~help:"measured horizon" "sim_time" sim_time;
+    count ~help:"thread activations completed" "completions" st.completions;
+    count ~help:"remote accesses issued" "remote_accesses" st.remote_issued;
+    count ~help:"simulation events processed" "engine_events"
+      (Engine.events_processed st.engine);
+    let station_family stations =
+      Array.iter
+        (fun s ->
+          let labels = [ ("station", Station.name s) ] in
+          gauge ~labels ~help:"station utilization" "station_util"
+            (Station.utilization s);
+          gauge ~labels ~help:"time-averaged station queue length"
+            "station_queue"
+            (Station.mean_queue_length s))
+        stations
+    in
+    station_family st.procs;
+    station_family st.mems;
+    station_family st.sw_in;
+    station_family st.sw_out;
+    Option.iter station_family st.sync_units);
   let ci m =
     match Lattol_stats.Confidence.interval m with
     | Some (mean, half) -> (mean, half)
@@ -501,7 +618,9 @@ let run_trace ?(config = default_config) ~base trace =
   let launch st =
     for home = 0 to n - 1 do
       for th = 0 to Trace.threads_at trace ~node:home - 1 do
-        trace_cycle st home (Trace.script trace ~node:home ~thread:th) (ref 0)
+        name_thread st home th;
+        trace_cycle st home th (Trace.script trace ~node:home ~thread:th)
+          (ref 0)
       done
     done
   in

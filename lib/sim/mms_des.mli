@@ -36,6 +36,18 @@ type config = {
           duration (non-preemptive, so a service in progress completes
           first); partial degradation slows the station by the [degrade]
           factor.  Default {!Lattol_robust.Fault_plan.none}. *)
+  trace : Lattol_obs.Events.t option;
+      (** span tracer: when set, every measured thread activity — compute
+          bursts, queueing at each station, switch hops, memory service,
+          whole one-way network trips — is emitted as a span on the
+          thread's lane (pid = node, track = thread).  Warm-up activity is
+          not traced.  Default [None]. *)
+  metrics : Lattol_obs.Metrics.t option;
+      (** metrics registry: when set, the run registers its headline
+          measures as gauges, per-station utilization / queue-length series
+          (labeled by station name), completion / event counters and a
+          trip-time histogram.  Use a fresh registry per run — series
+          names would otherwise collide.  Default [None]. *)
 }
 
 val default_config : config

@@ -1,5 +1,6 @@
 open Lattol_stats
 open Lattol_queueing
+module Ev = Lattol_obs.Events
 
 type result = {
   solution : Solution.t;
@@ -20,6 +21,7 @@ type state = {
   last : float array array;
   completions : int array array;
   mutable measuring : bool;
+  trace : Ev.t option; (* spans: pid = class, track = customer *)
 }
 
 let note st c m =
@@ -42,26 +44,53 @@ let next_station st c =
   in
   go 0 0.
 
-let rec visit st c m =
+(* Emit a span on customer [cust]'s lane of class [c]; suppressed during
+   warm-up and without a tracer. *)
+let span st ~c ~cust ~name ~cat ~t0 dur =
+  match st.trace with
+  | Some tr when st.measuring ->
+    Ev.emit tr ~pid:c ~cat ~track:cust ~name ~t0 dur
+  | Some _ | None -> ()
+
+let rec visit st c cust m =
   note st c m;
   st.occupancy.(c).(m) <- st.occupancy.(c).(m) + 1;
   let mean = Network.service_time st.network ~cls:c ~station:m in
+  let sname = Network.station_name st.network m in
   let finish () =
     note st c m;
     st.occupancy.(c).(m) <- st.occupancy.(c).(m) - 1;
     if st.measuring then
       st.completions.(c).(m) <- st.completions.(c).(m) + 1;
-    visit st c (next_station st c)
+    visit st c cust (next_station st c)
   in
   match st.stations.(m) with
   | None ->
     (* Delay station: every customer progresses independently. *)
-    Engine.schedule st.engine ~delay:(Variate.exponential st.rng ~mean) finish
+    let delay = Variate.exponential st.rng ~mean in
+    let t0 = Engine.now st.engine in
+    Engine.schedule st.engine ~delay (fun () ->
+        span st ~c ~cust ~name:sname ~cat:"delay" ~t0 delay;
+        finish ())
   | Some station ->
     let duration = Variate.exponential st.rng ~mean in
-    Station.submit ~duration station () (fun () -> finish ())
+    let arrived = Engine.now st.engine in
+    let started = ref arrived in
+    Station.submit ~duration
+      ~on_start:(fun () ->
+        let now = Engine.now st.engine in
+        started := now;
+        if now > arrived then
+          span st ~c ~cust ~name:(sname ^ ":queue") ~cat:"queue" ~t0:arrived
+            (now -. arrived))
+      station ()
+      (fun () ->
+        let now = Engine.now st.engine in
+        span st ~c ~cust ~name:sname ~cat:"service" ~t0:!started
+          (now -. !started);
+        finish ())
 
-let run ?(seed = 1) ?(warmup = 1_000.) ?(horizon = 100_000.) network =
+let run ?(seed = 1) ?(warmup = 1_000.) ?(horizon = 100_000.) ?trace network =
   if warmup < 0. || horizon <= 0. then
     invalid_arg "Network_sim.run: warmup >= 0 and horizon > 0";
   let num_cls = Network.num_classes network in
@@ -103,11 +132,19 @@ let run ?(seed = 1) ?(warmup = 1_000.) ?(horizon = 100_000.) network =
       last = Array.make_matrix num_cls num_st 0.;
       completions = Array.make_matrix num_cls num_st 0;
       measuring = false;
+      trace;
     }
   in
   for c = 0 to num_cls - 1 do
-    for _ = 1 to Network.population network c do
-      visit st c (next_station st c)
+    Option.iter
+      (fun tr -> Ev.name_process tr c (Printf.sprintf "class%d" c))
+      trace;
+    for cust = 0 to Network.population network c - 1 do
+      Option.iter
+        (fun tr ->
+          Ev.name_track tr ~pid:c cust (Printf.sprintf "customer%d" cust))
+        trace;
+      visit st c cust (next_station st c)
     done
   done;
   Engine.run ~until:warmup engine;

@@ -4,6 +4,7 @@ type 'a job = {
   payload : 'a;
   arrived : float;
   duration : float option; (* per-job override of the service distribution *)
+  on_start : (unit -> unit) option; (* fires when service begins *)
   on_complete : 'a -> unit;
 }
 
@@ -95,6 +96,7 @@ let rec start_service t =
         | Some d -> d
         | None -> Variate.draw t.service t.rng
       in
+      (match job.on_start with Some f -> f () | None -> ());
       (* [work] is nominal service demand; a degraded station (speed < 1)
          stretches it.  Jobs already in service keep the speed they started
          with (non-preemptive degradation). *)
@@ -111,14 +113,14 @@ and complete t job =
   start_service t;
   job.on_complete job.payload
 
-let submit ?(priority = 0) ?duration t payload on_complete =
+let submit ?(priority = 0) ?duration ?on_start t payload on_complete =
   (match duration with
   | Some d when d < 0. -> invalid_arg "Station.submit: negative duration"
   | Some _ | None -> ());
   note_queue_change t;
   let level = max 0 (min priority (Array.length t.queues - 1)) in
   Queue.add
-    { payload; arrived = Engine.now t.engine; duration; on_complete }
+    { payload; arrived = Engine.now t.engine; duration; on_start; on_complete }
     t.queues.(level);
   start_service t
 

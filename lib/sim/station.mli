@@ -19,13 +19,17 @@ val create :
 
 val name : 'a t -> string
 
-val submit : ?priority:int -> ?duration:float -> 'a t -> 'a -> ('a -> unit) -> unit
+val submit :
+  ?priority:int -> ?duration:float -> ?on_start:(unit -> unit) -> 'a t ->
+  'a -> ('a -> unit) -> unit
 (** Enqueue a job; the callback fires at its service completion (current
     engine time).  [priority] (default 0, clamped to the configured
     levels) selects the priority class; service order is FCFS within a
     class, non-preemptive across classes.  [duration] overrides the
     station's service distribution for this job (trace-driven workloads
-    carry their own per-step times). *)
+    carry their own per-step times).  [on_start] fires at the instant the
+    job's service begins — the telemetry layer uses it to split residence
+    into queueing and service spans. *)
 
 val queue_length : 'a t -> int
 (** Jobs currently present (waiting + in service). *)

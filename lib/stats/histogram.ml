@@ -30,6 +30,8 @@ let add t x =
 
 let count t = t.underflow + t.overflow + Array.fold_left ( + ) 0 t.counts
 
+let bins t = Array.length t.counts
+
 let bin_count t i = t.counts.(i)
 
 let underflow t = t.underflow
@@ -46,21 +48,28 @@ let quantile t q =
   if n = 0 then nan
   else begin
     let target = q *. float_of_int n in
-    let rec go i acc =
-      if i >= Array.length t.counts then t.hi
-      else
-        let acc' = acc +. float_of_int t.counts.(i) in
-        if acc' >= target then begin
-          let lo, _ = bin_bounds t i in
-          let frac =
-            if t.counts.(i) = 0 then 0.
-            else (target -. acc) /. float_of_int t.counts.(i)
-          in
-          lo +. (frac *. t.width)
-        end
-        else go (i + 1) acc'
-    in
-    go 0 (float_of_int t.underflow)
+    (* Quantiles inside the underflow mass sit below every bin: attribute
+       them to the bottom edge (mirroring the overflow-to-top-edge rule)
+       instead of extrapolating past [lo]. *)
+    if float_of_int t.underflow >= target then t.lo
+    else begin
+      let rec go i acc =
+        if i >= Array.length t.counts then t.hi
+        else
+          let acc' = acc +. float_of_int t.counts.(i) in
+          (* Only a populated bin can own a quantile; empty bins carry no
+             mass, so a boundary quantile belongs to the next populated
+             bin's lower edge. *)
+          if acc' >= target && t.counts.(i) > 0 then begin
+            let lo, _ = bin_bounds t i in
+            let frac = (target -. acc) /. float_of_int t.counts.(i) in
+            let frac = Float.max 0. (Float.min 1. frac) in
+            lo +. (frac *. t.width)
+          end
+          else go (i + 1) acc'
+      in
+      go 0 (float_of_int t.underflow)
+    end
   end
 
 let pp ppf t =

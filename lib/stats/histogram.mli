@@ -13,6 +13,9 @@ val add : t -> float -> unit
 val count : t -> int
 (** Total observations, including under/overflow. *)
 
+val bins : t -> int
+(** Number of bins. *)
+
 val bin_count : t -> int -> int
 (** Count in bin [i] (0-based). *)
 
@@ -25,8 +28,10 @@ val bin_bounds : t -> int -> float * float
 
 val quantile : t -> float -> float
 (** [quantile t q] approximates the [q]-quantile (0 < q < 1) by linear
-    interpolation within the owning bin.  Overflow mass is attributed to the
-    top edge. *)
+    interpolation within the owning (populated) bin.  Mass outside the
+    range is attributed to the nearest edge: overflow to [hi], underflow
+    to [lo]; a quantile landing exactly on a bin boundary returns the
+    boundary value. *)
 
 val pp : Format.formatter -> t -> unit
 (** Compact textual sparkline of the bin populations. *)

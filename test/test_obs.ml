@@ -1,0 +1,391 @@
+(* Telemetry layer: metrics registry, span tracer, solver telemetry and the
+   latency-breakdown profiler, including the DES cross-checks. *)
+
+open Lattol_obs
+open Lattol_core
+open Lattol_sim
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let close ~eps name expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %g, got %g" name expected actual
+
+let read_file file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_temp_file f =
+  let file = Filename.temp_file "lattol_obs" ".out" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) (fun () -> f file)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_instruments () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "events" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+  let g = Metrics.gauge reg "u_p" in
+  Metrics.set_gauge g 0.25;
+  Metrics.set_gauge g 0.75;
+  check_float "gauge keeps last" 0.75 (Metrics.gauge_value g);
+  let h = Metrics.histogram reg ~hi:10. ~bins:10 "lat" in
+  List.iter (Metrics.record h) [ 0.5; 1.5; 2.5 ];
+  Alcotest.(check int) "histogram count" 3
+    (Lattol_stats.Histogram.count (Metrics.histogram_data h));
+  Alcotest.(check int) "size" 3 (Metrics.size reg)
+
+let test_metrics_twa () =
+  let reg = Metrics.create () in
+  let w = Metrics.time_weighted reg "queue" in
+  Alcotest.(check bool) "nan before data" true
+    (Float.is_nan (Metrics.twa_value w));
+  Metrics.observe_twa w ~now:0. 2.;
+  Metrics.observe_twa w ~now:10. 4.;
+  check_float "constant so far" 2. (Metrics.twa_value w);
+  Metrics.observe_twa w ~now:20. 0.;
+  check_float "time-weighted" 3. (Metrics.twa_value w);
+  Alcotest.(check bool) "time going backwards rejected" true
+    (try
+       Metrics.observe_twa w ~now:5. 1.;
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_duplicate_rejected () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg ~labels:[ ("station", "mem0") ] "util");
+  (* same name, different labels: a distinct series, accepted *)
+  ignore (Metrics.counter reg ~labels:[ ("station", "mem1") ] "util");
+  Alcotest.(check bool) "exact duplicate rejected" true
+    (try
+       ignore (Metrics.counter reg ~labels:[ ("station", "mem0") ] "util");
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_sinks () =
+  let reg = Metrics.create () in
+  Metrics.set_gauge (Metrics.gauge reg "u_p") 0.5;
+  Metrics.incr ~by:7 (Metrics.counter reg ~labels:[ ("node", "3") ] "hits");
+  let h = Metrics.histogram reg ~hi:4. ~bins:4 "lat" in
+  List.iter (Metrics.record h) [ 0.5; 1.5; 2.5; 9. ];
+  with_temp_file (fun file ->
+      let oc = open_out file in
+      Metrics.write_json reg oc;
+      close_out oc;
+      let json = read_file file in
+      Alcotest.(check bool) "json document" true
+        (String.length json > 0 && json.[0] = '{');
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) needle true (contains ~needle json))
+        [
+          "\"name\":\"u_p\"";
+          "\"value\":0.5";
+          "\"labels\":{\"node\":\"3\"}";
+          "\"value\":7";
+          "\"type\":\"histogram\"";
+          "\"overflow\":1";
+        ]);
+  with_temp_file (fun file ->
+      let oc = open_out file in
+      Metrics.write_csv reg oc;
+      close_out oc;
+      let csv = read_file file in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) needle true (contains ~needle csv))
+        [
+          "name,labels,type,field,value";
+          "u_p,,gauge,value,0.5";
+          "hits,node=3,counter,value,7";
+          "lat,,histogram,count,4";
+        ])
+
+(* ------------------------------------------------------------------ *)
+(* Events *)
+
+let test_events_capacity () =
+  let t = Events.create ~capacity:2 () in
+  for i = 0 to 4 do
+    Events.emit t ~track:0 ~name:"compute" ~t0:(float_of_int i) 1.
+  done;
+  Alcotest.(check int) "buffered" 2 (Events.count t);
+  Alcotest.(check int) "dropped" 3 (Events.dropped t);
+  let seen = ref 0 in
+  Events.iter t (fun s ->
+      incr seen;
+      Alcotest.(check string) "name" "compute" s.Events.name);
+  Alcotest.(check int) "iter covers buffer" 2 !seen
+
+let test_events_chrome_format () =
+  let t = Events.create () in
+  Events.name_process t 0 "node0";
+  Events.name_track t ~pid:0 1 "thread1";
+  Events.emit t ~pid:0 ~cat:"proc" ~track:1 ~name:"compute" ~t0:2.5 1.5;
+  with_temp_file (fun file ->
+      let oc = open_out file in
+      Events.write_chrome t oc;
+      close_out oc;
+      let json = read_file file in
+      Alcotest.(check bool) "header" true
+        (String.length json > 16 && String.sub json 0 16 = "{\"traceEvents\":[");
+      Alcotest.(check bool) "footer" true
+        (contains ~needle:"],\"displayTimeUnit\":\"ms\"}" json);
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) needle true (contains ~needle json))
+        [
+          "\"ph\":\"M\"";
+          "\"name\":\"process_name\"";
+          "\"ph\":\"X\"";
+          "\"ts\":2.5";
+          "\"dur\":1.5";
+        ])
+
+(* ------------------------------------------------------------------ *)
+(* Solver trace *)
+
+let test_solver_trace_supervised_converged () =
+  let tel = Solver_trace.create () in
+  (match Lattol_robust.Supervisor.solve ~telemetry:tel Params.default with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "default config should converge");
+  match Solver_trace.attempts tel with
+  | [ a ] ->
+    Alcotest.(check string) "solver" "symmetric" a.Solver_trace.solver;
+    Alcotest.(check bool) "converged" true a.Solver_trace.converged;
+    Alcotest.(check bool) "residuals recorded" true
+      (a.Solver_trace.samples <> []);
+    Alcotest.(check bool) "iterations recorded" true
+      (a.Solver_trace.iterations > 0);
+    (* residual trajectory eventually decreases *)
+    let residuals =
+      List.map (fun s -> s.Solver_trace.residual) a.Solver_trace.samples
+    in
+    Alcotest.(check bool) "trajectory shrinks" true
+      (List.nth residuals (List.length residuals - 1) < List.hd residuals)
+  | l -> Alcotest.failf "expected 1 attempt, got %d" (List.length l)
+
+let test_solver_trace_escalation () =
+  let tel = Solver_trace.create () in
+  (* A 2-sweep budget cannot converge: the single rung fails and the
+     ladder exhausts. *)
+  (match
+     Lattol_robust.Supervisor.solve ~solvers:[ Mms.General_amva ]
+       ~dampings:[ 0. ] ~base_iterations:2 ~telemetry:tel Params.default
+   with
+  | Ok _ -> Alcotest.fail "2-sweep budget should fail"
+  | Error _ -> ());
+  match Solver_trace.attempts tel with
+  | [ a ] ->
+    Alcotest.(check bool) "not converged" false a.Solver_trace.converged;
+    Alcotest.(check (option string)) "reason" (Some "iteration cap")
+      a.Solver_trace.reason;
+    Alcotest.(check int) "budget" 2 a.Solver_trace.budget
+  | l -> Alcotest.failf "expected 1 attempt, got %d" (List.length l)
+
+let test_solver_trace_direct_api () =
+  let tel = Solver_trace.create ~sample_capacity:2 () in
+  Solver_trace.start_attempt tel ~solver:"amva" ~damping:0.5 ();
+  Solver_trace.record tel ~iteration:1 ~residual:1.0;
+  Solver_trace.record tel ~iteration:2 ~residual:0.5;
+  Solver_trace.record tel ~iteration:3 ~residual:0.25;
+  (* a second start closes the dangling first attempt *)
+  Solver_trace.start_attempt tel ~solver:"linearizer" ~damping:0.9 ();
+  Solver_trace.finish_attempt tel ~converged:true ~iterations:4;
+  (match Solver_trace.attempts tel with
+  | [ a; b ] ->
+    Alcotest.(check (option string)) "superseded" (Some "superseded")
+      a.Solver_trace.reason;
+    Alcotest.(check int) "cap kept 2 samples" 2
+      (List.length a.Solver_trace.samples);
+    Alcotest.(check int) "1 dropped" 1 a.Solver_trace.dropped;
+    Alcotest.(check bool) "second converged" true b.Solver_trace.converged
+  | l -> Alcotest.failf "expected 2 attempts, got %d" (List.length l));
+  with_temp_file (fun file ->
+      let oc = open_out file in
+      Solver_trace.write_csv tel oc;
+      close_out oc;
+      let csv = read_file file in
+      Alcotest.(check bool) "csv has samples" true
+        (contains ~needle:"1,,amva,0.5,1,1" csv))
+
+(* ------------------------------------------------------------------ *)
+(* Latency profile *)
+
+let test_profile_summary_math () =
+  let t = Events.create () in
+  let e name t0 dur = Events.emit t ~track:0 ~name ~t0 dur in
+  e "compute" 0. 4.;
+  e "memory-queue" 4. 1.;
+  e "memory-service" 5. 2.;
+  e "compute" 7. 4.;
+  e "switch-queue" 11. 1.;
+  e "network-transit" 12. 2.;
+  e "network-trip" 11. 3.;
+  let summary =
+    Latency_profile.summarize
+      (Latency_profile.of_events t)
+      ~processors:1 ~span_time:20.
+  in
+  Alcotest.(check int) "cycles" 2 summary.Latency_profile.cycles;
+  check_float "u_p" 0.4 summary.Latency_profile.u_p;
+  check_float "lambda" 0.1 summary.Latency_profile.lambda;
+  check_float "s_obs" 3. summary.Latency_profile.s_obs;
+  check_float "l_obs" 3. summary.Latency_profile.l_obs;
+  (* shares: denominator excludes the trip span (it re-counts switches) *)
+  let row c =
+    List.find
+      (fun r -> r.Latency_profile.component = c)
+      summary.Latency_profile.rows
+  in
+  check_float "compute share" (8. /. 14.)
+    (row Latency_profile.Compute).Latency_profile.share;
+  check_float "transit share" (2. /. 14.)
+    (row Latency_profile.Network_transit).Latency_profile.share;
+  Alcotest.(check bool) "trip not a row" true
+    (not
+       (List.exists
+          (fun r -> r.Latency_profile.component = Latency_profile.Network_trip)
+          summary.Latency_profile.rows))
+
+let test_profile_tolerance_check () =
+  let check =
+    Latency_profile.check_tolerance ~u_p:(0.8, 0.05) ~u_p_ideal:(1.0, 0.05)
+      ~analytical:0.85
+  in
+  check_float "tol" 0.8 check.Latency_profile.tol;
+  close ~eps:1e-3 "error propagation" 0.064 check.Latency_profile.tol_half;
+  Alcotest.(check bool) "within" true check.Latency_profile.within_ci;
+  let check =
+    Latency_profile.check_tolerance ~u_p:(0.8, 0.05) ~u_p_ideal:(1.0, 0.05)
+      ~analytical:0.9
+  in
+  Alcotest.(check bool) "outside" false check.Latency_profile.within_ci
+
+let test_profile_from_des_matches_measures () =
+  let p = { Params.default with Params.k = 2; n_t = 2 } in
+  let trace = Events.create () in
+  let horizon = 10_000. in
+  let cfg =
+    { Mms_des.default_config with Mms_des.horizon; trace = Some trace }
+  in
+  let r = Mms_des.run ~config:cfg p in
+  Alcotest.(check int) "no spans dropped" 0 (Events.dropped trace);
+  let summary =
+    Latency_profile.summarize
+      (Latency_profile.of_events trace)
+      ~processors:(Params.num_processors p)
+      ~span_time:horizon
+  in
+  let m = r.Mms_des.measures in
+  (* The span-derived breakdown reproduces the simulator's own estimates:
+     S_obs exactly (same samples), U_p and lambda up to window-edge
+     effects. *)
+  close ~eps:1e-9 "s_obs identical" m.Measures.s_obs
+    summary.Latency_profile.s_obs;
+  close ~eps:0.05 "u_p" m.Measures.u_p summary.Latency_profile.u_p;
+  close ~eps:0.05 "lambda" m.Measures.lambda summary.Latency_profile.lambda;
+  close ~eps:0.2 "l_obs" m.Measures.l_obs summary.Latency_profile.l_obs
+
+let test_des_metrics_registry () =
+  let p = { Params.default with Params.k = 2; n_t = 2 } in
+  let reg = Metrics.create () in
+  let cfg =
+    {
+      Mms_des.default_config with
+      Mms_des.horizon = 2_000.;
+      metrics = Some reg;
+    }
+  in
+  ignore (Mms_des.run ~config:cfg p);
+  (* headline gauges + counters + trip histogram + per-station families
+     (4 nodes x 4 station kinds x 2 series) *)
+  Alcotest.(check bool) "registry populated" true (Metrics.size reg > 30);
+  with_temp_file (fun file ->
+      let oc = open_out file in
+      Metrics.write_json reg oc;
+      close_out oc;
+      let json = read_file file in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) needle true (contains ~needle json))
+        [
+          "\"name\":\"u_p\"";
+          "\"name\":\"trip_time\"";
+          "\"station\":\"mem0\"";
+          "\"name\":\"station_queue\"";
+        ])
+
+let test_network_sim_trace () =
+  let nw =
+    Lattol_queueing.Network.make
+      ~stations:
+        [|
+          ("cpu", Lattol_queueing.Network.Queueing);
+          ("think", Lattol_queueing.Network.Delay);
+        |]
+      ~classes:
+        [|
+          {
+            Lattol_queueing.Network.class_name = "jobs";
+            population = 3;
+            visits = [| 1.; 1. |];
+            service = [| 0.5; 2. |];
+          };
+        |]
+  in
+  let trace = Events.create () in
+  ignore (Network_sim.run ~warmup:50. ~horizon:500. ~trace nw);
+  Alcotest.(check bool) "spans recorded" true (Events.count trace > 0);
+  let names = Hashtbl.create 8 in
+  Events.iter trace (fun s -> Hashtbl.replace names s.Events.name ());
+  Alcotest.(check bool) "cpu service spans" true (Hashtbl.mem names "cpu");
+  Alcotest.(check bool) "delay spans" true (Hashtbl.mem names "think")
+
+let () =
+  Alcotest.run "lattol_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "instruments" `Quick test_metrics_instruments;
+          Alcotest.test_case "time-weighted average" `Quick test_metrics_twa;
+          Alcotest.test_case "duplicate rejected" `Quick
+            test_metrics_duplicate_rejected;
+          Alcotest.test_case "sinks" `Quick test_metrics_sinks;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "capacity" `Quick test_events_capacity;
+          Alcotest.test_case "chrome format" `Quick test_events_chrome_format;
+        ] );
+      ( "solver-trace",
+        [
+          Alcotest.test_case "supervised converged" `Quick
+            test_solver_trace_supervised_converged;
+          Alcotest.test_case "escalation recorded" `Quick
+            test_solver_trace_escalation;
+          Alcotest.test_case "direct api" `Quick test_solver_trace_direct_api;
+        ] );
+      ( "latency-profile",
+        [
+          Alcotest.test_case "summary math" `Quick test_profile_summary_math;
+          Alcotest.test_case "tolerance check" `Quick
+            test_profile_tolerance_check;
+          Alcotest.test_case "matches DES measures" `Slow
+            test_profile_from_des_matches_measures;
+          Alcotest.test_case "DES metrics registry" `Quick
+            test_des_metrics_registry;
+          Alcotest.test_case "network-sim trace" `Quick test_network_sim_trace;
+        ] );
+    ]

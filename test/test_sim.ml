@@ -573,6 +573,26 @@ let test_trace_matches_workload_matrix () =
       fr
   done
 
+let test_grid_trace_matches_workload_matrix () =
+  (* Same invariant for the 2-D grid generator: scripted access fractions
+     reproduce Workload.Grid's analytical matrix, per node. *)
+  let base = { Params.default with Params.n_t = 2 } in
+  let grid =
+    { Workload.Grid.rows = 16; cols = 16; decomposition = Workload.Grid.Blocks;
+      stencil = [ (-1, 0); (0, 0); (1, 0); (0, -1); (0, 1) ];
+      work_per_access = 2. }
+  in
+  let trace = Trace.of_grid ~base grid in
+  let m = Workload.Grid.access_matrix grid ~base in
+  for node = 0 to 15 do
+    let fr = Trace.access_fractions trace ~node in
+    Array.iteri
+      (fun j v ->
+        if abs_float (v -. m.(node).(j)) > 1e-12 then
+          Alcotest.failf "node %d target %d: %g vs %g" node j v m.(node).(j))
+      fr
+  done
+
 let test_trace_structure () =
   let base = { Params.default with Params.n_t = 4 } in
   let trace = Trace.of_loop ~base cyclic_loop in
@@ -766,6 +786,8 @@ let () =
         [
           Alcotest.test_case "fractions match matrix" `Quick
             test_trace_matches_workload_matrix;
+          Alcotest.test_case "grid fractions match matrix" `Quick
+            test_grid_trace_matches_workload_matrix;
           Alcotest.test_case "structure" `Quick test_trace_structure;
           Alcotest.test_case "validation" `Quick test_trace_validation;
           Alcotest.test_case "replay near model" `Slow

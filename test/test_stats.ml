@@ -325,6 +325,59 @@ let test_histogram_quantile () =
   close ~eps:1. "median ~ 50" 50. (Histogram.quantile h 0.5);
   close ~eps:1.5 "p90 ~ 90" 90. (Histogram.quantile h 0.9)
 
+let test_histogram_quantile_edges () =
+  (* All mass in overflow: every quantile saturates at the top edge. *)
+  let h = Histogram.create ~hi:10. ~bins:10 () in
+  List.iter (Histogram.add h) [ 11.; 12.; 13. ];
+  check_float "all overflow -> hi" 10. (Histogram.quantile h 0.5);
+  (* All mass in underflow: every quantile saturates at the bottom edge. *)
+  let h = Histogram.create ~lo:5. ~hi:10. ~bins:5 () in
+  List.iter (Histogram.add h) [ 0.; 1.; 2. ];
+  check_float "all underflow -> lo" 5. (Histogram.quantile h 0.5);
+  (* Underflow mass already covers the target: still the bottom edge, not
+     an interpolation into the first populated bin (the historical bug
+     produced a negative offset here). *)
+  let h = Histogram.create ~lo:5. ~hi:10. ~bins:5 () in
+  List.iter (Histogram.add h) [ 0.; 1.; 2.; 7.25 ];
+  check_float "underflow owns the median" 5. (Histogram.quantile h 0.5);
+  close ~eps:1e-9 "tail quantile lands in the bin" 7.96
+    (Histogram.quantile h 0.99);
+  (* Exact bin-boundary target: interpolation reaches precisely the edge. *)
+  let h = Histogram.create ~hi:10. ~bins:10 () in
+  for _ = 1 to 10 do
+    Histogram.add h 0.5
+  done;
+  for _ = 1 to 10 do
+    Histogram.add h 1.5
+  done;
+  check_float "boundary median" 1. (Histogram.quantile h 0.5);
+  (* Empty interior bins never own a quantile: with mass only in the first
+     and last bins, the median sits at the top of the first. *)
+  let h = Histogram.create ~hi:10. ~bins:10 () in
+  for _ = 1 to 5 do
+    Histogram.add h 0.5
+  done;
+  for _ = 1 to 5 do
+    Histogram.add h 9.5
+  done;
+  check_float "gap: median tops the first bin" 1. (Histogram.quantile h 0.5);
+  close ~eps:1e-9 "gap: p60 lands in the last bin" 9.2
+    (Histogram.quantile h 0.6);
+  (* Degenerate requests: q must sit strictly inside (0, 1); an empty
+     histogram has no quantiles at all. *)
+  Alcotest.(check bool) "q outside (0, 1)" true
+    (try
+       ignore (Histogram.quantile h 0.);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "q = 1 rejected" true
+    (try
+       ignore (Histogram.quantile h 1.);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty histogram -> nan" true
+    (Float.is_nan (Histogram.quantile (Histogram.create ~hi:1. ~bins:2 ()) 0.5))
+
 let test_histogram_bounds () =
   let h = Histogram.create ~lo:2. ~hi:4. ~bins:4 () in
   let lo, hi = Histogram.bin_bounds h 1 in
@@ -483,6 +536,8 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_histogram_basic;
           Alcotest.test_case "quantile" `Quick test_histogram_quantile;
+          Alcotest.test_case "quantile edges" `Quick
+            test_histogram_quantile_edges;
           Alcotest.test_case "bounds" `Quick test_histogram_bounds;
         ] );
       ( "ascii-plot",
