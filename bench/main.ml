@@ -946,6 +946,44 @@ let solver_benchmarks () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Wall-clock scaling of the replication fan-out: the same 16 DES
+   replications under 1, 2, 4 and 8 worker domains.  On an 8-core machine
+   the jobs=8 row shows >= 3x over jobs=1; on fewer cores the speedup
+   degrades gracefully (the pool never oversubscribes results, only
+   time).  Bechamel is wrong for this measurement — it reports CPU-like
+   per-run cost, while speedup is about elapsed time. *)
+let parallel_benchmarks () =
+  section "Parallel replication fan-out (Domain pool)";
+  let p = { default with Params.n_t = 4 } in
+  let config =
+    {
+      Lattol_sim.Mms_des.default_config with
+      Lattol_sim.Mms_des.horizon = 4_000.;
+      warmup = 200.;
+    }
+  in
+  let replications = 16 in
+  let run jobs =
+    ignore (Lattol_exec.Replicate.des ~jobs ~config ~replications p)
+  in
+  let time jobs =
+    let t0 = Unix.gettimeofday () in
+    run jobs;
+    Unix.gettimeofday () -. t0
+  in
+  run 1 (* warm the code paths before timing *);
+  let base = time 1 in
+  Format.printf "  %d DES replications of %a, horizon %g (cores: %d)@."
+    replications Params.pp p config.Lattol_sim.Mms_des.horizon
+    (Lattol_exec.Pool.available_cores ());
+  List.iter
+    (fun jobs ->
+      let t = if jobs = 1 then base else time jobs in
+      Format.printf "  jobs=%d: %7.3f s  (speedup %.2fx)@." jobs t (base /. t))
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+
 let () =
   Csvout.configure ();
   Format.printf
@@ -977,5 +1015,6 @@ let () =
   mesh_ablation ();
   cache_ablation ();
   solver_benchmarks ();
+  parallel_benchmarks ();
   Csvout.note ();
   Format.printf "@.Done.@."

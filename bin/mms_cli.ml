@@ -4,8 +4,9 @@
      solve       evaluate the analytical model on one configuration
      tolerance   tolerance indices (network and memory)
      bottleneck  closed-form analysis (Eqs. 4 and 5)
-     sweep       sweep one parameter, CSV to stdout
-     simulate    run the DES or STPN simulator
+     sweep       sweep one or more parameters (optionally in parallel), CSV to stdout
+     figures     reproduce the paper's figure sweeps as cached CSV batches
+     simulate    run the DES or STPN simulator (with parallel replications)
      partition   thread-partitioning table for a work budget
      sensitivity rank parameters by their effect on U_p
      report      everything above in one analysis
@@ -390,47 +391,65 @@ let bottleneck_cmd =
 (* ------------------------------------------------------------------ *)
 (* sweep *)
 
-type sweep_param = P_remote | N_threads | Runlength | K | P_sw | L_mem | S_switch
+module Exec = Lattol_exec
+
+let jobs_arg doc = Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let sweep_jobs_doc =
+  "Worker domains.  Output is byte-identical for every value; $(b,--jobs 1) \
+   runs in the calling domain."
+
+let cache_arg doc = Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+
+let measure_header = "u_p,lambda,lambda_net,s_obs,l_obs,tol_network,tol_memory"
 
 let sweep_cmd =
+  let param_conv =
+    Arg.enum (List.map (fun p -> (Exec.Sweep.param_name p, p)) Exec.Sweep.all_params)
+  in
   let param_arg =
     Arg.(
-      required
-      & opt
-          (some
-             (enum
-                [ ("p_remote", P_remote); ("n_t", N_threads); ("runlength", Runlength);
-                  ("k", K); ("p_sw", P_sw); ("l_mem", L_mem); ("s_switch", S_switch) ]))
-          None
+      non_empty
+      & opt_all param_conv []
       & info [ "param" ] ~docv:"PARAM"
           ~doc:
             "Parameter to sweep: $(b,p_remote), $(b,n_t), $(b,runlength), \
-             $(b,k), $(b,p_sw), $(b,l_mem) or $(b,s_switch).")
+             $(b,k), $(b,p_sw), $(b,l_mem) or $(b,s_switch).  Repeat \
+             together with $(b,--from)/$(b,--to)/$(b,--steps) to sweep a \
+             multi-parameter grid (first axis varies slowest).")
   in
   let from_arg =
-    Arg.(required & opt (some float) None & info [ "from" ] ~docv:"LO" ~doc:"Start value.")
+    Arg.(non_empty & opt_all float [] & info [ "from" ] ~docv:"LO" ~doc:"Start value.")
   in
   let to_arg =
-    Arg.(required & opt (some float) None & info [ "to" ] ~docv:"HI" ~doc:"End value.")
+    Arg.(non_empty & opt_all float [] & info [ "to" ] ~docv:"HI" ~doc:"End value.")
   in
   let steps_arg =
-    Arg.(value & opt int 11 & info [ "steps" ] ~docv:"N" ~doc:"Number of points.")
+    Arg.(
+      value & opt_all int []
+      & info [ "steps" ] ~docv:"N" ~doc:"Number of points (default 11).")
   in
-  let run params solver param lo hi steps metrics_out trace_out =
-    if steps < 2 then `Error (false, "--steps must be at least 2")
+  let run params solver names froms tos stepss jobs cache_dir metrics_out
+      trace_out =
+    let n = List.length names in
+    let stepss = stepss @ List.init (max 0 (n - List.length stepss)) (fun _ -> 11) in
+    if List.length froms <> n || List.length tos <> n || List.length stepss <> n
+    then
+      `Error
+        (false, "--param, --from, --to (and --steps) must be repeated together")
+    else if List.exists (fun s -> s < 2) stepss then
+      `Error (false, "--steps must be at least 2")
+    else if jobs < 1 then `Error (false, "--jobs must be at least 1")
+    else if jobs > 1 && (metrics_out <> None || trace_out <> None) then
+      (* Both sinks are single recorders; see Sweep.run on tracing. *)
+      `Error (false, "--metrics-out/--trace-out require --jobs 1")
     else begin
-      Format.printf
-        "# %a@.param,value,u_p,lambda,lambda_net,s_obs,l_obs,tol_network,tol_memory@."
-        Params.pp params;
-      let name =
-        match param with
-        | P_remote -> "p_remote"
-        | N_threads -> "n_t"
-        | Runlength -> "runlength"
-        | K -> "k"
-        | P_sw -> "p_sw"
-        | L_mem -> "l_mem"
-        | S_switch -> "s_switch"
+      let axes =
+        List.map2
+          (fun param (lo, (hi, steps)) ->
+            { Exec.Sweep.param; values = Exec.Sweep.linspace ~lo ~hi ~steps })
+          names
+          (List.combine froms (List.combine tos stepss))
       in
       let telemetry =
         Option.map (fun _ -> Lattol_obs.Solver_trace.create ()) trace_out
@@ -438,34 +457,50 @@ let sweep_cmd =
       let registry =
         Option.map (fun _ -> Lattol_obs.Metrics.create ()) metrics_out
       in
-      for i = 0 to steps - 1 do
-        let v = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (steps - 1)) in
-        let p =
-          match param with
-          | P_remote -> { params with Params.p_remote = v }
-          | N_threads -> { params with Params.n_t = int_of_float (Float.round v) }
-          | Runlength -> { params with Params.runlength = v }
-          | K -> { params with Params.k = int_of_float (Float.round v) }
-          | P_sw -> { params with Params.pattern = Lattol_topology.Access.Geometric v }
-          | L_mem -> { params with Params.l_mem = v }
-          | S_switch -> { params with Params.s_switch = v }
-        in
-        match Params.validate p with
-        | Error msg -> Format.printf "# skipped %s=%g: %s@." name v msg
-        | Ok p ->
-          let label = Printf.sprintf "%s=%g" name v in
-          let m = solve_with_telemetry ?solver ?telemetry ~label p in
-          Option.iter
-            (fun reg ->
-              register_measures reg ~labels:[ (name, Printf.sprintf "%g" v) ]
-                m)
-            registry;
-          let net = Tolerance.network ?solver p in
-          let mem = Tolerance.memory ?solver p in
-          Format.printf "%s,%g,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f@." name v
-            m.Measures.u_p m.Measures.lambda m.Measures.lambda_net
-            m.Measures.s_obs m.Measures.l_obs net.Tolerance.tol mem.Tolerance.tol
-      done;
+      let cache = Exec.Cache.create ?dir:cache_dir () in
+      let rows =
+        Exec.Sweep.run ?solver ~cache ~jobs ?trace:telemetry ~base:params axes
+      in
+      let single = match axes with [ _ ] -> true | _ -> false in
+      if single then
+        Format.printf "# %a@.param,value,%s@." Params.pp params measure_header
+      else
+        Format.printf "# %a@.%s,%s@." Params.pp params
+          (String.concat ","
+             (List.map (fun a -> Exec.Sweep.param_name a.Exec.Sweep.param) axes))
+          measure_header;
+      List.iter
+        (fun row ->
+          let assigns = row.Exec.Sweep.assigns in
+          match row.Exec.Sweep.result with
+          | Error msg ->
+            Format.printf "# skipped %s: %s@." (Exec.Sweep.label assigns) msg
+          | Ok s ->
+            let m = s.Exec.Sweep.measures in
+            Option.iter
+              (fun reg ->
+                register_measures reg
+                  ~labels:
+                    (List.map
+                       (fun (p, v) ->
+                         (Exec.Sweep.param_name p, Printf.sprintf "%g" v))
+                       assigns)
+                  m)
+              registry;
+            let key =
+              if single then
+                let param, v = List.hd assigns in
+                Printf.sprintf "%s,%g" (Exec.Sweep.param_name param) v
+              else
+                String.concat ","
+                  (List.map (fun (_, v) -> Printf.sprintf "%g" v) assigns)
+            in
+            Format.printf "%s,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f@." key
+              m.Measures.u_p m.Measures.lambda m.Measures.lambda_net
+              m.Measures.s_obs m.Measures.l_obs
+              s.Exec.Sweep.tol_network.Tolerance.tol
+              s.Exec.Sweep.tol_memory.Tolerance.tol)
+        rows;
       (match (telemetry, trace_out) with
       | Some tel, Some file -> write_solver_trace tel file
       | _ -> ());
@@ -476,11 +511,91 @@ let sweep_cmd =
     end
   in
   Cmd.v
-    (Cmd.info "sweep" ~doc:"Sweep one parameter and print CSV")
+    (Cmd.info "sweep" ~doc:"Sweep one or more parameters and print CSV")
     Term.(
       ret
         (const run $ params_term $ solver_term $ param_arg $ from_arg $ to_arg
-       $ steps_arg $ metrics_out_arg $ trace_out_arg solver_trace_doc))
+       $ steps_arg
+       $ jobs_arg sweep_jobs_doc
+       $ cache_arg
+           "Content-addressed solve cache: re-runs over the same \
+            configurations perform zero new solves."
+       $ metrics_out_arg $ trace_out_arg solver_trace_doc))
+
+(* ------------------------------------------------------------------ *)
+(* figures *)
+
+let figures_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "figures"
+      & info [ "out"; "o" ] ~docv:"DIR" ~doc:"Output directory for the CSVs.")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Solve everything fresh; keep no disk cache.")
+  in
+  let only_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "only" ] ~docv:"NAME"
+          ~doc:"Produce only the named figure (repeatable).")
+  in
+  let run params solver out jobs cache_dir no_cache only =
+    if jobs < 1 then `Error (false, "--jobs must be at least 1")
+    else begin
+      let figures = Exec.Figures.all ~base:params () in
+      let unknown =
+        List.filter
+          (fun name -> not (List.exists (fun f -> f.Exec.Figures.name = name) figures))
+          only
+      in
+      match unknown with
+      | name :: _ ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown figure %s (available: %s)" name
+              (String.concat ", "
+                 (List.map (fun f -> f.Exec.Figures.name) figures)) )
+      | [] ->
+        let figures =
+          if only = [] then figures
+          else
+            List.filter (fun f -> List.mem f.Exec.Figures.name only) figures
+        in
+        let dir =
+          if no_cache then None
+          else
+            Some
+              (match cache_dir with
+              | Some d -> d
+              | None -> Filename.concat out "cache")
+        in
+        let cache = Exec.Cache.create ?dir () in
+        let written = Exec.Figures.write ?solver ~cache ~jobs ~dir:out figures in
+        List.iter
+          (fun w ->
+            Format.printf "wrote %s (%d rows)@." w.Exec.Figures.path
+              w.Exec.Figures.rows)
+          written;
+        Format.printf "cache: %a@." Exec.Cache.pp_stats (Exec.Cache.stats cache);
+        `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "figures"
+       ~doc:
+         "Reproduce the paper's figure sweeps as CSVs in one (optionally \
+          parallel) cached batch")
+    Term.(
+      ret
+        (const run $ params_term $ solver_term $ out_arg
+       $ jobs_arg
+           "Worker domains per figure sweep.  The CSVs are byte-identical \
+            for every value."
+       $ cache_arg "Cache directory (default $(docv) = OUT/cache)."
+       $ no_cache_arg $ only_arg))
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)
@@ -553,13 +668,87 @@ let simulate_cmd =
       Lattol_robust.Fault_plan.validate plan
     end
   in
+  let replications_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "replications" ] ~docv:"N"
+          ~doc:
+            "Independent replications, each on its own random stream split \
+             from $(b,--seed); reports across-replication confidence \
+             intervals.  The result set is identical for every $(b,--jobs) \
+             value.")
+  in
+  let run_replicated params engine horizon warmup seed faults replications jobs
+      =
+    Format.printf "%a@." Params.pp params;
+    if Lattol_robust.Fault_plan.active faults then
+      Format.printf "fault plan: %a@." Lattol_robust.Fault_plan.pp faults;
+    Format.printf "@.";
+    (* [jobs] must not appear here: the report is byte-identical for every
+       degree of parallelism. *)
+    Format.printf "replications: %d (%s)@." replications
+      (match engine with `Des -> "des" | `Stpn -> "stpn");
+    let u_p_ci, lambda_ci =
+      match engine with
+      | `Des ->
+        let config =
+          {
+            Lattol_sim.Mms_des.default_config with
+            Lattol_sim.Mms_des.horizon;
+            warmup;
+            seed;
+            faults;
+          }
+        in
+        let s = Exec.Replicate.des ~jobs ~config ~replications params in
+        List.iteri
+          (fun i r ->
+            let m = r.Lattol_sim.Mms_des.measures in
+            Format.printf "rep %d: U_p=%.6f lambda=%.6f@." (i + 1)
+              m.Measures.u_p m.Measures.lambda)
+          s.Exec.Replicate.results;
+        (s.Exec.Replicate.u_p_ci, s.Exec.Replicate.lambda_ci)
+      | `Stpn ->
+        let s =
+          Exec.Replicate.stpn ~jobs ~seed ~warmup ~horizon ~faults ~replications
+            params
+        in
+        List.iteri
+          (fun i r ->
+            let m = r.Lattol_petri.Mms_stpn.measures in
+            Format.printf "rep %d: U_p=%.6f lambda=%.6f@." (i + 1)
+              m.Measures.u_p m.Measures.lambda)
+          s.Exec.Replicate.results;
+        (s.Exec.Replicate.u_p_ci, s.Exec.Replicate.lambda_ci)
+    in
+    (match u_p_ci with
+    | Some (mean, half) ->
+      Format.printf "U_p 95%% CI: %.4f +- %.4f across replications@." mean half
+    | None -> ());
+    (match lambda_ci with
+    | Some (mean, half) ->
+      Format.printf "lambda 95%% CI: %.4f +- %.4f across replications@." mean
+        half
+    | None -> ())
+  in
   let run params engine horizon warmup seed mtbf mttr degrade target
-      metrics_out trace_out =
+      replications jobs metrics_out trace_out =
     match fault_plan mtbf mttr degrade target with
     | Error msg -> `Error (false, msg)
     | Ok faults ->
       if engine = `Stpn && (metrics_out <> None || trace_out <> None) then
         `Error (false, "--metrics-out/--trace-out require --engine des")
+      else if replications < 1 then
+        `Error (false, "--replications must be at least 1")
+      else if jobs < 1 then `Error (false, "--jobs must be at least 1")
+      else if replications > 1 && (metrics_out <> None || trace_out <> None)
+      then
+        `Error (false, "--metrics-out/--trace-out require --replications 1")
+      else if replications > 1 then begin
+        run_replicated params engine horizon warmup seed faults replications
+          jobs;
+        `Ok ()
+      end
       else begin
         Format.printf "%a@." Params.pp params;
         if Lattol_robust.Fault_plan.active faults then
@@ -634,7 +823,11 @@ let simulate_cmd =
       ret
         (const run $ params_term $ engine_arg $ horizon_arg $ warmup_arg
        $ seed_arg $ fault_mtbf_arg $ fault_mttr_arg $ fault_degrade_arg
-       $ fault_target_arg $ metrics_out_arg $ trace_out_arg span_trace_doc))
+       $ fault_target_arg $ replications_arg
+       $ jobs_arg
+           "Worker domains for the replication fan-out (with \
+            $(b,--replications))."
+       $ metrics_out_arg $ trace_out_arg span_trace_doc))
 
 (* ------------------------------------------------------------------ *)
 (* profile *)
@@ -832,8 +1025,9 @@ let main_cmd =
   Cmd.group
     (Cmd.info "mms_cli" ~version:"1.0.0" ~doc)
     [
-      solve_cmd; tolerance_cmd; bottleneck_cmd; sweep_cmd; simulate_cmd;
-      profile_cmd; partition_cmd; sensitivity_cmd; report_cmd; kernels_cmd;
+      solve_cmd; tolerance_cmd; bottleneck_cmd; sweep_cmd; figures_cmd;
+      simulate_cmd; profile_cmd; partition_cmd; sensitivity_cmd; report_cmd;
+      kernels_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

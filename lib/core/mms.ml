@@ -247,6 +247,9 @@ let solver_label = function
   | Linearizer_amva -> "linearizer"
   | Exact_mva -> "exact"
 
+let default_solver p =
+  if symmetric_applicable p then Symmetric_amva else General_amva
+
 let solve_network ?solver ?tolerance ?max_iterations ?damping ?on_sweep p =
   let solver =
     match solver with
@@ -426,9 +429,9 @@ let zero_measures =
     converged = true;
   }
 
-let solve ?solver ?tolerance ?max_iterations ?damping p =
+let solve ?solver ?tolerance ?max_iterations ?damping ?on_sweep p =
   let p = Params.validate_exn p in
   if p.Params.n_t = 0 then zero_measures
   else
     measures_of_solution p
-      (solve_network ?solver ?tolerance ?max_iterations ?damping p)
+      (solve_network ?solver ?tolerance ?max_iterations ?damping ?on_sweep p)

@@ -62,6 +62,14 @@ val symmetric_applicable : Params.t -> bool
 (** Whether {!Symmetric_amva} is valid for these parameters: the access
     pattern must be translation-invariant (SPMD on a torus). *)
 
+val default_solver : Params.t -> solver
+(** The solver {!solve} and {!solve_network} pick when none is given:
+    {!Symmetric_amva} where applicable, {!General_amva} otherwise. *)
+
+val solver_label : solver -> string
+(** Stable identifier ("symmetric", "amva", "linearizer", "exact") — the
+    name used by the supervisor's diagnosis and the result cache keys. *)
+
 val solve_network :
   ?solver:solver -> ?tolerance:float -> ?max_iterations:int ->
   ?damping:float ->
@@ -82,9 +90,12 @@ val solve_network :
 
 val solve :
   ?solver:solver -> ?tolerance:float -> ?max_iterations:int ->
-  ?damping:float -> Params.t -> Measures.t
+  ?damping:float ->
+  ?on_sweep:(iteration:int -> residual:float -> Lattol_queueing.Amva.progress) ->
+  Params.t -> Measures.t
 (** End-to-end: validate parameters, build, solve, extract the paper's
-    measures for (the representative) class 0. *)
+    measures for (the representative) class 0.  [on_sweep] observes every
+    fixed-point sweep exactly as in {!solve_network}. *)
 
 val measures_of_solution : Params.t -> Solution.t -> Measures.t
 (** Extract {!Measures.t} from a solution of {!build_network}'s layout. *)

@@ -38,19 +38,26 @@ let default_method = function
   | Network_latency -> Zero_remote
   | Memory_latency -> Zero_delay
 
-let index ?solver ?ideal_method subsystem p =
+let of_measures ?ideal_method subsystem ~real ~ideal =
   let meth =
     match ideal_method with Some m -> m | None -> default_method subsystem
   in
-  let real = Mms.solve ?solver p in
-  let ideal = Mms.solve ?solver (ideal_params subsystem meth p) in
   let u_p = real.Measures.u_p and u_p_ideal = ideal.Measures.u_p in
   let tol = if u_p_ideal = 0. then 1. else u_p /. u_p_ideal in
   { subsystem; ideal_method = meth; tol; u_p; u_p_ideal; zone = zone_of_index tol; real; ideal }
 
-let network ?solver ?ideal_method p = index ?solver ?ideal_method Network_latency p
+let index ?solver ?ideal_method ?real subsystem p =
+  let meth =
+    match ideal_method with Some m -> m | None -> default_method subsystem
+  in
+  let real = match real with Some m -> m | None -> Mms.solve ?solver p in
+  let ideal = Mms.solve ?solver (ideal_params subsystem meth p) in
+  of_measures ~ideal_method:meth subsystem ~real ~ideal
 
-let memory ?solver p = index ?solver Memory_latency p
+let network ?solver ?ideal_method ?real p =
+  index ?solver ?ideal_method ?real Network_latency p
+
+let memory ?solver ?real p = index ?solver ?real Memory_latency p
 
 let threads_needed ?solver ?ideal_method ?(target = 0.8) ?(max_threads = 16)
     subsystem p =

@@ -48,17 +48,29 @@ val ideal_params : subsystem -> ideal_method -> Params.t -> Params.t
     [Invalid_argument] for [Memory_latency, Zero_remote] (removing remote
     accesses does not idealize the memory). *)
 
+val of_measures :
+  ?ideal_method:ideal_method -> subsystem -> real:Measures.t ->
+  ideal:Measures.t -> report
+(** Form the index from measures that are already in hand — the real and
+    ideal systems' solutions, however they were obtained (a shared solve, a
+    cache hit, a simulation).  No solver runs.  [ideal_method] is recorded
+    in the report only; it defaults as in {!index}. *)
+
 val index :
-  ?solver:Mms.solver -> ?ideal_method:ideal_method -> subsystem -> Params.t ->
-  report
+  ?solver:Mms.solver -> ?ideal_method:ideal_method -> ?real:Measures.t ->
+  subsystem -> Params.t -> report
 (** Solve both systems and form the index.  [ideal_method] defaults to
     [Zero_remote] for the network (the paper's preference) and
-    [Zero_delay] for memory. *)
+    [Zero_delay] for memory.  [real], when given, supplies the real
+    system's measures so only the ideal system is solved — callers that
+    already solved [p] (a sweep point, say) avoid the redundant solve. *)
 
-val network : ?solver:Mms.solver -> ?ideal_method:ideal_method -> Params.t -> report
+val network :
+  ?solver:Mms.solver -> ?ideal_method:ideal_method -> ?real:Measures.t ->
+  Params.t -> report
 (** [index Network_latency]. *)
 
-val memory : ?solver:Mms.solver -> Params.t -> report
+val memory : ?solver:Mms.solver -> ?real:Measures.t -> Params.t -> report
 (** [index Memory_latency]. *)
 
 val threads_needed :

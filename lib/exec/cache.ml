@@ -1,0 +1,281 @@
+open Lattol_core
+open Lattol_topology
+
+(* Bump when the key derivation or the value encoding changes: stale
+   entries from older layouts then simply miss. *)
+let format_version = 1
+
+type stats = {
+  memo_hits : int;
+  disk_hits : int;
+  misses : int;
+  solves : int;
+  stores : int;
+}
+
+(* In-run memo entry: [Running] parks later requesters of the same key on
+   the condition variable until the first one finishes, so a shared
+   configuration (every p_remote sweep point has the same ideal network)
+   is solved exactly once no matter how many workers ask for it. *)
+type entry = Running | Done of Measures.t
+
+type t = {
+  dir : string option; (* None = in-memory only *)
+  memo : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable memo_hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable solves : int;
+  mutable stores : int;
+}
+
+let create ?dir () =
+  {
+    dir;
+    memo = Hashtbl.create 64;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    memo_hits = 0;
+    disk_hits = 0;
+    misses = 0;
+    solves = 0;
+    stores = 0;
+  }
+
+let directory t = t.dir
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      memo_hits = t.memo_hits;
+      disk_hits = t.disk_hits;
+      misses = t.misses;
+      solves = t.solves;
+      stores = t.stores;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "%d hits (%d disk, %d shared), %d misses, %d solves"
+    (s.disk_hits + s.memo_hits)
+    s.disk_hits s.memo_hits s.misses s.solves
+
+(* ------------------------------------------------------------------ *)
+(* Canonical key *)
+
+(* Exact hexadecimal floats: two parameter records hash equal iff every
+   field is bit-identical. *)
+let hfloat b v = Printf.bprintf b "%h" v
+
+let canonical_of_params b (p : Params.t) =
+  Printf.bprintf b "topology=%s;"
+    (match p.Params.topology with
+    | Lattol_topology.Topology.Torus -> "torus"
+    | Lattol_topology.Topology.Mesh -> "mesh");
+  Printf.bprintf b "k=%d;dimensions=%d;n_t=%d;" p.Params.k p.Params.dimensions
+    p.Params.n_t;
+  Printf.bprintf b "runlength=";
+  hfloat b p.Params.runlength;
+  Printf.bprintf b ";context_switch=";
+  hfloat b p.Params.context_switch;
+  Printf.bprintf b ";p_remote=";
+  hfloat b p.Params.p_remote;
+  Printf.bprintf b ";pattern=";
+  (match p.Params.pattern with
+  | Access.Uniform -> Printf.bprintf b "uniform"
+  | Access.Geometric p_sw ->
+    Printf.bprintf b "geometric:";
+    hfloat b p_sw
+  | Access.Explicit m ->
+    Printf.bprintf b "explicit:";
+    Array.iter
+      (fun row ->
+        Array.iter
+          (fun v ->
+            hfloat b v;
+            Buffer.add_char b ',')
+          row;
+        Buffer.add_char b '/')
+      m);
+  Printf.bprintf b ";l_mem=";
+  hfloat b p.Params.l_mem;
+  Printf.bprintf b ";mem_ports=%d;s_switch=" p.Params.mem_ports;
+  hfloat b p.Params.s_switch;
+  Printf.bprintf b ";switch_pipeline=%d;sync_unit=" p.Params.switch_pipeline;
+  hfloat b p.Params.sync_unit
+
+let key ~solver_id p =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "lattol/%d;solver=%s;" format_version solver_id;
+  canonical_of_params b p;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* ------------------------------------------------------------------ *)
+(* On-disk value encoding *)
+
+let fields (m : Measures.t) =
+  [
+    ("u_p", m.Measures.u_p);
+    ("lambda", m.Measures.lambda);
+    ("lambda_net", m.Measures.lambda_net);
+    ("s_obs", m.Measures.s_obs);
+    ("l_obs", m.Measures.l_obs);
+    ("cycle_time", m.Measures.cycle_time);
+    ("util_memory", m.Measures.util_memory);
+    ("util_switch_in", m.Measures.util_switch_in);
+    ("util_switch_out", m.Measures.util_switch_out);
+    ("util_sync", m.Measures.util_sync);
+    ("su_obs", m.Measures.su_obs);
+    ("queue_processor", m.Measures.queue_processor);
+    ("queue_memory", m.Measures.queue_memory);
+    ("queue_network", m.Measures.queue_network);
+  ]
+
+let encode (m : Measures.t) =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "lattol-cache %d\n" format_version;
+  List.iter
+    (fun (name, v) ->
+      Printf.bprintf b "%s " name;
+      hfloat b v;
+      Buffer.add_char b '\n')
+    (fields m);
+  Printf.bprintf b "iterations %d\n" m.Measures.iterations;
+  Printf.bprintf b "converged %b\n" m.Measures.converged;
+  Buffer.contents b
+
+let decode text =
+  match String.split_on_char '\n' (String.trim text) with
+  | header :: lines when header = Printf.sprintf "lattol-cache %d" format_version
+    -> begin
+    let tbl = Hashtbl.create 17 in
+    try
+      List.iter
+        (fun line ->
+          match String.index_opt line ' ' with
+          | None -> raise Exit
+          | Some i ->
+            Hashtbl.replace tbl
+              (String.sub line 0 i)
+              (String.sub line (i + 1) (String.length line - i - 1)))
+        lines;
+      let f name = float_of_string (Hashtbl.find tbl name) in
+      Some
+        {
+          Measures.u_p = f "u_p";
+          lambda = f "lambda";
+          lambda_net = f "lambda_net";
+          s_obs = f "s_obs";
+          l_obs = f "l_obs";
+          cycle_time = f "cycle_time";
+          util_memory = f "util_memory";
+          util_switch_in = f "util_switch_in";
+          util_switch_out = f "util_switch_out";
+          util_sync = f "util_sync";
+          su_obs = f "su_obs";
+          queue_processor = f "queue_processor";
+          queue_memory = f "queue_memory";
+          queue_network = f "queue_network";
+          iterations = int_of_string (Hashtbl.find tbl "iterations");
+          converged = bool_of_string (Hashtbl.find tbl "converged");
+        }
+    with Exit | Not_found | Failure _ -> None
+  end
+  | _ -> None
+
+let path_of_key dir k = Filename.concat (Filename.concat dir (String.sub k 0 2)) k
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ -> ()
+    end
+  in
+  go dir
+
+let disk_find t k =
+  match t.dir with
+  | None -> None
+  | Some dir -> (
+    let path = path_of_key dir k in
+    match In_channel.with_open_bin path In_channel.input_all with
+    | text -> decode text
+    | exception Sys_error _ -> None)
+
+let disk_store t k m =
+  match t.dir with
+  | None -> false
+  | Some dir -> (
+    let path = path_of_key dir k in
+    mkdir_p (Filename.dirname path);
+    (* Write-then-rename so concurrent writers of the same key (two runs
+       sharing a cache directory) never expose a torn entry. *)
+    let tmp =
+      Filename.temp_file ~temp_dir:(Filename.dirname path) "lattol" ".tmp"
+    in
+    match
+      Out_channel.with_open_bin tmp (fun oc ->
+          Out_channel.output_string oc (encode m));
+      Sys.rename tmp path
+    with
+    | () -> true
+    | exception Sys_error _ ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      false)
+
+(* ------------------------------------------------------------------ *)
+
+let find_or_compute t ~key:k f =
+  let rec claim () =
+    match Hashtbl.find_opt t.memo k with
+    | Some (Done m) ->
+      t.memo_hits <- t.memo_hits + 1;
+      Mutex.unlock t.lock;
+      `Hit m
+    | Some Running ->
+      Condition.wait t.cond t.lock;
+      claim ()
+    | None ->
+      Hashtbl.replace t.memo k Running;
+      Mutex.unlock t.lock;
+      `Claimed
+  in
+  Mutex.lock t.lock;
+  match claim () with
+  | `Hit m -> m
+  | `Claimed -> (
+    let finish update m =
+      Mutex.lock t.lock;
+      Hashtbl.replace t.memo k (Done m);
+      update ();
+      Condition.broadcast t.cond;
+      Mutex.unlock t.lock;
+      m
+    in
+    match disk_find t k with
+    | Some m -> finish (fun () -> t.disk_hits <- t.disk_hits + 1) m
+    | None -> (
+      match f () with
+      | m ->
+        let stored = disk_store t k m in
+        finish
+          (fun () ->
+            t.misses <- t.misses + 1;
+            t.solves <- t.solves + 1;
+            if stored then t.stores <- t.stores + 1)
+          m
+      | exception e ->
+        (* Release the claim so parked requesters retry (and fail on
+           their own terms) instead of waiting forever. *)
+        Mutex.lock t.lock;
+        Hashtbl.remove t.memo k;
+        t.misses <- t.misses + 1;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.lock;
+        raise e))

@@ -1,0 +1,50 @@
+(** Content-addressed result cache for analytical solves.
+
+    A solve is identified by a canonical hash of the full {!Params.t}
+    record plus the resolved solver id ({!key}); the value is the
+    {!Measures.t} it produced.  Two layers back the lookup:
+
+    - an in-run memo shared by all of a {!Pool}'s workers, which also
+      deduplicates concurrent requests — a key is computed once and every
+      other requester blocks until it lands;
+    - an optional on-disk store (one file per key, hex floats, written
+      atomically via rename), so repeated experiment runs — a re-run of
+      [mms figures], say — perform zero new solves.
+
+    Keys use exact hexadecimal floats, so a cache entry is only ever
+    reused for a bit-identical configuration, and the encoding carries a
+    format version: entries written by an older layout simply miss. *)
+
+open Lattol_core
+
+type t
+
+val create : ?dir:string -> unit -> t
+(** [create ~dir ()] backs the cache with directory [dir] (created on
+    first store); without [dir] the cache is in-memory only and still
+    deduplicates within the run. *)
+
+val directory : t -> string option
+
+val key : solver_id:string -> Params.t -> string
+(** Canonical content hash (hex) of the configuration under [solver_id]
+    (use {!Mms.solver_label} of the {e resolved} solver, so an explicit
+    ["symmetric"] and a defaulted one share entries). *)
+
+val find_or_compute : t -> key:string -> (unit -> Measures.t) -> Measures.t
+(** Memo hit, else disk hit, else run the thunk, store, and wake any
+    concurrent requesters of the same key.  Safe to call from multiple
+    domains.  If the thunk raises, the claim is released (parked
+    requesters retry) and the exception propagates. *)
+
+type stats = {
+  memo_hits : int;  (** served by the in-run memo (shared configurations) *)
+  disk_hits : int;  (** served by the on-disk store *)
+  misses : int;     (** keys that had to be computed *)
+  solves : int;     (** thunk executions — 0 on a fully warm re-run *)
+  stores : int;     (** entries written to disk *)
+}
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

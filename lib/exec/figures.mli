@@ -1,0 +1,42 @@
+(** The paper's figure sweeps as one cacheable parallel batch.
+
+    Each {!figure} is a named {!Sweep} grid over the paper's base machine
+    (4x4 torus, geometric p_sw = 0.5 access pattern); {!write} solves them
+    all through one shared {!Cache} and emits one CSV per figure.  A warm
+    cache directory makes a re-run perform zero new solves. *)
+
+open Lattol_core
+
+type figure = {
+  name : string;   (** file stem, e.g. ["fig06_tolerance"] *)
+  title : string;  (** human description, written as a leading comment *)
+  base : Params.t;
+  axes : Sweep.axis list;
+}
+
+val all : ?base:Params.t -> unit -> figure list
+(** The built-in set:
+    - [fig04_grid]: [n_t] x [p_remote] grid at runlength 1 (paper Fig. 4);
+    - [fig05_grid]: the same grid at runlength 2 (paper Fig. 5);
+    - [fig06_tolerance]: network tolerance over [p_remote] x runlength x
+      [n_t] (paper Fig. 6);
+    - [saturation]: [lambda_net] vs [p_remote] at [n_t = 10], showing the
+      network saturating near the paper's 0.29 flits/cycle ceiling. *)
+
+val find : ?base:Params.t -> string -> figure option
+
+type written = { figure : figure; path : string; rows : int }
+
+val write :
+  ?solver:Mms.solver ->
+  ?cache:Cache.t ->
+  ?jobs:int ->
+  dir:string ->
+  figure list ->
+  written list
+(** Solve and write [<dir>/<name>.csv] for each figure (creating [dir]),
+    all figures sharing one cache.  CSV layout: a ["# title"] comment, a
+    header of the swept parameter names followed by
+    [u_p,lambda,lambda_net,s_obs,l_obs,tol_network,tol_memory], then one
+    ["%g"]-keyed, ["%.6f"]-valued row per grid point.  [rows] counts data
+    rows (skipped points become ["# skipped"] comments). *)

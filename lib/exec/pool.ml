@@ -1,0 +1,51 @@
+(* Fixed-size Domain-based work pool.
+
+   Work is distributed through a chunked queue (an atomic cursor over the
+   input array, claimed [chunk] indices at a time) and every result is
+   written back to its input's slot, so the output order never depends on
+   the scheduling of the domains.  That determinism is the point: callers
+   format results after the map, and `--jobs 8` must be byte-identical to
+   `--jobs 1`. *)
+
+let available_cores () = Domain.recommended_domain_count ()
+
+let map ?(chunk = 0) ~jobs f items =
+  let n = Array.length items in
+  if jobs < 1 then invalid_arg "Pool.map: jobs must be at least 1";
+  if n <= 1 || jobs = 1 then Array.map f items
+  else begin
+    let jobs = min jobs n in
+    (* Small chunks keep the pool balanced when task costs are skewed (a
+       sweep's saturated points iterate far longer than its idle ones);
+       [jobs * 4] slices per worker is the usual compromise. *)
+    let chunk = if chunk > 0 then chunk else max 1 (n / (jobs * 4)) in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let lo = Atomic.fetch_and_add next chunk in
+        if lo < n && Atomic.get failure = None then begin
+          (try
+             for i = lo to min n (lo + chunk) - 1 do
+               results.(i) <- Some (f items.(i))
+             done
+           with e ->
+             (* Remember the first failure; later ones lose the race. *)
+             ignore (Atomic.compare_and_set failure None (Some e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map
+      (function Some v -> v | None -> failwith "Pool.map: missing result")
+      results
+  end
+
+let map_list ?chunk ~jobs f items =
+  Array.to_list (map ?chunk ~jobs f (Array.of_list items))

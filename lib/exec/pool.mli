@@ -1,0 +1,24 @@
+(** Fixed-size [Domain]-based work pool with deterministic result ordering.
+
+    [map ~jobs f items] evaluates [f] on every element of [items] using up
+    to [jobs] domains (the calling domain included) and returns the results
+    in input order — the scheduling of the workers never leaks into the
+    output.  Work is claimed from a shared chunked queue, so skewed task
+    costs still balance.
+
+    [f] runs concurrently with itself: it must not touch shared mutable
+    state unless that state synchronizes itself (the {!Cache} does).  If
+    any call raises, remaining chunks are abandoned and the first exception
+    is re-raised in the caller after all domains have joined. *)
+
+val available_cores : unit -> int
+(** [Domain.recommended_domain_count ()]: the pool size above which more
+    jobs cannot help. *)
+
+val map : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [chunk] overrides the queue's claim granularity (default: enough for
+    roughly four slices per worker).  [jobs < 1] is rejected; [jobs = 1]
+    runs in the calling domain with no queue at all. *)
+
+val map_list : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List variant of {!map}. *)

@@ -1,0 +1,59 @@
+open Lattol_core
+open Lattol_stats
+module Des = Lattol_sim.Mms_des
+module Stpn = Lattol_petri.Mms_stpn
+
+(* All streams are derived from the root seed before any run starts, so a
+   replication's randomness depends only on (seed, index) — never on which
+   domain picks it up or in what order. *)
+let streams ~seed n =
+  let root = Prng.create ~seed () in
+  List.init n (fun _ -> Prng.split root)
+
+type 'a summary = {
+  results : 'a list;
+  u_p_ci : (float * float) option;
+  lambda_ci : (float * float) option;
+}
+
+let summarize results ~u_p ~lambda =
+  let ci extract =
+    let m = Moments.create () in
+    List.iter (fun r -> Moments.add m (extract r)) results;
+    Confidence.interval m
+  in
+  { results; u_p_ci = ci u_p; lambda_ci = ci lambda }
+
+let des ?(jobs = 1) ?(config = Des.default_config) ~replications p =
+  if replications < 1 then
+    invalid_arg "Replicate.des: replications must be at least 1";
+  if replications > 1 && (config.Des.trace <> None || config.Des.metrics <> None)
+  then
+    (* Sinks are per-run recorders; replications would race on them and
+       collide on series names. *)
+    invalid_arg "Replicate.des: trace/metrics sinks require replications = 1";
+  let results =
+    Pool.map_list ~jobs
+      (fun rng -> Des.run ~config:{ config with Des.rng = Some rng } p)
+      (streams ~seed:config.Des.seed replications)
+  in
+  summarize results
+    ~u_p:(fun r -> r.Des.measures.Measures.u_p)
+    ~lambda:(fun r -> r.Des.measures.Measures.lambda)
+
+let stpn ?(jobs = 1) ?(seed = 1) ?warmup ?horizon ?memory ?faults ~replications
+    p =
+  if replications < 1 then
+    invalid_arg "Replicate.stpn: replications must be at least 1";
+  let root = Prng.create ~seed () in
+  let seeds =
+    List.init replications (fun _ -> Int64.to_int (Prng.bits64 root) land max_int)
+  in
+  let results =
+    Pool.map_list ~jobs
+      (fun s -> Stpn.run ~seed:s ?warmup ?horizon ?memory ?faults p)
+      seeds
+  in
+  summarize results
+    ~u_p:(fun r -> r.Stpn.measures.Measures.u_p)
+    ~lambda:(fun r -> r.Stpn.measures.Measures.lambda)

@@ -1,0 +1,45 @@
+(** Parallel independent-replication fan-out for the simulators.
+
+    Each replication gets its own pre-derived random stream
+    ({!Lattol_stats.Prng.split} from the root seed for the DES; a
+    root-drawn integer seed for the STPN), fixed before any run starts, so
+    the set of results is identical for every [jobs] value.  Across-run 95%
+    confidence intervals come from {!Lattol_stats.Confidence.interval} over
+    the per-replication means. *)
+
+open Lattol_core
+
+val streams : seed:int -> int -> Lattol_stats.Prng.t list
+(** [streams ~seed n]: the [n] independent streams replication fan-out
+    uses, in replication order. *)
+
+type 'a summary = {
+  results : 'a list;  (** per-replication results, in replication order *)
+  u_p_ci : (float * float) option;
+      (** across-replication 95% CI on [U_p] as [(mean, half_width)];
+          [None] with fewer than two replications *)
+  lambda_ci : (float * float) option;
+}
+
+val des :
+  ?jobs:int ->
+  ?config:Lattol_sim.Mms_des.config ->
+  replications:int ->
+  Params.t ->
+  Lattol_sim.Mms_des.result summary
+(** Discrete-event replications.  [config.rng] is overridden per
+    replication with a split stream rooted at [config.seed]; [trace] and
+    [metrics] sinks are rejected when [replications > 1] (they are per-run
+    recorders).  Raises [Invalid_argument] on [replications < 1]. *)
+
+val stpn :
+  ?jobs:int ->
+  ?seed:int ->
+  ?warmup:float ->
+  ?horizon:float ->
+  ?memory:Lattol_petri.Mms_stpn.memory_distribution ->
+  ?faults:Lattol_robust.Fault_plan.t ->
+  replications:int ->
+  Params.t ->
+  Lattol_petri.Mms_stpn.result summary
+(** Stochastic-Petri-net replications, seeded from one root generator. *)

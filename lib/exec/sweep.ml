@@ -1,0 +1,142 @@
+open Lattol_core
+open Lattol_queueing
+
+type param = P_remote | N_t | Runlength | K | P_sw | L_mem | S_switch
+
+let all_params = [ P_remote; N_t; Runlength; K; P_sw; L_mem; S_switch ]
+
+let param_name = function
+  | P_remote -> "p_remote"
+  | N_t -> "n_t"
+  | Runlength -> "runlength"
+  | K -> "k"
+  | P_sw -> "p_sw"
+  | L_mem -> "l_mem"
+  | S_switch -> "s_switch"
+
+let param_of_string s =
+  List.find_opt (fun p -> param_name p = s) all_params
+
+let apply p param v =
+  match param with
+  | P_remote -> { p with Params.p_remote = v }
+  | N_t -> { p with Params.n_t = int_of_float (Float.round v) }
+  | Runlength -> { p with Params.runlength = v }
+  | K -> { p with Params.k = int_of_float (Float.round v) }
+  | P_sw -> { p with Params.pattern = Lattol_topology.Access.Geometric v }
+  | L_mem -> { p with Params.l_mem = v }
+  | S_switch -> { p with Params.s_switch = v }
+
+let linspace ~lo ~hi ~steps =
+  if steps < 2 then invalid_arg "Sweep.linspace: steps must be at least 2";
+  List.init steps (fun i ->
+      lo +. ((hi -. lo) *. float_of_int i /. float_of_int (steps - 1)))
+
+type axis = { param : param; values : float list }
+
+type solved = {
+  measures : Measures.t;
+  tol_network : Tolerance.report;
+  tol_memory : Tolerance.report;
+}
+
+type row = {
+  assigns : (param * float) list;
+  result : (solved, string) result;
+}
+
+let label assigns =
+  String.concat ","
+    (List.map
+       (fun (param, v) -> Printf.sprintf "%s=%g" (param_name param) v)
+       assigns)
+
+(* Row-major cartesian product: the first axis varies slowest, exactly the
+   nesting order of the equivalent hand-written loops. *)
+let points axes =
+  List.fold_right
+    (fun axis tails ->
+      List.concat_map
+        (fun v -> List.map (fun tail -> (axis.param, v) :: tail) tails)
+        axis.values)
+    axes [ [] ]
+
+let run ?solver ?cache ?(jobs = 1) ?(ideal_method = Tolerance.Zero_remote)
+    ?trace ?on_sweep ~base axes =
+  if jobs < 1 then invalid_arg "Sweep.run: jobs must be at least 1";
+  if axes = [] then invalid_arg "Sweep.run: at least one axis";
+  List.iter
+    (fun a -> if a.values = [] then invalid_arg "Sweep.run: empty axis")
+    axes;
+  (match trace with
+  | Some _ when jobs > 1 ->
+    (* The trace is one chronological recording; interleaving attempts
+       from several domains would scramble it. *)
+    invalid_arg "Sweep.run: solver tracing requires jobs = 1"
+  | _ -> ());
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  (* [label] marks the real solve of a sweep point in the trace; ideal
+     solves are untraced support work, as in the pre-engine CLI. *)
+  let solve_point ?label params =
+    let resolved =
+      match solver with Some s -> s | None -> Mms.default_solver params
+    in
+    let compute () =
+      match trace with
+      | Some tel when label <> None && params.Params.n_t > 0 ->
+        Lattol_obs.Solver_trace.start_attempt tel ?label
+          ~budget:Amva.default_options.Amva.max_iterations
+          ~solver:(Mms.solver_label resolved)
+          ~damping:Amva.default_options.Amva.damping ();
+        let hook ~iteration ~residual =
+          Lattol_obs.Solver_trace.record tel ~iteration ~residual;
+          match on_sweep with
+          | None -> Amva.Continue
+          | Some f -> f ~iteration ~residual
+        in
+        let solution =
+          Mms.solve_network ~solver:resolved ~on_sweep:hook params
+        in
+        Lattol_obs.Solver_trace.finish_attempt tel
+          ~converged:solution.Solution.converged
+          ~iterations:solution.Solution.iterations;
+        Mms.measures_of_solution params solution
+      | _ -> Mms.solve ~solver:resolved ?on_sweep params
+    in
+    Cache.find_or_compute cache
+      ~key:(Cache.key ~solver_id:(Mms.solver_label resolved) params)
+      compute
+  in
+  let eval assigns =
+    let p =
+      List.fold_left (fun p (param, v) -> apply p param v) base assigns
+    in
+    match Params.validate p with
+    | Error msg -> { assigns; result = Error msg }
+    | Ok p ->
+      let real = solve_point ~label:(label assigns) p in
+      let ideal_net =
+        solve_point
+          (Tolerance.ideal_params Tolerance.Network_latency ideal_method p)
+      in
+      let ideal_mem =
+        solve_point
+          (Tolerance.ideal_params Tolerance.Memory_latency Tolerance.Zero_delay
+             p)
+      in
+      {
+        assigns;
+        result =
+          Ok
+            {
+              measures = real;
+              tol_network =
+                Tolerance.of_measures ~ideal_method Tolerance.Network_latency
+                  ~real ~ideal:ideal_net;
+              tol_memory =
+                Tolerance.of_measures Tolerance.Memory_latency ~real
+                  ~ideal:ideal_mem;
+            };
+      }
+  in
+  Pool.map_list ~jobs eval (points axes)

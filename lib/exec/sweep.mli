@@ -1,0 +1,74 @@
+(** Deterministic (optionally parallel) parameter sweeps.
+
+    A sweep is a cartesian grid of one or more {!axis} values applied to a
+    base {!Params.t}.  Every grid point is solved exactly once per distinct
+    configuration: the real solve and the two ideal-machine solves behind
+    the tolerance indices all go through one shared {!Cache}, so points
+    that agree on an ideal configuration (every [p_remote] point shares the
+    same zero-remote ideal, for instance) reuse a single solution instead
+    of re-solving it per point.
+
+    Evaluation order is input order regardless of [jobs] — the row list is
+    byte-for-byte stable under parallelism (see {!Pool}). *)
+
+open Lattol_core
+open Lattol_queueing
+
+type param = P_remote | N_t | Runlength | K | P_sw | L_mem | S_switch
+
+val all_params : param list
+
+val param_name : param -> string
+(** CLI / CSV spelling: ["p_remote"], ["n_t"], ["runlength"], ["k"],
+    ["p_sw"], ["l_mem"], ["s_switch"]. *)
+
+val param_of_string : string -> param option
+
+val apply : Params.t -> param -> float -> Params.t
+(** Substitute one swept value into a parameter record.  Integer
+    parameters ([N_t], [K]) round to nearest; [P_sw] installs a
+    {!Lattol_topology.Access.Geometric} pattern. *)
+
+val linspace : lo:float -> hi:float -> steps:int -> float list
+(** [steps >= 2] evenly spaced values, endpoints included, computed with
+    the same expression the CLI always used so sweep output stays
+    byte-identical. *)
+
+type axis = { param : param; values : float list }
+
+type solved = {
+  measures : Measures.t;
+  tol_network : Tolerance.report;
+  tol_memory : Tolerance.report;
+}
+
+type row = {
+  assigns : (param * float) list;  (** one value per axis, in axis order *)
+  result : (solved, string) result;  (** [Error] = validation message *)
+}
+
+val label : (param * float) list -> string
+(** ["n_t=4"] / ["p_remote=0.2,n_t=4"] — the solver-trace attempt label. *)
+
+val points : axis list -> (param * float) list list
+(** Row-major cartesian product (first axis slowest), exposed for callers
+    that need the grid shape without solving it. *)
+
+val run :
+  ?solver:Mms.solver ->
+  ?cache:Cache.t ->
+  ?jobs:int ->
+  ?ideal_method:Tolerance.ideal_method ->
+  ?trace:Lattol_obs.Solver_trace.t ->
+  ?on_sweep:(iteration:int -> residual:float -> Amva.progress) ->
+  base:Params.t ->
+  axis list ->
+  row list
+(** Solve the grid.  [ideal_method] shapes the network-tolerance ideal
+    (default {!Tolerance.Zero_remote}); the memory ideal is always
+    {!Tolerance.Zero_delay}.  [trace] records one attempt per valid grid
+    point (labelled with {!label}) and requires [jobs = 1] — a single
+    chronological recording cannot interleave domains.  [on_sweep] observes
+    every AMVA iteration of every solve (real and ideal) that actually
+    runs; cache hits invoke neither.  Raises [Invalid_argument] on
+    [jobs < 1], an empty axis list, or an empty axis. *)

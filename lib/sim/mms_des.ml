@@ -9,6 +9,7 @@ type service_model = Exponential | Deterministic
 
 type config = {
   seed : int;
+  rng : Prng.t option;
   warmup : float;
   horizon : float;
   batches : int;
@@ -24,6 +25,7 @@ type config = {
 let default_config =
   {
     seed = 1;
+    rng = None;
     warmup = 1_000.;
     horizon = 100_000.;
     batches = 20;
@@ -97,7 +99,11 @@ let build (config : config) p =
   let p = Params.validate_exn p in
   let faults = Fault_plan.validate_exn config.faults in
   let engine = Engine.create () in
-  let rng = Prng.create ~seed:config.seed () in
+  let rng =
+    match config.rng with
+    | Some r -> r
+    | None -> Prng.create ~seed:config.seed ()
+  in
   let topo = Params.make_topology p in
   let n = Params.num_processors p in
   let probs =

@@ -19,6 +19,12 @@ type service_model =
 
 type config = {
   seed : int;
+  rng : Lattol_stats.Prng.t option;
+      (** randomness source; when set it supersedes [seed].  This is how
+          replication fan-out hands each run an independent stream derived
+          by {!Lattol_stats.Prng.split} from one root seed — the streams
+          are fixed before any run starts, so results do not depend on how
+          the runs are scheduled.  Default [None] (derive from [seed]). *)
   warmup : float;        (** simulated time discarded before measuring *)
   horizon : float;       (** measured simulated time *)
   batches : int;         (** batches for confidence intervals *)

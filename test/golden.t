@@ -1,0 +1,38 @@
+Golden-figure regression: the paper's figure sweeps must keep producing
+the recorded numbers.  The comparison is numeric (rtol 1e-4, atol 1e-6),
+not textual, so benign float-formatting drift does not fail the suite —
+a real change in solver behavior does.
+
+  $ ../bin/mms_cli.exe figures --out out --only fig06_tolerance --only saturation --no-cache
+  wrote out/fig06_tolerance.csv (72 rows)
+  wrote out/saturation.csv (21 rows)
+  cache: 61 hits (0 disk, 61 shared), 218 misses, 218 solves
+
+The tolerance-index figure (tolerance vs n_t across p_remote and
+runlength, paper Fig. 6):
+
+  $ ./numdiff.exe --rtol 1e-4 --atol 1e-6 golden/fig06_tolerance.csv out/fig06_tolerance.csv
+
+The network-saturation figure (lambda_net vs p_remote at n_t = 10; the
+offered load is capped by the switch ceiling, so lambda_net levels off
+near 0.26 flits/cycle for p_sw = 0.5 while U_p keeps falling):
+
+  $ ./numdiff.exe --rtol 1e-4 --atol 1e-6 golden/saturation.csv out/saturation.csv
+
+A deliberately perturbed copy must fail the comparison:
+
+  $ sed 's/^0.2,0.5,1,0.168736/0.2,0.5,1,0.169736/' golden/fig06_tolerance.csv > perturbed.csv
+  $ ./numdiff.exe --rtol 1e-4 --atol 1e-6 perturbed.csv out/fig06_tolerance.csv 2>&1
+  line 3 field 4: 0.169736 vs 0.168736
+  [1]
+
+And the grid mode is byte-identical under parallelism, warm or cold:
+
+  $ ../bin/mms_cli.exe figures --out out2 --jobs 4 --cache cachedir --only fig06_tolerance --only saturation > /dev/null
+  $ cmp out/fig06_tolerance.csv out2/fig06_tolerance.csv
+  $ cmp out/saturation.csv out2/saturation.csv
+  $ ../bin/mms_cli.exe figures --out out3 --jobs 2 --cache cachedir --only fig06_tolerance --only saturation
+  wrote out3/fig06_tolerance.csv (72 rows)
+  wrote out3/saturation.csv (21 rows)
+  cache: 279 hits (218 disk, 61 shared), 0 misses, 0 solves
+  $ cmp out/fig06_tolerance.csv out3/fig06_tolerance.csv

@@ -1,0 +1,71 @@
+(* Numeric diff for golden-figure CSVs.
+
+   Usage: numdiff [--rtol R] [--atol A] GOLDEN ACTUAL
+
+   Lines must match one-to-one.  Fields are compared as floats when both
+   sides parse (|a - b| <= atol + rtol * |golden|, with NaN equal to NaN),
+   and as exact strings otherwise (headers, comments).  Prints every
+   mismatch and exits 1 on any. *)
+
+let () =
+  let rtol = ref 1e-6 and atol = ref 1e-9 in
+  let files = ref [] in
+  let rec parse = function
+    | "--rtol" :: v :: rest ->
+      rtol := float_of_string v;
+      parse rest
+    | "--atol" :: v :: rest ->
+      atol := float_of_string v;
+      parse rest
+    | f :: rest ->
+      files := f :: !files;
+      parse rest
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let golden, actual =
+    match List.rev !files with
+    | [ g; a ] -> (g, a)
+    | _ ->
+      prerr_endline "usage: numdiff [--rtol R] [--atol A] GOLDEN ACTUAL";
+      exit 2
+  in
+  let read f = String.split_on_char '\n' (String.trim (In_channel.with_open_bin f In_channel.input_all)) in
+  let gl = read golden and al = read actual in
+  let errors = ref 0 in
+  let complain fmt =
+    incr errors;
+    Printf.eprintf fmt
+  in
+  if List.length gl <> List.length al then
+    complain "line count differs: %d (golden) vs %d (actual)\n"
+      (List.length gl) (List.length al)
+  else
+    List.iteri
+      (fun i (g, a) ->
+        if g <> a then begin
+          let gf = String.split_on_char ',' g
+          and af = String.split_on_char ',' a in
+          if List.length gf <> List.length af then
+            complain "line %d: field count differs\n  golden: %s\n  actual: %s\n"
+              (i + 1) g a
+          else
+            List.iteri
+              (fun j (gv, av) ->
+                match (float_of_string_opt gv, float_of_string_opt av) with
+                | Some x, Some y ->
+                  let equal =
+                    (Float.is_nan x && Float.is_nan y)
+                    || abs_float (x -. y) <= !atol +. (!rtol *. abs_float x)
+                  in
+                  if not equal then
+                    complain "line %d field %d: %s vs %s\n" (i + 1) (j + 1) gv
+                      av
+                | _ ->
+                  if gv <> av then
+                    complain "line %d field %d: %S vs %S\n" (i + 1) (j + 1) gv
+                      av)
+              (List.combine gf af)
+        end)
+      (List.combine gl al);
+  exit (if !errors = 0 then 0 else 1)

@@ -1,0 +1,414 @@
+(* Tests for the experiment engine: deterministic Domain pool,
+   content-addressed solve cache, shared-solution sweeps, and the
+   parallel-equals-sequential / warm-equals-cold byte-identity
+   properties. *)
+
+open Lattol_core
+module Pool = Lattol_exec.Pool
+module Cache = Lattol_exec.Cache
+module Sweep = Lattol_exec.Sweep
+module Figures = Lattol_exec.Figures
+module Replicate = Lattol_exec.Replicate
+
+let tmp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_ordering () =
+  let items = Array.init 100 (fun i -> i) in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun chunk ->
+          let out = Pool.map ?chunk ~jobs (fun i -> i * i) items in
+          Array.iteri
+            (fun i v ->
+              if v <> i * i then
+                Alcotest.failf "jobs=%d slot %d holds %d" jobs i v)
+            out)
+        [ None; Some 1; Some 7; Some 1000 ])
+    [ 1; 2; 4; 8 ]
+
+let test_pool_exception () =
+  let items = Array.init 64 (fun i -> i) in
+  List.iter
+    (fun jobs ->
+      match
+        Pool.map ~jobs (fun i -> if i = 33 then failwith "boom" else i) items
+      with
+      | _ -> Alcotest.fail "exception swallowed"
+      | exception Failure msg -> Alcotest.(check string) "message" "boom" msg)
+    [ 1; 4 ]
+
+let test_pool_rejects_bad_jobs () =
+  Alcotest.check_raises "jobs=0"
+    (Invalid_argument "Pool.map: jobs must be at least 1") (fun () ->
+      ignore (Pool.map ~jobs:0 (fun i -> i) [| 1 |]))
+
+let test_pool_empty_and_excess_jobs () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map_list ~jobs:4 (fun i -> i) []);
+  Alcotest.(check (list int))
+    "more jobs than items" [ 2; 4 ]
+    (Pool.map_list ~jobs:16 (fun i -> 2 * i) [ 1; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let solver_id p = Mms.solver_label (Mms.default_solver p)
+
+let test_cache_key_discriminates () =
+  let p = Params.default in
+  let k0 = Cache.key ~solver_id:(solver_id p) p in
+  Alcotest.(check string) "stable" k0 (Cache.key ~solver_id:(solver_id p) p);
+  let variants =
+    [
+      { p with Params.p_remote = 0.25 };
+      { p with Params.n_t = 7 };
+      { p with Params.runlength = 2. };
+      { p with Params.pattern = Lattol_topology.Access.Uniform };
+      { p with Params.topology = Lattol_topology.Topology.Mesh };
+    ]
+  in
+  List.iter
+    (fun q ->
+      if Cache.key ~solver_id:(solver_id p) q = k0 then
+        Alcotest.fail "distinct params share a key")
+    variants;
+  if Cache.key ~solver_id:"exact" p = k0 then
+    Alcotest.fail "solver id not part of the key"
+
+let test_cache_memo_and_disk () =
+  let dir = tmp_dir "lattol_cache" in
+  let p = Params.default in
+  let key = Cache.key ~solver_id:(solver_id p) p in
+  let solves = ref 0 in
+  let compute () =
+    incr solves;
+    Mms.solve p
+  in
+  let c1 = Cache.create ~dir () in
+  let a = Cache.find_or_compute c1 ~key compute in
+  let b = Cache.find_or_compute c1 ~key compute in
+  Alcotest.(check int) "solved once" 1 !solves;
+  Alcotest.(check bool) "memo returns the same measures" true (a = b);
+  let s1 = Cache.stats c1 in
+  Alcotest.(check int) "memo hit counted" 1 s1.Cache.memo_hits;
+  Alcotest.(check int) "store counted" 1 s1.Cache.stores;
+  (* A fresh cache over the same directory must serve the entry from disk
+     with bit-identical measures and no new solve. *)
+  let c2 = Cache.create ~dir () in
+  let c = Cache.find_or_compute c2 ~key compute in
+  Alcotest.(check int) "warm run solves nothing" 1 !solves;
+  Alcotest.(check bool) "disk roundtrip is bit-exact" true (a = c);
+  let s2 = Cache.stats c2 in
+  Alcotest.(check int) "disk hit counted" 1 s2.Cache.disk_hits;
+  Alcotest.(check int) "no miss" 0 s2.Cache.misses
+
+let test_cache_corrupt_entry_recomputes () =
+  let dir = tmp_dir "lattol_cache" in
+  let p = Params.default in
+  let key = Cache.key ~solver_id:(solver_id p) p in
+  let c1 = Cache.create ~dir () in
+  let a = Cache.find_or_compute c1 ~key (fun () -> Mms.solve p) in
+  (* Truncate the stored entry; the next run must fall back to solving. *)
+  let rec find_file d =
+    let entries = Sys.readdir d in
+    let sub = ref None in
+    Array.iter
+      (fun e ->
+        let path = Filename.concat d e in
+        if Sys.is_directory path then sub := Some (find_file path)
+        else sub := Some path)
+      entries;
+    Option.get !sub
+  in
+  let path = find_file dir in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "garbage");
+  let c2 = Cache.create ~dir () in
+  let solves = ref 0 in
+  let b =
+    Cache.find_or_compute c2 ~key (fun () ->
+        incr solves;
+        Mms.solve p)
+  in
+  Alcotest.(check int) "recomputed" 1 !solves;
+  Alcotest.(check bool) "same value" true (a = b)
+
+let test_cache_concurrent_dedup () =
+  (* Many workers asking for the same key must trigger exactly one
+     compute; everyone else parks on the memo and wakes with the value. *)
+  let c = Cache.create () in
+  let p = Params.default in
+  let key = Cache.key ~solver_id:(solver_id p) p in
+  let solves = Atomic.make 0 in
+  let results =
+    Pool.map ~jobs:8 ~chunk:1
+      (fun _ ->
+        Cache.find_or_compute c ~key (fun () ->
+            Atomic.incr solves;
+            Mms.solve p))
+      (Array.init 32 (fun i -> i))
+  in
+  Alcotest.(check int) "one solve" 1 (Atomic.get solves);
+  Array.iter
+    (fun m ->
+      if m <> results.(0) then Alcotest.fail "requesters saw different values")
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Sweep: shared solutions instead of redundant solves *)
+
+let count_solves f =
+  (* Every AMVA solve announces itself with an iteration-1 sweep; counting
+     those counts solver invocations without touching solver internals. *)
+  let n = Atomic.make 0 in
+  let on_sweep ~iteration ~residual:_ =
+    if iteration = 1 then Atomic.incr n;
+    Lattol_queueing.Amva.Continue
+  in
+  let r = f on_sweep in
+  (r, Atomic.get n)
+
+let test_sweep_no_redundant_solves () =
+  let steps = 5 in
+  let axes =
+    [ { Sweep.param = Sweep.P_remote; values = Sweep.linspace ~lo:0.1 ~hi:0.9 ~steps } ]
+  in
+  let cache = Cache.create () in
+  let rows, solves =
+    count_solves (fun on_sweep ->
+        Sweep.run ~cache ~on_sweep ~base:Params.default axes)
+  in
+  Alcotest.(check int) "rows" steps (List.length rows);
+  (* One real solve per point, one zero-delay memory ideal per point, and a
+     single zero-remote network ideal shared by the whole sweep (which
+     converges before its first progress callback, so the observer sees
+     one fewer than the cache).  The pre-engine CLI performed 5 solves per
+     point (real, then real+ideal for each of the two tolerance indices):
+     25 here. *)
+  Alcotest.(check int) "solver invocations" (2 * steps) solves;
+  let s = Cache.stats cache in
+  Alcotest.(check int) "cache agrees" ((2 * steps) + 1) s.Cache.solves;
+  Alcotest.(check int) "shared ideal hits" (steps - 1) s.Cache.memo_hits
+
+let test_sweep_counts_observer_once_per_iteration () =
+  (* The user hook must see every iteration of the solves that do run, and
+     none from cache hits: a second identical run reports zero. *)
+  let axes =
+    [ { Sweep.param = Sweep.N_t; values = [ 2.; 4. ] } ]
+  in
+  let cache = Cache.create () in
+  let _, first =
+    count_solves (fun on_sweep ->
+        Sweep.run ~cache ~on_sweep ~base:Params.default axes)
+  in
+  Alcotest.(check bool) "first run solves" true (first > 0);
+  let _, second =
+    count_solves (fun on_sweep ->
+        Sweep.run ~cache ~on_sweep ~base:Params.default axes)
+  in
+  Alcotest.(check int) "warm run never invokes the solver" 0 second
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identity properties *)
+
+(* Render rows exactly (%h keeps every bit), so string equality is
+   result-bitwise equality and NaNs compare equal. *)
+let render rows =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun row ->
+      Printf.bprintf b "%s -> " (Sweep.label row.Sweep.assigns);
+      (match row.Sweep.result with
+      | Error msg -> Printf.bprintf b "skipped: %s" msg
+      | Ok s ->
+        let m = s.Sweep.measures in
+        Printf.bprintf b "%h %h %h %h %h %h %h" m.Measures.u_p
+          m.Measures.lambda m.Measures.lambda_net m.Measures.s_obs
+          m.Measures.l_obs s.Sweep.tol_network.Tolerance.tol
+          s.Sweep.tol_memory.Tolerance.tol);
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.contents b
+
+let axes_gen =
+  let open QCheck.Gen in
+  let axis =
+    oneof
+      [
+        map
+          (fun (lo, hi) ->
+            {
+              Sweep.param = Sweep.P_remote;
+              values = Sweep.linspace ~lo ~hi ~steps:3;
+            })
+          (pair (float_range 0.05 0.5) (float_range 0.5 0.95));
+        map
+          (fun ns ->
+            { Sweep.param = Sweep.N_t; values = List.map float_of_int ns })
+          (list_size (int_range 1 3) (int_range 1 6));
+        map
+          (fun rs -> { Sweep.param = Sweep.Runlength; values = rs })
+          (list_size (int_range 1 3) (float_range 0.5 4.));
+      ]
+  in
+  list_size (int_range 1 2) axis
+
+let axes_print axes =
+  String.concat "; "
+    (List.map
+       (fun a ->
+         Printf.sprintf "%s=[%s]" (Sweep.param_name a.Sweep.param)
+           (String.concat "," (List.map (Printf.sprintf "%h") a.Sweep.values)))
+       axes)
+
+let prop_parallel_equals_sequential =
+  QCheck.Test.make ~name:"parallel sweep output is byte-identical" ~count:15
+    (QCheck.make ~print:axes_print axes_gen)
+    (fun axes ->
+      let run jobs = render (Sweep.run ~jobs ~base:Params.default axes) in
+      let sequential = run 1 in
+      List.for_all (fun jobs -> run jobs = sequential) [ 2; 4; 8 ])
+
+let prop_warm_cache_equals_cold =
+  QCheck.Test.make ~name:"warm cache re-run is byte-identical" ~count:10
+    (QCheck.make ~print:axes_print axes_gen)
+    (fun axes ->
+      let dir = tmp_dir "lattol_qc" in
+      let cold =
+        render
+          (Sweep.run ~cache:(Cache.create ~dir ()) ~jobs:2
+             ~base:Params.default axes)
+      in
+      let warm_cache = Cache.create ~dir () in
+      let warm =
+        render (Sweep.run ~cache:warm_cache ~jobs:4 ~base:Params.default axes)
+      in
+      warm = cold && (Cache.stats warm_cache).Cache.solves = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Figures and replication fan-out *)
+
+let test_figures_deterministic_and_cached () =
+  let base = { Params.default with Params.k = 2 } in
+  let figure =
+    match Figures.find ~base "saturation" with
+    | Some f -> f
+    | None -> Alcotest.fail "saturation figure missing"
+  in
+  let out1 = tmp_dir "lattol_figs" and out2 = tmp_dir "lattol_figs" in
+  let read (w : Figures.written) =
+    In_channel.with_open_bin w.Figures.path In_channel.input_all
+  in
+  let cache_dir = Filename.concat out1 "cache" in
+  let w1 =
+    Figures.write ~cache:(Cache.create ~dir:cache_dir ()) ~jobs:1 ~dir:out1
+      [ figure ]
+  in
+  let warm = Cache.create ~dir:cache_dir () in
+  let w2 = Figures.write ~cache:warm ~jobs:4 ~dir:out2 [ figure ] in
+  Alcotest.(check string)
+    "warm parallel run writes identical CSV"
+    (read (List.hd w1))
+    (read (List.hd w2));
+  Alcotest.(check int) "warm run solves nothing" 0
+    (Cache.stats warm).Cache.solves;
+  Alcotest.(check int) "row count" 21 (List.hd w1).Figures.rows
+
+let test_replicate_des_deterministic () =
+  let p = { Params.default with Params.k = 2; n_t = 2 } in
+  let config =
+    { Lattol_sim.Mms_des.default_config with Lattol_sim.Mms_des.horizon = 500. }
+  in
+  let run jobs =
+    let s = Replicate.des ~jobs ~config ~replications:4 p in
+    List.map
+      (fun r -> r.Lattol_sim.Mms_des.measures.Measures.u_p)
+      s.Replicate.results
+  in
+  let sequential = run 1 in
+  Alcotest.(check int) "four results" 4 (List.length sequential);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list (float 0.))) "independent of jobs" sequential
+        (run jobs))
+    [ 2; 8 ];
+  (* Distinct streams: replications must not clone each other. *)
+  let distinct = List.sort_uniq compare sequential in
+  Alcotest.(check int) "streams differ" 4 (List.length distinct)
+
+let test_replicate_des_ci () =
+  let p = { Params.default with Params.k = 2; n_t = 2 } in
+  let config =
+    { Lattol_sim.Mms_des.default_config with Lattol_sim.Mms_des.horizon = 500. }
+  in
+  let s = Replicate.des ~jobs:2 ~config ~replications:5 p in
+  match s.Replicate.u_p_ci with
+  | None -> Alcotest.fail "no CI with 5 replications"
+  | Some (mean, half) ->
+    Alcotest.(check bool) "mean in (0,1]" true (mean > 0. && mean <= 1.);
+    Alcotest.(check bool) "half-width positive" true (half > 0.)
+
+let test_replicate_rejects_sinks () =
+  let p = { Params.default with Params.k = 2; n_t = 2 } in
+  let config =
+    {
+      Lattol_sim.Mms_des.default_config with
+      Lattol_sim.Mms_des.metrics = Some (Lattol_obs.Metrics.create ());
+    }
+  in
+  Alcotest.check_raises "metrics sink rejected"
+    (Invalid_argument
+       "Replicate.des: trace/metrics sinks require replications = 1")
+    (fun () -> ignore (Replicate.des ~config ~replications:2 p))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "lattol_exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "deterministic ordering" `Quick test_pool_ordering;
+          Alcotest.test_case "exception propagates" `Quick test_pool_exception;
+          Alcotest.test_case "rejects jobs < 1" `Quick test_pool_rejects_bad_jobs;
+          Alcotest.test_case "edge sizes" `Quick test_pool_empty_and_excess_jobs;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "key discriminates" `Quick
+            test_cache_key_discriminates;
+          Alcotest.test_case "memo and disk" `Quick test_cache_memo_and_disk;
+          Alcotest.test_case "corrupt entry recomputes" `Quick
+            test_cache_corrupt_entry_recomputes;
+          Alcotest.test_case "concurrent dedup" `Quick
+            test_cache_concurrent_dedup;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "no redundant solves" `Quick
+            test_sweep_no_redundant_solves;
+          Alcotest.test_case "warm run solver-silent" `Quick
+            test_sweep_counts_observer_once_per_iteration;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "deterministic and cached" `Quick
+            test_figures_deterministic_and_cached;
+        ] );
+      ( "replicate",
+        [
+          Alcotest.test_case "deterministic fan-out" `Quick
+            test_replicate_des_deterministic;
+          Alcotest.test_case "confidence interval" `Quick test_replicate_des_ci;
+          Alcotest.test_case "rejects sinks" `Quick test_replicate_rejects_sinks;
+        ] );
+      ( "properties",
+        qcheck [ prop_parallel_equals_sequential; prop_warm_cache_equals_cold ] );
+    ]

@@ -72,6 +72,68 @@ let test_prng_split_independent () =
   done;
   Alcotest.(check int) "streams differ" 0 !same
 
+(* Replication fan-out derives one stream per replication by repeated
+   [split] from a root seed; these three tests are the statistical
+   contract that design leans on. *)
+
+let split_streams ~seed n =
+  let root = Prng.create ~seed () in
+  List.init n (fun _ -> Prng.split root)
+
+let test_prng_split_reproducible () =
+  (* Streams depend only on (seed, index): re-deriving from the same root
+     seed replays every stream exactly. *)
+  let a = split_streams ~seed:1997 8 and b = split_streams ~seed:1997 8 in
+  List.iteri
+    (fun i (x, y) ->
+      for _ = 1 to 1_000 do
+        if Prng.bits64 x <> Prng.bits64 y then
+          Alcotest.failf "stream %d diverged" i
+      done)
+    (List.combine a b)
+
+let test_prng_split_nonoverlapping () =
+  (* Over 10^5 draws per stream, no 64-bit output may appear in two
+     different streams: a birthday collision of honest streams has
+     probability ~ (5*10^5)^2 / 2^64 < 10^-8, so any hit means the
+     streams share state. *)
+  let streams = split_streams ~seed:5 4 in
+  let draws = 100_000 in
+  let seen = Hashtbl.create (5 * draws) in
+  List.iteri
+    (fun id rng ->
+      for _ = 1 to draws do
+        let v = Prng.bits64 rng in
+        match Hashtbl.find_opt seen v with
+        | Some other when other <> id ->
+          Alcotest.failf "streams %d and %d both produced %Ld" other id v
+        | _ -> Hashtbl.replace seen v id
+      done)
+    streams
+
+let test_prng_split_uncorrelated () =
+  (* Pearson correlation between sibling streams' uniforms: the standard
+     error at n = 10^5 is ~0.003, so |r| beyond 0.02 is a real defect,
+     not noise. *)
+  match split_streams ~seed:23 2 with
+  | [ a; b ] ->
+    let n = 100_000 in
+    let xs = Array.init n (fun _ -> Prng.float a) in
+    let ys = Array.init n (fun _ -> Prng.float b) in
+    let mean v = Array.fold_left ( +. ) 0. v /. float_of_int n in
+    let mx = mean xs and my = mean ys in
+    let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    let r = !sxy /. sqrt (!sxx *. !syy) in
+    if abs_float r > 0.02 then
+      Alcotest.failf "sibling streams correlate: r = %g" r
+  | _ -> assert false
+
 let test_prng_copy () =
   let a = Prng.create ~seed:9 () in
   ignore (Prng.bits64 a);
@@ -500,6 +562,12 @@ let () =
           Alcotest.test_case "int uniform" `Quick test_prng_int_uniform;
           Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
           Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "split reproducible" `Quick
+            test_prng_split_reproducible;
+          Alcotest.test_case "split non-overlapping" `Slow
+            test_prng_split_nonoverlapping;
+          Alcotest.test_case "split uncorrelated" `Slow
+            test_prng_split_uncorrelated;
           Alcotest.test_case "copy" `Quick test_prng_copy;
         ] );
       ( "variate",
