@@ -654,7 +654,7 @@ let simulate_cmd =
              $(b,memory) or $(b,both).")
   in
   let fault_plan mtbf mttr degrade target =
-    if mtbf = 0. then Ok Lattol_robust.Fault_plan.none
+    if Float.equal mtbf 0. then Ok Lattol_robust.Fault_plan.none
     else begin
       let pr = Lattol_robust.Fault_plan.process ~mtbf ~mttr ~degrade in
       let plan =

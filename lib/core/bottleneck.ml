@@ -23,16 +23,16 @@ let analyze p =
   let r = Params.processor_occupancy p in
   let depth = float_of_int p.Params.switch_pipeline in
   let lambda_sat =
-    if s = 0. || Float.is_nan d_avg || d_avg = 0. then infinity
+    if Float.equal s 0. || Float.is_nan d_avg || Float.equal d_avg 0. then infinity
     else depth /. (2. *. d_avg *. s)
   in
   let net_response_rate =
-    if s = 0. || Float.is_nan d_avg then infinity
+    if Float.equal s 0. || Float.is_nan d_avg then infinity
     else depth /. (2. *. (d_avg +. 1.) *. s)
   in
   let p_critical =
     if net_response_rate = infinity then 1.
-    else if l = 0. then 1.
+    else if Float.equal l 0. then 1.
     else clamp01 (1. +. (l /. (2. *. (d_avg +. 1.) *. s)) -. (l /. r))
   in
   {
@@ -41,7 +41,7 @@ let analyze p =
     p_remote_critical = p_critical;
     p_remote_saturation = clamp01 (r *. lambda_sat);
     memory_demand = l /. r;
-    memory_bound_u_p = (if l = 0. then 1. else Float.min 1. (r /. l));
+    memory_bound_u_p = (if Float.equal l 0. then 1. else Float.min 1. (r /. l));
   }
 
 type open_view = {

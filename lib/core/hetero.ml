@@ -109,9 +109,9 @@ let solve ?(solver = `Amva) ~base groups =
       occupancy = lambda *. (g.runlength +. base.Params.context_switch);
       lambda_net = !remote_rate /. nf;
       s_obs =
-        (if !remote_rate = 0. then nan
+        (if Float.equal !remote_rate 0. then nan
          else !switch_rate /. (2. *. !remote_rate));
-      l_obs = (if !lambda_sum = 0. then 0. else !mem_rate /. !lambda_sum);
+      l_obs = (if Float.equal !lambda_sum 0. then 0. else !mem_rate /. !lambda_sum);
       cycle_time = !cycle_sum /. nf;
     }
   in

@@ -53,7 +53,7 @@ let matrix kernel topo ~compute =
       let row = Array.make p 0. in
       let targets = remote_targets kernel topo src in
       let total_weight = List.fold_left (fun acc (_, w) -> acc +. w) 0. targets in
-      if targets = [] || total_weight = 0. then begin
+      if targets = [] || Float.equal total_weight 0. then begin
         (* This node does not communicate in this kernel: purely local. *)
         row.(src) <- 1.;
         row

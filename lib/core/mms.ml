@@ -342,10 +342,10 @@ let measures_of_solution p solution =
   let lambda = !lambda_sum /. count in
   let lambda_net = !remote_rate_sum /. count in
   let s_obs =
-    if !remote_rate_sum = 0. then nan
+    if Float.equal !remote_rate_sum 0. then nan
     else !switch_time_rate /. (2. *. !remote_rate_sum)
   in
-  let l_obs = if !lambda_sum = 0. then 0. else !mem_time_rate /. !lambda_sum in
+  let l_obs = if Float.equal !lambda_sum 0. then 0. else !mem_time_rate /. !lambda_sum in
   let avg_station_stat f offset =
     if List.compare_length_with classes 1 = 0 then f (offset 0)
     else begin
@@ -390,7 +390,7 @@ let measures_of_solution p solution =
        else 0.);
     su_obs =
       (if not (has_sync_unit p) then 0.
-       else if !remote_rate_sum = 0. then nan
+       else if Float.equal !remote_rate_sum 0. then nan
        else !su_time_rate /. !remote_rate_sum);
     queue_processor =
       (let acc = ref 0. in

@@ -123,7 +123,7 @@ let search ?solver ?(max_configurations = 2000) ~base ~budget upgrades =
   in
   List.sort
     (fun a b ->
-      match compare b.u_p a.u_p with
+      match Float.compare b.u_p a.u_p with
       | 0 -> compare a.total_cost b.total_cost
       | c -> c)
     solved

@@ -85,7 +85,7 @@ let make_topology t =
 let make_access t = Access.create (make_topology t) t.pattern ~p_remote:t.p_remote
 
 let d_avg t =
-  if t.p_remote = 0. then nan
+  if Float.equal t.p_remote 0. then nan
   else Access.average_distance (make_access t) ~src:0
 
 let pp ppf t =

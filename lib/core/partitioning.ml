@@ -37,7 +37,7 @@ let best = function
       (fun acc p ->
         if
           p.measures.Measures.u_p > acc.measures.Measures.u_p
-          || (p.measures.Measures.u_p = acc.measures.Measures.u_p
+          || (Float.equal p.measures.Measures.u_p acc.measures.Measures.u_p
               && p.n_t < acc.n_t)
         then p
         else acc)

@@ -16,7 +16,7 @@ let derivative_of ?solver ~param ~value ~lo ~hi ~apply p =
     let u_hi = u_p ?solver (apply hi) and u_lo = u_p ?solver (apply lo) in
     let gradient = (u_hi -. u_lo) /. (hi -. lo) in
     let u0 = u_p ?solver p in
-    let elasticity = if u0 = 0. || value = 0. then 0. else gradient *. value /. u0 in
+    let elasticity = if Float.equal u0 0. || Float.equal value 0. then 0. else gradient *. value /. u0 in
     Some { param; value; gradient; elasticity }
   end
 
@@ -59,7 +59,7 @@ let analyze ?solver ?(rel_step = 0.05) p =
 
 let ranked ?solver ?rel_step p =
   List.sort
-    (fun a b -> compare (abs_float b.elasticity) (abs_float a.elasticity))
+    (fun a b -> Float.compare (abs_float b.elasticity) (abs_float a.elasticity))
     (analyze ?solver ?rel_step p)
 
 let pp_derivative ppf d =

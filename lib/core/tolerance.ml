@@ -43,7 +43,7 @@ let of_measures ?ideal_method subsystem ~real ~ideal =
     match ideal_method with Some m -> m | None -> default_method subsystem
   in
   let u_p = real.Measures.u_p and u_p_ideal = ideal.Measures.u_p in
-  let tol = if u_p_ideal = 0. then 1. else u_p /. u_p_ideal in
+  let tol = if Float.equal u_p_ideal 0. then 1. else u_p /. u_p_ideal in
   { subsystem; ideal_method = meth; tol; u_p; u_p_ideal; zone = zone_of_index tol; real; ideal }
 
 let index ?solver ?ideal_method ?real subsystem p =

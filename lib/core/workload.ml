@@ -84,7 +84,7 @@ let characterize loop topo =
       (Access.distance_pmf access ~src)
   done;
   let d_avg =
-    if mean = 0. then nan
+    if Float.equal mean 0. then nan
     else begin
       let acc = ref 0. in
       for h = 1 to Array.length pmf - 1 do
@@ -221,7 +221,7 @@ module Grid = struct
         (Access.distance_pmf access ~src)
     done;
     let d_avg =
-      if mean = 0. then nan
+      if Float.equal mean 0. then nan
       else begin
         let acc = ref 0. in
         for h = 1 to Array.length pmf - 1 do

@@ -68,9 +68,18 @@ let pp_stats ppf (s : stats) =
 (* ------------------------------------------------------------------ *)
 (* Canonical key *)
 
-(* Exact hexadecimal floats: two parameter records hash equal iff every
-   field is bit-identical. *)
+(* Exact hexadecimal floats: used for the on-disk value encoding, where a
+   stored measure must round-trip bit-identically. *)
 let hfloat b v = Printf.bprintf b "%h" v
+
+(* Key encoding additionally canonicalizes the two bit-level float
+   pathologies: -0.0 parameterizes the same solve as 0.0, and every nan
+   payload/sign the same solve as every other, so they must share a cache
+   key ("%h" would render "-0x0p+0" vs "0x0p+0" and "-nan" vs "nan"). *)
+let kfloat b v =
+  if Float.is_nan v then Buffer.add_string b "nan"
+  else if Float.equal v 0. then Buffer.add_string b "0x0p+0"
+  else Printf.bprintf b "%h" v
 
 let canonical_of_params b (p : Params.t) =
   Printf.bprintf b "topology=%s;"
@@ -80,34 +89,34 @@ let canonical_of_params b (p : Params.t) =
   Printf.bprintf b "k=%d;dimensions=%d;n_t=%d;" p.Params.k p.Params.dimensions
     p.Params.n_t;
   Printf.bprintf b "runlength=";
-  hfloat b p.Params.runlength;
+  kfloat b p.Params.runlength;
   Printf.bprintf b ";context_switch=";
-  hfloat b p.Params.context_switch;
+  kfloat b p.Params.context_switch;
   Printf.bprintf b ";p_remote=";
-  hfloat b p.Params.p_remote;
+  kfloat b p.Params.p_remote;
   Printf.bprintf b ";pattern=";
   (match p.Params.pattern with
   | Access.Uniform -> Printf.bprintf b "uniform"
   | Access.Geometric p_sw ->
     Printf.bprintf b "geometric:";
-    hfloat b p_sw
+    kfloat b p_sw
   | Access.Explicit m ->
     Printf.bprintf b "explicit:";
     Array.iter
       (fun row ->
         Array.iter
           (fun v ->
-            hfloat b v;
+            kfloat b v;
             Buffer.add_char b ',')
           row;
         Buffer.add_char b '/')
       m);
   Printf.bprintf b ";l_mem=";
-  hfloat b p.Params.l_mem;
+  kfloat b p.Params.l_mem;
   Printf.bprintf b ";mem_ports=%d;s_switch=" p.Params.mem_ports;
-  hfloat b p.Params.s_switch;
+  kfloat b p.Params.s_switch;
   Printf.bprintf b ";switch_pipeline=%d;sync_unit=" p.Params.switch_pipeline;
-  hfloat b p.Params.sync_unit
+  kfloat b p.Params.sync_unit
 
 let key ~solver_id p =
   let b = Buffer.create 256 in

@@ -12,8 +12,12 @@
       [mms figures], say — perform zero new solves.
 
     Keys use exact hexadecimal floats, so a cache entry is only ever
-    reused for a bit-identical configuration, and the encoding carries a
-    format version: entries written by an older layout simply miss. *)
+    reused for a bit-identical configuration — except that the two
+    bit-level float pathologies are canonicalized first: [-0.0] keys the
+    same solve as [0.0], and every nan (any sign or payload) the same
+    solve as every other, since those parameterize identical models.  The
+    encoding carries a format version: entries written by an older layout
+    simply miss. *)
 
 open Lattol_core
 

@@ -1,0 +1,186 @@
+type stats = {
+  files : int;
+  findings : int;
+  suppressed : int;
+  by_rule : (string * int) list;
+}
+
+type result = {
+  findings : Finding.t list;
+  stats : stats;
+}
+
+(* ------------------------------------------------------------------ *)
+(* File discovery *)
+
+let is_source f =
+  Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+let skip_dir name =
+  name = "_build" || (String.length name > 0 && name.[0] = '.')
+
+let walk config roots =
+  let rec go acc p =
+    if Lint_config.excluded config p then acc
+    else if Sys.is_directory p then
+      Array.fold_left
+        (fun acc entry ->
+          if skip_dir entry then acc else go acc (Filename.concat p entry))
+        acc
+        (let entries = Sys.readdir p in
+         Array.sort String.compare entries;
+         entries)
+    else if is_source p then p :: acc
+    else acc
+  in
+  List.sort_uniq String.compare (List.fold_left go [] roots)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let squash_ws s =
+  let b = Buffer.create (String.length s) in
+  let last_blank = ref false in
+  String.iter
+    (fun c ->
+      if c = '\n' || c = '\t' || c = ' ' then begin
+        if not !last_blank then Buffer.add_char b ' ';
+        last_blank := true
+      end
+      else begin
+        Buffer.add_char b c;
+        last_blank := false
+      end)
+    (String.trim s);
+  Buffer.contents b
+
+let parse_error_finding ~file exn =
+  let message =
+    match Location.error_of_exn exn with
+    | Some (`Ok report) -> squash_ws (Format.asprintf "%a" Location.print_report report)
+    | _ -> squash_ws (Printexc.to_string exn)
+  in
+  {
+    Finding.file;
+    line = 1;
+    col = 0;
+    offset = 0;
+    rule = "parse-error";
+    message;
+    hint = "the file must parse for the rule pack to run";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Per-file linting *)
+
+let hint_of rule =
+  match Rules.meta_of_id rule with Some m -> m.Rules.hint | None -> ""
+
+let lint_file config file =
+  let path = Lint_config.normalize file in
+  let enabled r = Lint_config.enabled config r in
+  if Filename.check_suffix file ".mli" then
+    (* Interfaces carry no expressions; parsing them still catches rot. *)
+    match Pparse.parse_interface ~tool_name:"lattol-lint" file with
+    | _ -> ([], 0)
+    | exception exn -> ([ parse_error_finding ~file:path exn ], 0)
+  else
+    match Pparse.parse_implementation ~tool_name:"lattol-lint" file with
+    | exception exn -> ([ parse_error_finding ~file:path exn ], 0)
+    | str ->
+      let allows = Rules.collect_allows str in
+      let raw = ref [] in
+      let report ~rule ~loc ~message =
+        let pos = loc.Location.loc_start in
+        raw :=
+          {
+            Finding.file = path;
+            line = pos.Lexing.pos_lnum;
+            col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+            offset = pos.Lexing.pos_cnum;
+            rule;
+            message;
+            hint = hint_of rule;
+          }
+          :: !raw
+      in
+      Rules.check_structure ~path ~enabled ~report str;
+      if
+        enabled "hyg-mli-missing"
+        && List.mem "lib" (String.split_on_char '/' path)
+        && not (Sys.file_exists (file ^ "i"))
+      then
+        raw :=
+          {
+            Finding.file = path;
+            line = 1;
+            col = 0;
+            offset = 0;
+            rule = "hyg-mli-missing";
+            message = "module has no interface file";
+            hint = hint_of "hyg-mli-missing";
+          }
+          :: !raw;
+      let kept, dropped =
+        List.partition (fun f -> not (Rules.suppressed allows f)) !raw
+      in
+      (kept, List.length dropped)
+
+let run ~config ~roots =
+  let files = walk config roots in
+  let findings, suppressed =
+    List.fold_left
+      (fun (fs, n) file ->
+        let kept, dropped = lint_file config file in
+        (kept @ fs, n + dropped))
+      ([], 0) files
+  in
+  let findings = List.sort Finding.compare findings in
+  let by_rule =
+    List.sort_uniq compare (List.map (fun f -> f.Finding.rule) findings)
+    |> List.map (fun r ->
+           ( r,
+             List.length
+               (List.filter (fun f -> f.Finding.rule = r) findings) ))
+  in
+  {
+    findings;
+    stats =
+      {
+        files = List.length files;
+        findings = List.length findings;
+        suppressed;
+        by_rule;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let print_text ?(stats = false) ppf r =
+  List.iter (fun f -> Format.fprintf ppf "%a@." Finding.pp_text f) r.findings;
+  if stats then begin
+    Format.fprintf ppf "files scanned: %d@." r.stats.files;
+    Format.fprintf ppf "findings: %d (suppressed: %d)@." r.stats.findings
+      r.stats.suppressed;
+    List.iter
+      (fun (rule, n) -> Format.fprintf ppf "  %s: %d@." rule n)
+      r.stats.by_rule
+  end
+
+let print_json ppf r =
+  Format.fprintf ppf {|{"tool":"lattol-lint","format_version":1,"findings":[|};
+  List.iteri
+    (fun i f ->
+      if i > 0 then Format.pp_print_char ppf ',';
+      Finding.pp_json ppf f)
+    r.findings;
+  Format.fprintf ppf {|],"stats":{"files":%d,"findings":%d,"suppressed":%d,|}
+    r.stats.files r.stats.findings r.stats.suppressed;
+  Format.fprintf ppf {|"by_rule":{|};
+  List.iteri
+    (fun i (rule, n) ->
+      if i > 0 then Format.pp_print_char ppf ',';
+      Format.fprintf ppf {|"%s":%d|} (Finding.json_escape rule) n)
+    r.stats.by_rule;
+  Format.fprintf ppf "}}}@."

@@ -1,0 +1,30 @@
+(** The standalone analysis driver: walk source roots, parse every
+    [.ml]/[.mli] with compiler-libs, run the rule pack, filter
+    suppressions, and render the report. *)
+
+type stats = {
+  files : int;       (** source files parsed *)
+  findings : int;    (** violations after suppression filtering *)
+  suppressed : int;  (** violations silenced by [[@lattol.allow]] *)
+  by_rule : (string * int) list;  (** per-rule finding counts, sorted *)
+}
+
+type result = {
+  findings : Finding.t list;  (** sorted by file, line, col, rule *)
+  stats : stats;
+}
+
+val walk : Lint_config.t -> string list -> string list
+(** Expand roots (files or directories) into the sorted list of source
+    files, honoring the config's excludes and skipping [_build] and
+    dot-directories.  Raises [Sys_error] on a nonexistent root. *)
+
+val lint_file : Lint_config.t -> string -> Finding.t list * int
+(** Lint one file; returns surviving findings and the number suppressed.
+    An unparseable file yields a single ["parse-error"] finding. *)
+
+val run : config:Lint_config.t -> roots:string list -> result
+
+val print_text : ?stats:bool -> Format.formatter -> result -> unit
+
+val print_json : Format.formatter -> result -> unit

@@ -1,0 +1,45 @@
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  offset : int;
+  rule : string;
+  message : string;
+  hint : string;
+}
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let pp_text ppf t =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" t.file t.line t.col t.rule t.message;
+  if t.hint <> "" then Format.fprintf ppf "@\n    hint: %s" t.hint
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let pp_json ppf t =
+  Format.fprintf ppf
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","message":"%s","hint":"%s"}|}
+    (json_escape t.file) t.line t.col (json_escape t.rule)
+    (json_escape t.message) (json_escape t.hint)

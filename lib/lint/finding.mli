@@ -1,0 +1,26 @@
+(** A single rule violation, with enough position information both to
+    render a [file:line:col] diagnostic and to match suppression ranges
+    (byte offsets within the file). *)
+
+type t = {
+  file : string;  (** path as given to the driver, '/'-separated *)
+  line : int;     (** 1-based *)
+  col : int;      (** 0-based, as the compiler reports *)
+  offset : int;   (** byte offset of the violation start, for suppression *)
+  rule : string;  (** rule id, e.g. ["det-random"] *)
+  message : string;
+  hint : string;
+}
+
+val compare : t -> t -> int
+(** Order by file, line, col, rule — the report order. *)
+
+val pp_text : Format.formatter -> t -> unit
+(** Two-line human rendering: [file:line:col: [rule] message] followed by
+    an indented hint. *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion in a JSON string literal. *)
+
+val pp_json : Format.formatter -> t -> unit
+(** One JSON object, no trailing newline. *)

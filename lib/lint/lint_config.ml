@@ -1,0 +1,85 @@
+type t = {
+  disabled : string list;
+  excludes : string list;
+}
+
+let empty = { disabled = []; excludes = [] }
+
+let normalize path =
+  (* Windows-proof and prefix-proof: '/'-separated, no leading "./". *)
+  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
+  if String.length path > 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let excluded t path =
+  let wrapped = "/" ^ normalize path ^ "/" in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn > 0 && go 0
+  in
+  List.exists
+    (fun e ->
+      let e = normalize e in
+      let e = if String.length e > 0 && e.[String.length e - 1] = '/' then
+          String.sub e 0 (String.length e - 1) else e in
+      e <> "" && contains wrapped ("/" ^ e ^ "/"))
+    t.excludes
+
+let enabled t rule = not (List.mem rule t.disabled)
+
+let strip s = String.trim s
+
+let load ~file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text ->
+    let rec go acc lineno = function
+      | [] -> Ok acc
+      | line :: rest -> (
+        let line = strip line in
+        if line = "" || line.[0] = '#' then go acc (lineno + 1) rest
+        else
+          match String.index_opt line ' ' with
+          | None -> Error (Printf.sprintf "%s:%d: malformed directive %S" file lineno line)
+          | Some i -> (
+            let directive = String.sub line 0 i in
+            let arg = strip (String.sub line i (String.length line - i)) in
+            match directive with
+            | "disable" -> go { acc with disabled = arg :: acc.disabled } (lineno + 1) rest
+            | "enable" ->
+              go { acc with disabled = List.filter (( <> ) arg) acc.disabled }
+                (lineno + 1) rest
+            | "exclude" -> go { acc with excludes = arg :: acc.excludes } (lineno + 1) rest
+            | d -> Error (Printf.sprintf "%s:%d: unknown directive %S" file lineno d)))
+    in
+    go empty 1 (String.split_on_char '\n' text)
+
+let with_rules_spec ~known ~spec t =
+  let tokens =
+    List.filter (( <> ) "") (List.map strip (String.split_on_char ',' spec))
+  in
+  let classify tok =
+    if String.length tok > 1 && tok.[0] = '+' then
+      `Plus (String.sub tok 1 (String.length tok - 1))
+    else if String.length tok > 1 && tok.[0] = '-' then
+      `Minus (String.sub tok 1 (String.length tok - 1))
+    else `Bare tok
+  in
+  let classified = List.map classify tokens in
+  let name = function `Plus n | `Minus n | `Bare n -> n in
+  match List.find_opt (fun c -> not (List.mem (name c) known)) classified with
+  | Some c -> Error (Printf.sprintf "unknown rule id %S in --rules" (name c))
+  | None ->
+    let bare = List.filter_map (function `Bare n -> Some n | _ -> None) classified in
+    let plus = List.filter_map (function `Plus n -> Some n | _ -> None) classified in
+    let minus = List.filter_map (function `Minus n -> Some n | _ -> None) classified in
+    let disabled =
+      if bare <> [] then
+        (* Selection mode: only the named rules run. *)
+        List.filter (fun r -> not (List.mem r bare || List.mem r plus)) known
+        @ minus
+      else List.filter (fun r -> not (List.mem r plus)) t.disabled @ minus
+    in
+    Ok { t with disabled }

@@ -1,0 +1,26 @@
+(** Per-run rule policy: which rules are enabled and which paths are
+    skipped.  Sourced from a [.lattol-lint] file (one directive per line:
+    [disable <rule-id>], [enable <rule-id>], [exclude <path>], [#]
+    comments) and refined by the [--rules] command-line spec. *)
+
+type t = {
+  disabled : string list;  (** rule ids that do not run *)
+  excludes : string list;  (** path fragments whose files are skipped *)
+}
+
+val empty : t
+
+val load : file:string -> (t, string) result
+
+val with_rules_spec : known:string list -> spec:string -> t -> (t, string) result
+(** [--rules] spec: comma-separated tokens.  A bare [id] selects only the
+    named rules; [+id] / [-id] enable / disable relative to the current
+    policy.  Unknown ids are an error. *)
+
+val enabled : t -> string -> bool
+
+val excluded : t -> string -> bool
+(** Does any [exclude] fragment match the ('/'-normalized) path as a
+    whole-segment subpath? *)
+
+val normalize : string -> string

@@ -1,0 +1,53 @@
+(** The rule pack: parsetree checks over one compilation unit.
+
+    Every rule is syntactic — the linter works on the {!Parsetree}, before
+    typing — so the float-bearing and guard tests are documented
+    heuristics, tuned to this repository's idioms, with
+    [[@lattol.allow "rule-id"]] as the escape hatch where an invariant
+    holds for reasons the syntax cannot show. *)
+
+type meta = {
+  id : string;       (** e.g. ["float-polycompare"] *)
+  family : string;   (** ["determinism"], ["float-safety"], ["domain-safety"] *)
+  summary : string;
+  hint : string;
+}
+
+val metas : meta list
+(** Every shipped rule, including the driver-level ["hyg-mli-missing"]. *)
+
+val rule_ids : string list
+
+val meta_of_id : string -> meta option
+
+val check_structure :
+  path:string ->
+  enabled:(string -> bool) ->
+  report:(rule:string -> loc:Location.t -> message:string -> unit) ->
+  Parsetree.structure ->
+  unit
+(** Run every AST rule over one implementation.  [path] (the
+    '/'-normalized path the file was found under) selects which scoped
+    rules apply; [report] receives each violation before suppression
+    filtering. *)
+
+(** {1 Suppression} *)
+
+type allow = {
+  rules : string list;  (** [] means every rule *)
+  lo : int;             (** byte-offset range of the carrying node *)
+  hi : int;
+}
+
+val collect_allows : Parsetree.structure -> allow list
+(** All [[@lattol.allow "rule-id"]] / [[@@@lattol.allow "rule-id"]]
+    attributes, each with the byte range of the expression, pattern,
+    binding or module it annotates (the whole file for floating
+    attributes).  Several ids may be given in one string, separated by
+    spaces or commas. *)
+
+val suppressed : allow list -> Finding.t -> bool
+
+val in_dir : string -> string list -> bool
+(** [in_dir path segs] — do [segs] occur as consecutive segments of
+    [path]?  Exposed for the driver's own path scoping. *)

@@ -47,7 +47,7 @@ let steady_state ?(tolerance = 1e-12) ?(max_iterations = 100_000) t =
   let exits = Array.init t.n (fun s -> exit_rate t s) in
   Array.iteri
     (fun s e ->
-      if e = 0. && incoming.(s) <> [] then
+      if Float.equal e 0. && incoming.(s) <> [] then
         Format.kasprintf failwith "Ctmc.steady_state: state %d is absorbing" s)
     exits;
   let pi = Array.make t.n (1. /. float_of_int t.n) in
@@ -86,7 +86,7 @@ let transient ?(epsilon = 1e-10) t ~initial ~time =
   let total = Array.fold_left ( +. ) 0. initial in
   if abs_float (total -. 1.) > 1e-9 then
     invalid_arg "Ctmc.transient: initial distribution must sum to 1";
-  if time = 0. then Array.copy initial
+  if Float.equal time 0. then Array.copy initial
   else begin
     (* Uniformization rate: a hair above the largest exit rate. *)
     let lambda = ref 0. in
@@ -94,7 +94,7 @@ let transient ?(epsilon = 1e-10) t ~initial ~time =
       let e = exit_rate t s in
       if e > !lambda then lambda := e
     done;
-    if !lambda = 0. then Array.copy initial
+    if Float.equal !lambda 0. then Array.copy initial
     else begin
       let lambda = !lambda *. 1.02 in
       (* One step of the uniformized DTMC: v P where

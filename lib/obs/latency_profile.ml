@@ -175,9 +175,9 @@ type tolerance_check = {
 
 let check_tolerance ~u_p ~u_p_ideal ~analytical =
   let mean_r, half_r = u_p and mean_i, half_i = u_p_ideal in
-  let tol = if mean_i = 0. then nan else mean_r /. mean_i in
+  let tol = if Float.equal mean_i 0. then nan else mean_r /. mean_i in
   let tol_half =
-    if mean_r = 0. || mean_i = 0. then nan
+    if Float.equal mean_r 0. || Float.equal mean_i 0. then nan
     else
       Float.abs tol
       *. sqrt (((half_r /. mean_r) ** 2.) +. ((half_i /. mean_i) ** 2.))

@@ -45,22 +45,22 @@ let analyze network ~cls =
   let nf = float_of_int n in
   let d_avg = if !m_q = 0 then 0. else d /. float_of_int !m_q in
   let x_upper =
-    if dmax = 0. then nf /. (d +. z)
+    if Float.equal dmax 0. then nf /. (d +. z)
     else Float.min (nf /. (d +. z)) (1. /. dmax)
   in
   let x_lower = nf /. (d +. z +. ((nf -. 1.) *. dmax)) in
   (* Balanced job bounds (Zahorjan et al. 1982), with think time. *)
   let x_balanced_upper =
-    if d = 0. then x_upper
+    if Float.equal d 0. then x_upper
     else Float.min x_upper (nf /. (d +. z +. ((nf -. 1.) *. d_avg)))
   in
   let x_balanced_lower =
-    if d = 0. then x_lower
+    if Float.equal d 0. then x_lower
     else
       Float.max x_lower
         (nf /. (d +. z +. ((nf -. 1.) *. d *. dmax /. (d +. z))))
   in
-  let n_star = if dmax = 0. then infinity else (d +. z) /. dmax in
+  let n_star = if Float.equal dmax 0. then infinity else (d +. z) /. dmax in
   {
     demand_total = d;
     demand_max = dmax;

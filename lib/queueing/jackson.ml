@@ -38,7 +38,7 @@ let solve_linear a b =
     end;
     for row = col + 1 to n - 1 do
       let factor = m.(row).(col) /. m.(col).(col) in
-      if factor <> 0. then begin
+      if not (Float.equal factor 0.) then begin
         for c = col to n - 1 do
           m.(row).(c) <- m.(row).(c) -. (factor *. m.(col).(c))
         done;
@@ -127,13 +127,18 @@ let erlang_c ~servers ~rho =
     term := !term *. a /. float_of_int k;
     sum := !sum +. !term
   done;
-  let tail = !term *. a /. float_of_int servers /. (1. -. rho) in
+  (* Callers guard rho < 1 (mean_queue_length short-circuits rho >= 1 to
+     infinity) before asking for the Erlang-C tail. *)
+  let tail =
+    !term *. a /. float_of_int servers
+    /. ((1. -. rho) [@lattol.allow "float-div-unguarded"])
+  in
   tail /. (!sum +. tail)
 
 let mean_queue_length t ~station =
   let st = t.stations.(station) in
   let rho = utilization t ~station in
-  if t.lambda.(station) = 0. then 0.
+  if Float.equal t.lambda.(station) 0. then 0.
   else if rho >= 1. then infinity
   else begin
     let waiting = erlang_c ~servers:st.servers ~rho *. rho /. (1. -. rho) in
@@ -141,13 +146,13 @@ let mean_queue_length t ~station =
   end
 
 let mean_response_time t ~station =
-  if t.lambda.(station) = 0. then t.stations.(station).service_time
+  if Float.equal t.lambda.(station) 0. then t.stations.(station).service_time
   else mean_queue_length t ~station /. t.lambda.(station)
 
 let mean_sojourn t ~entry =
   let n = Array.length t.stations in
   if entry < 0 || entry >= n then invalid "Jackson.mean_sojourn: bad entry";
-  if t.lambda.(entry) = 0. then
+  if Float.equal t.lambda.(entry) 0. then
     invalid "Jackson.mean_sojourn: station %d receives no traffic" entry;
   if not (is_stable t) then infinity
   else begin
@@ -166,7 +171,7 @@ let capacity t =
     let rho = utilization t ~station:m in
     if rho > !worst then worst := rho
   done;
-  if !worst = 0. then infinity else 1. /. !worst
+  if Float.equal !worst 0. then infinity else 1. /. !worst
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>open Jackson network (%d stations):@,"

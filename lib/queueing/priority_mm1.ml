@@ -43,7 +43,11 @@ let waiting_time t ~cls =
   if cls < 0 || cls >= Array.length t.classes then
     invalid_arg "Priority_mm1.waiting_time: class out of range";
   let sigma_above = if cls = 0 then 0. else t.sigma.(cls - 1) in
-  t.w0 /. ((1. -. sigma_above) *. (1. -. t.sigma.(cls)))
+  (* make rejects total utilization >= 1, so every sigma prefix is < 1 and
+     both factors stay strictly positive. *)
+  t.w0
+  /. (((1. -. sigma_above) *. (1. -. t.sigma.(cls)))
+      [@lattol.allow "float-div-unguarded"])
 
 let response_time t ~cls = waiting_time t ~cls +. t.classes.(cls).service_time
 
@@ -52,4 +56,5 @@ let mean_queue_length t ~cls =
 
 let fcfs_waiting_time t =
   let rho = utilization t in
-  t.w0 /. (1. -. rho)
+  (* rho < 1 by the same make-time check. *)
+  t.w0 /. ((1. -. rho) [@lattol.allow "float-div-unguarded"])

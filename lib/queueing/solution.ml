@@ -12,7 +12,7 @@ let cycle_time t ~cls =
 
 let waiting_time t ~cls ~station =
   let v = Network.visit t.network ~cls ~station in
-  if v = 0. then 0. else t.residence.(cls).(station) /. v
+  if Float.equal v 0. then 0. else t.residence.(cls).(station) /. v
 
 let class_utilization t ~cls ~station =
   t.throughput.(cls) *. Network.demand t.network ~cls ~station

@@ -164,7 +164,7 @@ let run ?(seed = 1) ?(warmup = 1_000.) ?(horizon = 100_000.) ?trace network =
   done;
   let throughput =
     Array.init num_cls (fun c ->
-        if visit_totals.(c) = 0. then 0.
+        if Float.equal visit_totals.(c) 0. then 0.
         else begin
           let total =
             Array.fold_left ( + ) 0 st.completions.(c)
@@ -179,7 +179,7 @@ let run ?(seed = 1) ?(warmup = 1_000.) ?(horizon = 100_000.) ?trace network =
   let residence =
     Array.init num_cls (fun c ->
         Array.init num_st (fun m ->
-            if throughput.(c) = 0. then 0. else queue.(c).(m) /. throughput.(c)))
+            if Float.equal throughput.(c) 0. then 0. else queue.(c).(m) /. throughput.(c)))
   in
   {
     solution =

@@ -118,7 +118,7 @@ let distance_pmf t ~src =
 
 let average_distance t ~src =
   let remote = remote_fraction t ~src in
-  if remote = 0. then nan
+  if Float.equal remote 0. then nan
   else begin
     let pmf = distance_pmf t ~src in
     let num = ref 0. in

@@ -1,0 +1,2 @@
+(* Fixture: det-stdout must NOT fire; executables own their stdout. *)
+let main () = print_endline "hello"

@@ -1,0 +1,5 @@
+(* Fixture: hyg-catchall must fire on catch-all handlers in both the
+   try and the match-exception forms. *)
+let quiet f = try f () with _ -> 0
+
+let first f = match f () with x :: _ -> Some x | [] -> None | exception _ -> None

@@ -1,0 +1,2 @@
+(* Fixture: det-wallclock must fire on a clock read in solver scope. *)
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,2 @@
+(* Fixture: hyg-obj-magic must fire wherever Obj.magic appears. *)
+let coerce x = Obj.magic x

@@ -1,0 +1,7 @@
+(* Fixture: float-polycompare must fire on polymorphic comparison of
+   float-bearing expressions. *)
+let is_zero u = u = 0.
+
+type row = { u_p : float }
+
+let rank a b = compare a.u_p b.u_p

@@ -1,0 +1,2 @@
+(* Fixture: det-stdout must fire on direct stdout writes in library code. *)
+let report n = Printf.printf "n=%d\n" n

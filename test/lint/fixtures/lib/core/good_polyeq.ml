@@ -1,0 +1,7 @@
+(* Fixture: float-polycompare must NOT fire on Float.equal/Float.compare
+   or on integer comparisons. *)
+let is_zero u = Float.equal u 0.
+
+let rank a b = Float.compare a b
+
+let same_count a b = a = b + 0

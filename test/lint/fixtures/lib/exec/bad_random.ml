@@ -1,0 +1,2 @@
+(* Fixture: det-random must fire on ambient Random use in library code. *)
+let jitter () = Random.float 1.0

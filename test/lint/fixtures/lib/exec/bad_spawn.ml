@@ -1,0 +1,7 @@
+(* Fixture: dom-unsync-mutation must fire on a bare shared mutation
+   inside a Domain.spawn closure. *)
+let hits = ref 0
+
+let tally () =
+  let worker = Domain.spawn (fun () -> hits := !hits + 1) in
+  Domain.join worker

@@ -1,0 +1,11 @@
+(* Fixture: dom-unsync-mutation must NOT fire when the mutation runs
+   under Mutex.protect. *)
+let hits = ref 0
+
+let lock = Mutex.create ()
+
+let tally () =
+  let worker =
+    Domain.spawn (fun () -> Mutex.protect lock (fun () -> hits := !hits + 1))
+  in
+  Domain.join worker

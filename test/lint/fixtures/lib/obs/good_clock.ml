@@ -1,0 +1,2 @@
+(* Fixture: det-wallclock must NOT fire; telemetry sinks may read clocks. *)
+let stamp () = Unix.gettimeofday ()

@@ -1,0 +1,1 @@
+val stamp : unit -> float

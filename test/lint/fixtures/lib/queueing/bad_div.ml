@@ -1,0 +1,2 @@
+(* Fixture: float-div-unguarded must fire on the classic 1-rho blowup. *)
+let waiting w0 rho = w0 /. (1. -. rho)

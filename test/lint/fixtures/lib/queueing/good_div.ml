@@ -1,0 +1,3 @@
+(* Fixture: float-div-unguarded must NOT fire when an enclosing branch
+   dominates the divisor. *)
+let waiting w0 rho = if rho < 1. then w0 /. (1. -. rho) else infinity

@@ -1,0 +1,3 @@
+(* Fixture: float-sum-naive must fire on uncompensated float folds in
+   lib/stats. *)
+let total xs = Array.fold_left ( +. ) 0. xs

@@ -1,0 +1,2 @@
+(* Fixture: float-sum-naive must NOT fire on integer folds. *)
+let total xs = Array.fold_left ( + ) 0 xs

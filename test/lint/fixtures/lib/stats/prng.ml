@@ -1,0 +1,3 @@
+(* Fixture: det-random must NOT fire here; lib/stats/prng.ml is the one
+   sanctioned home of the underlying generator. *)
+let float_pos st = 1.0 -. Random.State.float st 1.0

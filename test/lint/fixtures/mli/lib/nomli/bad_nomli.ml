@@ -1,0 +1,3 @@
+(* Fixture: hyg-mli-missing must fire on a library module with no
+   interface file. *)
+let answer = 42

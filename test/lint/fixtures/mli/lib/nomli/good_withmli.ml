@@ -1,0 +1,2 @@
+(* Fixture: hyg-mli-missing must NOT fire; the sibling .mli exists. *)
+let answer = 42

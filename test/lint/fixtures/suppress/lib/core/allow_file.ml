@@ -1,0 +1,5 @@
+(* Fixture: a floating [@@@lattol.allow] suppresses the named rule for
+   the whole file. *)
+[@@@lattol.allow "det-stdout"]
+
+let hello () = print_endline "hi"

@@ -1,0 +1,125 @@
+The lattol-lint rule pack, exercised over a fixture corpus: every rule
+is driven in both the fire and the no-fire direction, with suppression
+and both output formats on top.  Each run selects a single rule with
+--rules so fixtures for other rules stay silent, and --no-config keeps
+the repo's own .lattol-lint policy out of the sandbox.
+
+The rule pack itself:
+
+  $ ../../bin/lattol_lint.exe --list-rules
+  det-random             determinism   ambient Random use outside lib/stats/prng.ml
+  det-wallclock          determinism   wall-clock read in deterministic solver/experiment code (lib/core, lib/queueing, lib/exec)
+  det-stdout             determinism   direct stdout write in library code
+  float-polycompare      float-safety  polymorphic =/<>/compare/Hashtbl.hash on a float-bearing value
+  float-div-unguarded    float-safety  float division by a difference with no dominating nonzero guard
+  float-sum-naive        float-safety  naive float accumulation via fold_left in lib/stats
+  dom-unsync-mutation    domain-safety shared-state mutation inside a Domain.spawn closure without Mutex.protect/Atomic
+  hyg-obj-magic          domain-safety Obj.magic defeats the type system
+  hyg-catchall           domain-safety catch-all exception handler
+  hyg-mli-missing        domain-safety library module without an interface file
+
+det-random fires on ambient Random use, but not in lib/stats/prng.ml,
+the sanctioned home of the generator:
+
+  $ ../../bin/lattol_lint.exe --no-config --rules det-random fixtures/lib
+  fixtures/lib/exec/bad_random.ml:2:16: [det-random] Random.float draws from the ambient global PRNG
+      hint: draw from a Lattol_stats.Prng stream threaded from the experiment seed; the ambient Random is invisible to replay and to the solve cache
+  [1]
+
+det-wallclock fires on clock reads in solver scope (lib/core,
+lib/queueing, lib/exec), but not in telemetry scope (lib/obs):
+
+  $ ../../bin/lattol_lint.exe --no-config --rules det-wallclock fixtures/lib
+  fixtures/lib/core/bad_clock.ml:2:13: [det-wallclock] Unix.gettimeofday reads the wall clock
+      hint: solver results, cache keys and golden CSVs must not depend on time; read clocks only in telemetry sinks (lib/obs) or executables
+  [1]
+
+det-stdout fires on direct stdout writes in library code, but not in
+executables:
+
+  $ ../../bin/lattol_lint.exe --no-config --rules det-stdout fixtures/lib/core/bad_print.ml fixtures/bin
+  fixtures/lib/core/bad_print.ml:2:15: [det-stdout] Printf.printf writes directly to stdout
+      hint: emit through a Format.formatter or a Report/Metrics sink chosen by the caller; library stdout interleaves nondeterministically under --jobs
+  [1]
+
+float-polycompare fires on polymorphic =/compare over float-bearing
+expressions, but not on Float.equal/Float.compare or integer compares:
+
+  $ ../../bin/lattol_lint.exe --no-config --rules float-polycompare fixtures/lib/core/bad_polyeq.ml fixtures/lib/core/good_polyeq.ml
+  fixtures/lib/core/bad_polyeq.ml:3:16: [float-polycompare] polymorphic = applied to a float-bearing expression
+      hint: use Float.equal / Float.compare (or a keyed comparison): polymorphic compare diverges on nan and boxes every float, and Hashtbl.hash folds nan/-0. unpredictably into cache keys
+  fixtures/lib/core/bad_polyeq.ml:7:15: [float-polycompare] polymorphic compare applied to a float-bearing expression
+      hint: use Float.equal / Float.compare (or a keyed comparison): polymorphic compare diverges on nan and boxes every float, and Hashtbl.hash folds nan/-0. unpredictably into cache keys
+  [1]
+
+float-div-unguarded fires on division by an unguarded difference, but
+not when an enclosing branch dominates the divisor:
+
+  $ ../../bin/lattol_lint.exe --no-config --rules float-div-unguarded fixtures/lib/queueing
+  fixtures/lib/queueing/bad_div.ml:2:27: [float-div-unguarded] divisor is a float difference with no dominating guard
+      hint: guard the branch so the divisor is provably nonzero, or annotate with [@lattol.allow "float-div-unguarded"] stating the invariant that keeps it away from zero
+  [1]
+
+float-sum-naive fires on uncompensated float folds in lib/stats, but
+not on integer folds:
+
+  $ ../../bin/lattol_lint.exe --no-config --rules float-sum-naive fixtures/lib/stats
+  fixtures/lib/stats/bad_sum.ml:3:15: [float-sum-naive] fold_left accumulates floats without compensation
+      hint: use Lattol_stats.Moments (Welford) or Kahan compensation for long sums; annotate when the operand count is small and bounded
+  [1]
+
+dom-unsync-mutation fires on bare shared mutation inside Domain.spawn,
+but not under Mutex.protect:
+
+  $ ../../bin/lattol_lint.exe --no-config --rules dom-unsync-mutation fixtures/lib/exec
+  fixtures/lib/exec/bad_spawn.ml:6:39: [dom-unsync-mutation] := mutates shared state inside a Domain.spawn closure
+      hint: wrap the mutation in Mutex.protect, use Atomic, or annotate with [@lattol.allow "dom-unsync-mutation"] naming the lock that is held
+  [1]
+
+hyg-obj-magic fires wherever Obj.magic appears:
+
+  $ ../../bin/lattol_lint.exe --no-config --rules hyg-obj-magic fixtures/lib/core/bad_magic.ml
+  fixtures/lib/core/bad_magic.ml:2:15: [hyg-obj-magic] Obj.magic is never domain- or type-safe
+      hint: restructure with a GADT, a variant, or a first-class module
+  [1]
+
+hyg-catchall fires on both catch-all handler forms, but not on named
+exceptions or plain wildcard match cases:
+
+  $ ../../bin/lattol_lint.exe --no-config --rules hyg-catchall fixtures/lib/core/bad_catchall.ml fixtures/lib/core/good_catchall.ml
+  fixtures/lib/core/bad_catchall.ml:3:28: [hyg-catchall] try ... with _ -> swallows every exception
+      hint: match the specific exceptions: a catch-all absorbs the supervisor's escalation exceptions (and Stack_overflow) and turns faults into silent wrong answers
+  fixtures/lib/core/bad_catchall.ml:5:72: [hyg-catchall] match ... with exception _ -> swallows every exception
+      hint: match the specific exceptions: a catch-all absorbs the supervisor's escalation exceptions (and Stack_overflow) and turns faults into silent wrong answers
+  [1]
+
+hyg-mli-missing fires on a library module with no interface file, but
+not when the sibling .mli exists:
+
+  $ ../../bin/lattol_lint.exe --no-config --rules hyg-mli-missing fixtures/mli
+  fixtures/mli/lib/nomli/bad_nomli.ml:1:0: [hyg-mli-missing] module has no interface file
+      hint: add a sibling .mli so the module's contract is explicit
+  [1]
+
+An expression-level [@lattol.allow "rule"] suppresses exactly that
+finding; --stats still accounts for it:
+
+  $ ../../bin/lattol_lint.exe --no-config --rules hyg-catchall --stats fixtures/suppress/lib/core/allow_expr.ml
+  files scanned: 1
+  findings: 0 (suppressed: 1)
+
+A floating [@@@lattol.allow "rule"] suppresses the rule file-wide:
+
+  $ ../../bin/lattol_lint.exe --no-config --rules det-stdout --stats fixtures/suppress/lib/core/allow_file.ml
+  files scanned: 1
+  findings: 0 (suppressed: 1)
+
+JSON output carries the same findings machine-readably:
+
+  $ ../../bin/lattol_lint.exe --no-config --rules float-div-unguarded --format json fixtures/lib/queueing
+  {"tool":"lattol-lint","format_version":1,"findings":[{"file":"fixtures/lib/queueing/bad_div.ml","line":2,"col":27,"rule":"float-div-unguarded","message":"divisor is a float difference with no dominating guard","hint":"guard the branch so the divisor is provably nonzero, or annotate with [@lattol.allow \"float-div-unguarded\"] stating the invariant that keeps it away from zero"}],"stats":{"files":2,"findings":1,"suppressed":0,"by_rule":{"float-div-unguarded":1}}}
+  [1]
+
+A clean subtree exits 0 with no output:
+
+  $ ../../bin/lattol_lint.exe --no-config fixtures/lib/obs fixtures/bin

@@ -47,7 +47,7 @@ let config_name p =
     p.Params.runlength
 
 let rel_err ~truth v =
-  if truth = 0. then abs_float v else abs_float (v -. truth) /. truth
+  if Float.equal truth 0. then abs_float v else abs_float (v -. truth) /. truth
 
 let ctmc_measures p =
   Mms.measures_of_solution p (Qn_ctmc.solve (Mms.build_network p))

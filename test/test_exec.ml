@@ -82,6 +82,25 @@ let test_cache_key_discriminates () =
   if Cache.key ~solver_id:"exact" p = k0 then
     Alcotest.fail "solver id not part of the key"
 
+let test_cache_key_canonicalizes_floats () =
+  (* Key derivation canonicalizes the two bit-level float pathologies:
+     -0.0 parameterizes the same solve as 0.0, and every nan (any sign or
+     payload) the same solve as every other. *)
+  let p = Params.default in
+  let key q = Cache.key ~solver_id:(solver_id p) q in
+  let neg_zero = { p with Params.context_switch = -0.0 } in
+  Alcotest.(check string)
+    "-0.0 keys like 0.0" (key p) (key neg_zero);
+  let nan1 = { p with Params.l_mem = Float.nan } in
+  let nan2 = { p with Params.l_mem = -.Float.nan } in
+  let nan3 = { p with Params.l_mem = 0. /. 0. } in
+  Alcotest.(check string) "negated nan shares a key" (key nan1) (key nan2);
+  Alcotest.(check string) "computed nan shares a key" (key nan1) (key nan3);
+  (* Canonicalization must not merge genuinely distinct values. *)
+  if key { p with Params.context_switch = 0.5 } = key p then
+    Alcotest.fail "distinct context_switch values share a key";
+  if key nan1 = key p then Alcotest.fail "nan l_mem keyed like the default"
+
 let test_cache_memo_and_disk () =
   let dir = tmp_dir "lattol_cache" in
   let p = Params.default in
@@ -292,6 +311,46 @@ let prop_warm_cache_equals_cold =
       in
       warm = cold && (Cache.stats warm_cache).Cache.solves = 0)
 
+(* A pre-solved measure lets the stress property hammer the cache without
+   paying for a solver run per qcheck iteration: the point under test is
+   the memo protocol, not the solver. *)
+let stress_measures = Mms.solve Params.default
+
+let prop_cache_stress_single_key =
+  QCheck.Test.make
+    ~name:"many domains hammering one key: one solve, consistent counters"
+    ~count:25
+    QCheck.(pair (int_range 2 8) (int_range 1 32))
+    (fun (jobs, requests) ->
+      let c = Cache.create () in
+      let p = Params.default in
+      let key = Cache.key ~solver_id:(solver_id p) p in
+      let solves = Atomic.make 0 in
+      let total = jobs * requests in
+      let results =
+        Pool.map ~jobs ~chunk:1
+          (fun _ ->
+            Cache.find_or_compute c ~key (fun () ->
+                Atomic.incr solves;
+                (* Widen the claim window so later requesters really park
+                   on the condition variable instead of racing past it. *)
+                let acc = ref 0. in
+                for i = 1 to 50_000 do
+                  acc := !acc +. (1. /. float_of_int i)
+                done;
+                ignore !acc;
+                stress_measures))
+          (Array.init total (fun i -> i))
+      in
+      let s = Cache.stats c in
+      Atomic.get solves = 1
+      && s.Cache.solves = 1
+      && s.Cache.misses = 1
+      && s.Cache.disk_hits = 0
+      && s.Cache.stores = 0
+      && s.Cache.memo_hits = total - 1
+      && Array.for_all (fun m -> m = results.(0)) results)
+
 (* ------------------------------------------------------------------ *)
 (* Figures and replication fan-out *)
 
@@ -384,6 +443,8 @@ let () =
         [
           Alcotest.test_case "key discriminates" `Quick
             test_cache_key_discriminates;
+          Alcotest.test_case "key canonicalizes -0.0 and nan" `Quick
+            test_cache_key_canonicalizes_floats;
           Alcotest.test_case "memo and disk" `Quick test_cache_memo_and_disk;
           Alcotest.test_case "corrupt entry recomputes" `Quick
             test_cache_corrupt_entry_recomputes;
@@ -410,5 +471,10 @@ let () =
           Alcotest.test_case "rejects sinks" `Quick test_replicate_rejects_sinks;
         ] );
       ( "properties",
-        qcheck [ prop_parallel_equals_sequential; prop_warm_cache_equals_cold ] );
+        qcheck
+          [
+            prop_parallel_equals_sequential;
+            prop_warm_cache_equals_cold;
+            prop_cache_stress_single_key;
+          ] );
     ]
