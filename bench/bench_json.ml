@@ -1,0 +1,328 @@
+(* Versioned benchmark documents — the BENCH_*.json files `mms bench`
+   emits and tools/bench_compare diffs against a committed baseline.  The
+   schema is deliberately tiny (flat metric list, one per line) so the
+   files diff well under version control and need no JSON library to
+   read or write. *)
+
+let schema = "lattol-bench/1"
+
+type metric = { name : string; units : string; value : float }
+
+type doc = { suite : string; quick : bool; metrics : metric list }
+
+(* ------------------------------------------------------------------ *)
+(* writer *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Shortest decimal that round-trips; non-finite measurements (a bench
+   that failed to produce an estimate) degrade to null. *)
+let json_number v =
+  if not (Float.is_finite v) then "null"
+  else
+    let s = Printf.sprintf "%.15g" v in
+    if Float.equal (float_of_string s) v then s
+    else
+      let s = Printf.sprintf "%.16g" v in
+      if Float.equal (float_of_string s) v then s
+      else Printf.sprintf "%.17g" v
+
+let write doc oc =
+  Printf.fprintf oc "{\n  \"schema\": \"%s\",\n  \"suite\": \"%s\",\n"
+    (escape schema) (escape doc.suite);
+  Printf.fprintf oc "  \"quick\": %b,\n  \"metrics\": [\n" doc.quick;
+  let n = List.length doc.metrics in
+  List.iteri
+    (fun i m ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"unit\": \"%s\", \"value\": %s}%s\n"
+        (escape m.name) (escape m.units) (json_number m.value)
+        (if i = n - 1 then "" else ","))
+    doc.metrics;
+  output_string oc "  ]\n}\n"
+
+let to_file doc file =
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write doc oc)
+
+(* ------------------------------------------------------------------ *)
+(* parser — a minimal recursive-descent JSON reader, enough for the
+   schema above (and any JSON superset of it: unknown fields are
+   ignored). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when Char.equal c c' -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if
+      !pos + String.length word <= n
+      && String.equal (String.sub s !pos (String.length word)) word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some 'n' ->
+          Buffer.add_char b '\n';
+          advance ();
+          go ()
+        | Some 't' ->
+          Buffer.add_char b '\t';
+          advance ();
+          go ()
+        | Some 'u' ->
+          (* Keep the code point as-is when ASCII; the writer only emits
+             \u for control characters. *)
+          advance ();
+          if !pos + 4 > n then fail "bad \\u escape";
+          let hex = String.sub s !pos 4 in
+          pos := !pos + 4;
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
+          | Some _ -> Buffer.add_char b '?'
+          | None -> fail "bad \\u escape");
+          go ()
+        | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+        | None -> fail "unterminated escape")
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number_lit () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some v -> v
+    | None -> fail (Printf.sprintf "bad number %S" text)
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> Num (number_lit ())
+    | _ -> fail "expected a JSON value"
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      advance ();
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws ();
+        let key = string_lit () in
+        skip_ws ();
+        expect ':';
+        let v = value () in
+        fields := (key, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          members ()
+        | Some '}' -> advance ()
+        | _ -> fail "expected ',' or '}'"
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      advance ();
+      Arr []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = value () in
+        items := v :: !items;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          elements ()
+        | Some ']' -> advance ()
+        | _ -> fail "expected ',' or ']'"
+      in
+      elements ();
+      Arr (List.rev !items)
+    end
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing content";
+  v
+
+let field name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let doc_of_json j =
+  match field "schema" j with
+  | Some (Str s) when String.equal s schema -> (
+    let suite =
+      match field "suite" j with Some (Str s) -> s | _ -> raise (Parse "missing suite")
+    in
+    let quick = match field "quick" j with Some (Bool b) -> b | _ -> false in
+    match field "metrics" j with
+    | Some (Arr items) ->
+      let metric m =
+        match (field "name" m, field "unit" m, field "value" m) with
+        | Some (Str name), Some (Str units), Some (Num value) ->
+          { name; units; value }
+        | Some (Str name), Some (Str units), Some Null ->
+          { name; units; value = nan }
+        | _ -> raise (Parse "malformed metric entry")
+      in
+      { suite; quick; metrics = List.map metric items }
+    | _ -> raise (Parse "missing metrics array"))
+  | Some (Str s) -> raise (Parse (Printf.sprintf "unsupported schema %S" s))
+  | _ -> raise (Parse "missing schema field")
+
+let load file =
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+    match doc_of_json (parse_json text) with
+    | doc -> Ok doc
+    | exception Parse msg -> Error (Printf.sprintf "%s: %s" file msg))
+
+(* ------------------------------------------------------------------ *)
+(* baseline comparison *)
+
+type delta = {
+  metric : string;
+  base_value : float;
+  current_value : float;
+  rel : float;  (** |current - base| / max(|base|, epsilon) *)
+}
+
+type comparison = {
+  within : delta list;
+  regressions : delta list;
+  missing : string list;  (** in the baseline, absent from current *)
+  added : string list;    (** in current, absent from the baseline *)
+}
+
+let rel_delta base current =
+  if Float.is_nan base && Float.is_nan current then 0.
+  else if Float.is_nan base || Float.is_nan current then infinity
+  else Float.abs (current -. base) /. Float.max (Float.abs base) 1e-12
+
+(* Symmetric drift gate: a metric counts as a regression when it moved by
+   more than [max_rel] in either direction — benchmarks that get faster
+   by 10x deserve a look (and a baseline refresh) just as much as ones
+   that got slower. *)
+let compare_docs ~max_rel ~base ~current =
+  let find name metrics =
+    List.find_opt (fun m -> String.equal m.name name) metrics
+  in
+  let within, regressions, missing =
+    List.fold_left
+      (fun (ok, bad, missing) b ->
+        match find b.name current.metrics with
+        | None -> (ok, bad, b.name :: missing)
+        | Some c ->
+          let d =
+            {
+              metric = b.name;
+              base_value = b.value;
+              current_value = c.value;
+              rel = rel_delta b.value c.value;
+            }
+          in
+          if d.rel > max_rel then (ok, d :: bad, missing)
+          else (d :: ok, bad, missing))
+      ([], [], []) base.metrics
+  in
+  let added =
+    List.filter_map
+      (fun c ->
+        match find c.name base.metrics with
+        | None -> Some c.name
+        | Some _ -> None)
+      current.metrics
+  in
+  {
+    within = List.rev within;
+    regressions = List.rev regressions;
+    missing = List.rev missing;
+    added;
+  }

@@ -1,0 +1,49 @@
+(** Versioned benchmark documents (the [BENCH_*.json] files).
+
+    [mms bench] writes one document per suite; [tools/bench_compare]
+    loads two of them and gates on relative drift.  The format is
+    self-contained — flat metric list, one entry per line — so the files
+    diff well in version control and round-trip without a JSON
+    dependency. *)
+
+val schema : string
+(** The format version tag written into every document:
+    ["lattol-bench/1"].  {!load} rejects anything else. *)
+
+type metric = {
+  name : string;   (** hierarchical id, e.g. ["solvers/symmetric_4x4/time"] *)
+  units : string;  (** e.g. ["ns/run"], ["w/run"], ["x"], ["ratio"] *)
+  value : float;   (** [nan] round-trips as JSON [null] *)
+}
+
+type doc = { suite : string; quick : bool; metrics : metric list }
+
+val write : doc -> out_channel -> unit
+
+val to_file : doc -> string -> unit
+
+val load : string -> (doc, string) result
+(** Parse a document written by {!write} (or any JSON superset of it —
+    unknown fields are ignored).  [Error] carries a one-line message with
+    the file name and offset. *)
+
+type delta = {
+  metric : string;
+  base_value : float;
+  current_value : float;
+  rel : float;  (** |current - base| / max(|base|, epsilon) *)
+}
+
+type comparison = {
+  within : delta list;       (** drift within the threshold *)
+  regressions : delta list;  (** drift beyond the threshold *)
+  missing : string list;     (** in the baseline, absent from current *)
+  added : string list;       (** in current, absent from the baseline *)
+}
+
+val compare_docs : max_rel:float -> base:doc -> current:doc -> comparison
+(** Symmetric drift gate: a metric regresses when it moved by more than
+    [max_rel] (relative) in either direction, or when it disappeared
+    ({!comparison.missing} entries are regressions too — the caller
+    decides the exit code).  Metrics only present in [current] are
+    reported as {!comparison.added}, never as failures. *)

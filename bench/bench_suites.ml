@@ -1,0 +1,192 @@
+(* The benchmark suites behind `mms bench`.
+
+   Two suites, each emitted as one Bench_json document:
+
+   - "solvers": Bechamel micro-benchmarks of the analytical solvers and
+     both simulators — time per run and minor-heap allocation per run;
+   - "exec": end-to-end numbers for the execution layer — replication
+     fan-out speedup over --jobs, warm-cache behaviour and memo lookup
+     cost.
+
+   Quick mode trades precision for wall-clock (tiny Bechamel quotas,
+   short horizons, few replications): it exists so CI smoke jobs and
+   cram tests finish in seconds while exercising the same code paths and
+   emitting the same metric set as a full run. *)
+
+open Lattol_core
+
+let default = Params.default
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel plumbing *)
+
+let ols =
+  Bechamel.Analyze.ols ~bootstrap:0 ~r_square:false
+    ~predictors:[| Bechamel.Measure.run |]
+
+let estimate raw instance =
+  let est = Bechamel.Analyze.one ols instance raw in
+  match Bechamel.Analyze.OLS.estimates est with
+  | Some (t :: _) -> t
+  | Some [] | None -> nan
+
+(* Per-run time and minor allocation for one thunk, as two metrics. *)
+let bench ~quick ~name f =
+  let open Bechamel in
+  let cfg =
+    if quick then Benchmark.cfg ~limit:50 ~quota:(Time.second 0.025) ~kde:None ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None ()
+  in
+  let instances =
+    Toolkit.Instance.[ monotonic_clock; minor_allocated ]
+  in
+  let test = Test.make ~name (Staged.stage f) in
+  List.concat_map
+    (fun elt ->
+      let raw = Benchmark.run cfg instances elt in
+      [
+        {
+          Bench_json.name = Printf.sprintf "solvers/%s/time" name;
+          units = "ns/run";
+          value = estimate raw Toolkit.Instance.monotonic_clock;
+        };
+        {
+          Bench_json.name = Printf.sprintf "solvers/%s/minor_alloc" name;
+          units = "w/run";
+          value = estimate raw Toolkit.Instance.minor_allocated;
+        };
+      ])
+    (Test.elements test)
+
+(* ------------------------------------------------------------------ *)
+(* suite: solvers *)
+
+let solvers ~quick () =
+  let p44 = default in
+  let tiny = { default with Params.k = 2; n_t = 2 } in
+  let des_horizon = if quick then 500. else 2_000. in
+  let stpn_horizon = if quick then 300. else 1_000. in
+  let metrics =
+    List.concat
+      [
+        bench ~quick ~name:"symmetric_4x4" (fun () ->
+            ignore (Mms.solve ~solver:Mms.Symmetric_amva p44));
+        bench ~quick ~name:"general_4x4" (fun () ->
+            ignore (Mms.solve ~solver:Mms.General_amva p44));
+        bench ~quick ~name:"linearizer_2x2" (fun () ->
+            ignore
+              (Mms.solve ~solver:Mms.Linearizer_amva
+                 { default with Params.k = 2; n_t = 3 }));
+        bench ~quick ~name:"exact_2x2" (fun () ->
+            ignore (Mms.solve ~solver:Mms.Exact_mva tiny));
+        bench ~quick ~name:"des_4x4" (fun () ->
+            ignore
+              (Lattol_sim.Mms_des.run
+                 ~config:
+                   {
+                     Lattol_sim.Mms_des.default_config with
+                     Lattol_sim.Mms_des.horizon = des_horizon;
+                     warmup = 100.;
+                   }
+                 p44));
+        bench ~quick ~name:"stpn_4x4" (fun () ->
+            ignore
+              (Lattol_petri.Mms_stpn.run ~warmup:100. ~horizon:stpn_horizon p44));
+      ]
+  in
+  { Bench_json.suite = "solvers"; quick; metrics }
+
+(* ------------------------------------------------------------------ *)
+(* suite: exec *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let exec ~quick () =
+  let replications = if quick then 8 else 16 in
+  let horizon = if quick then 2_000. else 10_000. in
+  let p = { default with Params.n_t = 4 } in
+  let config =
+    {
+      Lattol_sim.Mms_des.default_config with
+      Lattol_sim.Mms_des.horizon;
+      warmup = 100.;
+    }
+  in
+  let replicate jobs =
+    ignore (Lattol_exec.Replicate.des ~jobs ~config ~replications p)
+  in
+  replicate 1 (* warm the code paths before timing *);
+  let t1 = wall (fun () -> replicate 1) in
+  let t2 = wall (fun () -> replicate 2) in
+  let t4 = wall (fun () -> replicate 4) in
+  (* Warm-cache behaviour: the second identical sweep must be served
+     entirely from the memo. *)
+  let cache = Lattol_exec.Cache.create () in
+  let axes =
+    [
+      {
+        Lattol_exec.Sweep.param = Lattol_exec.Sweep.N_t;
+        values = Lattol_exec.Sweep.linspace ~lo:1. ~hi:8. ~steps:8;
+      };
+    ]
+  in
+  let sweep () =
+    ignore (Lattol_exec.Sweep.run ~cache ~jobs:1 ~base:default axes)
+  in
+  sweep ();
+  let cold = Lattol_exec.Cache.stats cache in
+  sweep ();
+  let warm = Lattol_exec.Cache.stats cache in
+  let second_lookups =
+    warm.Lattol_exec.Cache.memo_hits - cold.Lattol_exec.Cache.memo_hits
+  in
+  let second_solves =
+    warm.Lattol_exec.Cache.solves - cold.Lattol_exec.Cache.solves
+  in
+  let warm_hit_rate =
+    if second_lookups + second_solves = 0 then nan
+    else
+      float_of_int second_lookups /. float_of_int (second_lookups + second_solves)
+  in
+  (* Memo lookup cost on a resident key. *)
+  let key = Lattol_exec.Cache.key ~solver_id:"bench" default in
+  let solve () = Mms.solve default in
+  ignore (Lattol_exec.Cache.find_or_compute cache ~key solve);
+  let lookup_timing =
+    let open Bechamel in
+    let cfg =
+      if quick then
+        Benchmark.cfg ~limit:50 ~quota:(Time.second 0.025) ~kde:None ()
+      else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+    in
+    let test =
+      Test.make ~name:"lookup"
+        (Staged.stage (fun () ->
+             ignore (Lattol_exec.Cache.find_or_compute cache ~key solve)))
+    in
+    List.map
+      (fun elt ->
+        let raw =
+          Benchmark.run cfg Toolkit.Instance.[ monotonic_clock ] elt
+        in
+        {
+          Bench_json.name = "exec/cache/lookup_time";
+          units = "ns/run";
+          value = estimate raw Toolkit.Instance.monotonic_clock;
+        })
+      (Test.elements test)
+  in
+  let m name units value = { Bench_json.name; units; value } in
+  let metrics =
+    [
+      m "exec/replicate/wall_j1" "s" t1;
+      m "exec/replicate/speedup_j2" "x" (t1 /. Float.max t2 1e-9);
+      m "exec/replicate/speedup_j4" "x" (t1 /. Float.max t4 1e-9);
+      m "exec/cache/warm_hit_rate" "ratio" warm_hit_rate;
+    ]
+    @ lookup_timing
+  in
+  { Bench_json.suite = "exec"; quick; metrics }

@@ -1,0 +1,19 @@
+(** The suites behind [mms bench], each producing one {!Bench_json.doc}.
+
+    Quick mode ([~quick:true]) shrinks Bechamel quotas, simulation
+    horizons and replication counts so a run finishes in seconds — same
+    code paths, same metric names, coarser numbers.  CI smoke jobs and
+    cram tests use it; perf-trajectory baselines should too, so the
+    committed files stay cheap to regenerate. *)
+
+val solvers : quick:bool -> unit -> Bench_json.doc
+(** Micro-benchmarks of the four analytical solvers and both simulators:
+    [solvers/<name>/time] (ns/run, Bechamel OLS estimate) and
+    [solvers/<name>/minor_alloc] (minor words/run) per subject. *)
+
+val exec : quick:bool -> unit -> Bench_json.doc
+(** Execution-layer numbers: replication fan-out wall-clock and speedup
+    at [--jobs 2]/[--jobs 4] ([exec/replicate/*]), the warm-cache hit
+    rate of a repeated sweep (deterministically 1.0 —
+    [exec/cache/warm_hit_rate]) and the memo lookup cost on a resident
+    key ([exec/cache/lookup_time]). *)

@@ -210,6 +210,102 @@ let write_solver_trace tel file =
 let write_span_trace trace file =
   with_out file (fun oc -> Lattol_obs.Events.write_chrome trace oc)
 
+module Exec = Lattol_exec
+
+(* ------------------------------------------------------------------ *)
+(* interrupted-run flushing
+
+   A sink opened for --trace-out / --metrics-out registers a flusher here
+   so a Ctrl-C'd run still leaves a valid (truncated) file behind.  The
+   SIGINT handler turns the signal into [exit 130], which runs the
+   [at_exit] hook; runs that complete normally unregister first and write
+   their full files on the ordinary path. *)
+
+let pending_flushes : (string, unit -> unit) Hashtbl.t = Hashtbl.create 4
+
+let flush_on_exit file f = Hashtbl.replace pending_flushes file f
+
+let flushed file = Hashtbl.remove pending_flushes file
+
+let flush_pending () =
+  Hashtbl.iter
+    (fun _ f -> try f () with Sys_error _ | Unix.Unix_error _ -> ())
+    pending_flushes;
+  Hashtbl.reset pending_flushes
+
+let () = at_exit flush_pending
+
+let () = Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> exit 130))
+
+(* ------------------------------------------------------------------ *)
+(* live metrics exporter (--serve / --serve-socket) *)
+
+module Serve = Lattol_serve
+
+let serve_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "serve" ] ~docv:"PORT"
+        ~doc:
+          "Expose live metrics over HTTP on 127.0.0.1:$(docv) while the run \
+           executes: $(b,/metrics) (Prometheus text), $(b,/metrics.json) \
+           (the --metrics-out JSON document) and $(b,/healthz).  Port 0 \
+           picks a free port; the bound address is printed on stderr.")
+
+let serve_socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "serve-socket" ] ~docv:"PATH"
+        ~doc:
+          "Like $(b,--serve) but listening on a Unix-domain socket at \
+           $(docv) (for sandboxes without loopback TCP).")
+
+(* Run [k] with the exporter live, shutting it down afterwards.  Exit 124
+   on a bind failure — nothing has been computed yet at that point. *)
+let with_exporter ~serve ~serve_socket ~snapshot k =
+  let endpoint =
+    match (serve, serve_socket) with
+    | Some _, Some _ ->
+      prerr_endline "mms: --serve and --serve-socket are mutually exclusive";
+      exit 124
+    | Some port, None -> Some (Serve.Exporter.Tcp port)
+    | None, Some path -> Some (Serve.Exporter.Unix_path path)
+    | None, None -> None
+  in
+  match endpoint with
+  | None -> k ()
+  | Some endpoint -> (
+    match Serve.Exporter.start ~snapshot endpoint with
+    | Error msg ->
+      Printf.eprintf "mms: %s\n%!" msg;
+      exit 124
+    | Ok exporter ->
+      Printf.eprintf "serving metrics on %s\n%!"
+        (Serve.Exporter.address exporter);
+      Fun.protect ~finally:(fun () -> Serve.Exporter.stop exporter) k)
+
+let write_metrics_snapshot snap file =
+  with_out file (fun oc ->
+      if Filename.check_suffix file ".csv" then
+        Lattol_obs.Metrics.write_csv_snapshot snap oc
+      else Lattol_obs.Metrics.write_json_snapshot snap oc)
+
+(* The exporter polls the solve cache on every scrape. *)
+let register_cache_pulls progress cache =
+  let stat f () = float_of_int (f (Exec.Cache.stats cache)) in
+  Serve.Progress.register_pull progress ~kind:`Counter "cache_memo_hits"
+    (stat (fun s -> s.Exec.Cache.memo_hits));
+  Serve.Progress.register_pull progress ~kind:`Counter "cache_disk_hits"
+    (stat (fun s -> s.Exec.Cache.disk_hits));
+  Serve.Progress.register_pull progress ~kind:`Counter "cache_misses"
+    (stat (fun s -> s.Exec.Cache.misses));
+  Serve.Progress.register_pull progress ~kind:`Counter "cache_solves"
+    (stat (fun s -> s.Exec.Cache.solves));
+  Serve.Progress.register_pull progress "cache_inflight" (fun () ->
+      float_of_int (Exec.Cache.inflight cache))
+
 (* Analytical measures as gauges, one labeled series family per field. *)
 let register_measures reg ?labels (m : Measures.t) =
   let g name v =
@@ -391,8 +487,6 @@ let bottleneck_cmd =
 (* ------------------------------------------------------------------ *)
 (* sweep *)
 
-module Exec = Lattol_exec
-
 let jobs_arg doc = Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let sweep_jobs_doc =
@@ -430,7 +524,7 @@ let sweep_cmd =
       & info [ "steps" ] ~docv:"N" ~doc:"Number of points (default 11).")
   in
   let run params solver names froms tos stepss jobs cache_dir metrics_out
-      trace_out =
+      trace_out serve serve_socket =
     let n = List.length names in
     let stepss = stepss @ List.init (max 0 (n - List.length stepss)) (fun _ -> 11) in
     if List.length froms <> n || List.length tos <> n || List.length stepss <> n
@@ -451,62 +545,101 @@ let sweep_cmd =
           names
           (List.combine froms (List.combine tos stepss))
       in
+      let serving = serve <> None || serve_socket <> None in
       let telemetry =
         Option.map (fun _ -> Lattol_obs.Solver_trace.create ()) trace_out
       in
       let registry =
-        Option.map (fun _ -> Lattol_obs.Metrics.create ()) metrics_out
+        if metrics_out <> None || serving then
+          Some (Lattol_obs.Metrics.create ())
+        else None
       in
       let cache = Exec.Cache.create ?dir:cache_dir () in
-      let rows =
-        Exec.Sweep.run ?solver ~cache ~jobs ?trace:telemetry ~base:params axes
+      let progress = Serve.Progress.create ~phase:"sweep" () in
+      Serve.Progress.set_total progress (List.length (Exec.Sweep.points axes));
+      register_cache_pulls progress cache;
+      let snapshot () =
+        Serve.Progress.to_snapshot progress
+        @
+        match registry with
+        | Some reg -> Lattol_obs.Metrics.snapshot reg
+        | None -> []
       in
-      let single = match axes with [ _ ] -> true | _ -> false in
-      if single then
-        Format.printf "# %a@.param,value,%s@." Params.pp params measure_header
-      else
-        Format.printf "# %a@.%s,%s@." Params.pp params
-          (String.concat ","
-             (List.map (fun a -> Exec.Sweep.param_name a.Exec.Sweep.param) axes))
-          measure_header;
-      List.iter
-        (fun row ->
-          let assigns = row.Exec.Sweep.assigns in
-          match row.Exec.Sweep.result with
-          | Error msg ->
-            Format.printf "# skipped %s: %s@." (Exec.Sweep.label assigns) msg
-          | Ok s ->
-            let m = s.Exec.Sweep.measures in
-            Option.iter
-              (fun reg ->
-                register_measures reg
-                  ~labels:
-                    (List.map
-                       (fun (p, v) ->
-                         (Exec.Sweep.param_name p, Printf.sprintf "%g" v))
-                       assigns)
-                  m)
-              registry;
-            let key =
-              if single then
-                let param, v = List.hd assigns in
-                Printf.sprintf "%s,%g" (Exec.Sweep.param_name param) v
-              else
-                String.concat ","
-                  (List.map (fun (_, v) -> Printf.sprintf "%g" v) assigns)
-            in
-            Format.printf "%s,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f@." key
-              m.Measures.u_p m.Measures.lambda m.Measures.lambda_net
-              m.Measures.s_obs m.Measures.l_obs
-              s.Exec.Sweep.tol_network.Tolerance.tol
-              s.Exec.Sweep.tol_memory.Tolerance.tol)
-        rows;
+      let monitor =
+        if serving then Some (Serve.Progress.pool_monitor progress) else None
+      in
       (match (telemetry, trace_out) with
-      | Some tel, Some file -> write_solver_trace tel file
+      | Some tel, Some file ->
+        flush_on_exit file (fun () -> write_solver_trace tel file)
       | _ -> ());
       (match (registry, metrics_out) with
-      | Some reg, Some file -> write_metrics reg file
+      | Some reg, Some file ->
+        flush_on_exit file (fun () -> write_metrics reg file)
       | _ -> ());
+      with_exporter ~serve ~serve_socket ~snapshot (fun () ->
+          Serve.Progress.start progress;
+          let rows =
+            Exec.Sweep.run ?solver ~cache ~jobs ?trace:telemetry ?monitor
+              ~base:params axes
+          in
+          let single = match axes with [ _ ] -> true | _ -> false in
+          if single then
+            Format.printf "# %a@.param,value,%s@." Params.pp params
+              measure_header
+          else
+            Format.printf "# %a@.%s,%s@." Params.pp params
+              (String.concat ","
+                 (List.map
+                    (fun a -> Exec.Sweep.param_name a.Exec.Sweep.param)
+                    axes))
+              measure_header;
+          List.iter
+            (fun row ->
+              let assigns = row.Exec.Sweep.assigns in
+              match row.Exec.Sweep.result with
+              | Error msg ->
+                Format.printf "# skipped %s: %s@." (Exec.Sweep.label assigns)
+                  msg
+              | Ok s ->
+                let m = s.Exec.Sweep.measures in
+                Option.iter
+                  (fun reg ->
+                    register_measures reg
+                      ~labels:
+                        (List.map
+                           (fun (p, v) ->
+                             (Exec.Sweep.param_name p, Printf.sprintf "%g" v))
+                           assigns)
+                      m)
+                  registry;
+                let key =
+                  if single then
+                    let param, v = List.hd assigns in
+                    Printf.sprintf "%s,%g" (Exec.Sweep.param_name param) v
+                  else
+                    String.concat ","
+                      (List.map (fun (_, v) -> Printf.sprintf "%g" v) assigns)
+                in
+                Format.printf "%s,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f@." key
+                  m.Measures.u_p m.Measures.lambda m.Measures.lambda_net
+                  m.Measures.s_obs m.Measures.l_obs
+                  s.Exec.Sweep.tol_network.Tolerance.tol
+                  s.Exec.Sweep.tol_memory.Tolerance.tol)
+            rows;
+          Serve.Progress.finish progress;
+          (match (telemetry, trace_out) with
+          | Some tel, Some file ->
+            write_solver_trace tel file;
+            flushed file
+          | _ -> ());
+          match (registry, metrics_out) with
+          | Some reg, Some file ->
+            (* When serving, the file is the final scrape: the same
+               snapshot bytes /metrics.json would return right now. *)
+            if serving then write_metrics_snapshot (snapshot ()) file
+            else write_metrics reg file;
+            flushed file
+          | _ -> ());
       `Ok ()
     end
   in
@@ -520,7 +653,8 @@ let sweep_cmd =
        $ cache_arg
            "Content-addressed solve cache: re-runs over the same \
             configurations perform zero new solves."
-       $ metrics_out_arg $ trace_out_arg solver_trace_doc))
+       $ metrics_out_arg $ trace_out_arg solver_trace_doc $ serve_arg
+       $ serve_socket_arg))
 
 (* ------------------------------------------------------------------ *)
 (* figures *)
@@ -542,7 +676,8 @@ let figures_cmd =
       & info [ "only" ] ~docv:"NAME"
           ~doc:"Produce only the named figure (repeatable).")
   in
-  let run params solver out jobs cache_dir no_cache only =
+  let run params solver out jobs cache_dir no_cache only metrics_out serve
+      serve_socket =
     if jobs < 1 then `Error (false, "--jobs must be at least 1")
     else begin
       let figures = Exec.Figures.all ~base:params () in
@@ -573,13 +708,36 @@ let figures_cmd =
               | None -> Filename.concat out "cache")
         in
         let cache = Exec.Cache.create ?dir () in
-        let written = Exec.Figures.write ?solver ~cache ~jobs ~dir:out figures in
-        List.iter
-          (fun w ->
-            Format.printf "wrote %s (%d rows)@." w.Exec.Figures.path
-              w.Exec.Figures.rows)
-          written;
-        Format.printf "cache: %a@." Exec.Cache.pp_stats (Exec.Cache.stats cache);
+        let serving = serve <> None || serve_socket <> None in
+        let progress = Serve.Progress.create ~phase:"figures" () in
+        Serve.Progress.set_total progress
+          (List.fold_left
+             (fun acc f ->
+               acc + List.length (Exec.Sweep.points f.Exec.Figures.axes))
+             0 figures);
+        register_cache_pulls progress cache;
+        let snapshot () = Serve.Progress.to_snapshot progress in
+        let monitor =
+          if serving then Some (Serve.Progress.pool_monitor progress)
+          else None
+        in
+        with_exporter ~serve ~serve_socket ~snapshot (fun () ->
+            Serve.Progress.start progress;
+            let written =
+              Exec.Figures.write ?solver ~cache ~jobs ?monitor ~dir:out
+                figures
+            in
+            List.iter
+              (fun w ->
+                Format.printf "wrote %s (%d rows)@." w.Exec.Figures.path
+                  w.Exec.Figures.rows)
+              written;
+            Format.printf "cache: %a@." Exec.Cache.pp_stats
+              (Exec.Cache.stats cache);
+            Serve.Progress.finish progress;
+            Option.iter
+              (fun file -> write_metrics_snapshot (snapshot ()) file)
+              metrics_out);
         `Ok ()
     end
   in
@@ -595,7 +753,8 @@ let figures_cmd =
            "Worker domains per figure sweep.  The CSVs are byte-identical \
             for every value."
        $ cache_arg "Cache directory (default $(docv) = OUT/cache)."
-       $ no_cache_arg $ only_arg))
+       $ no_cache_arg $ only_arg $ metrics_out_arg $ serve_arg
+       $ serve_socket_arg))
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)
@@ -679,7 +838,7 @@ let simulate_cmd =
              value.")
   in
   let run_replicated params engine horizon warmup seed faults replications jobs
-      =
+      monitor =
     Format.printf "%a@." Params.pp params;
     if Lattol_robust.Fault_plan.active faults then
       Format.printf "fault plan: %a@." Lattol_robust.Fault_plan.pp faults;
@@ -700,7 +859,7 @@ let simulate_cmd =
             faults;
           }
         in
-        let s = Exec.Replicate.des ~jobs ~config ~replications params in
+        let s = Exec.Replicate.des ~jobs ?monitor ~config ~replications params in
         List.iteri
           (fun i r ->
             let m = r.Lattol_sim.Mms_des.measures in
@@ -710,8 +869,8 @@ let simulate_cmd =
         (s.Exec.Replicate.u_p_ci, s.Exec.Replicate.lambda_ci)
       | `Stpn ->
         let s =
-          Exec.Replicate.stpn ~jobs ~seed ~warmup ~horizon ~faults ~replications
-            params
+          Exec.Replicate.stpn ~jobs ?monitor ~seed ~warmup ~horizon ~faults
+            ~replications params
         in
         List.iteri
           (fun i r ->
@@ -732,7 +891,8 @@ let simulate_cmd =
     | None -> ())
   in
   let run params engine horizon warmup seed mtbf mttr degrade target
-      replications jobs metrics_out trace_out =
+      replications jobs metrics_out trace_out serve serve_socket =
+    let serving = serve <> None || serve_socket <> None in
     match fault_plan mtbf mttr degrade target with
     | Error msg -> `Error (false, msg)
     | Ok faults ->
@@ -744,9 +904,26 @@ let simulate_cmd =
       else if replications > 1 && (metrics_out <> None || trace_out <> None)
       then
         `Error (false, "--metrics-out/--trace-out require --replications 1")
+      else if serving && engine = `Stpn && replications = 1 then
+        (* The STPN engine has no heartbeat hook; only the replication
+           fan-out is observable live. *)
+        `Error
+          ( false,
+            "--serve/--serve-socket with --engine stpn require \
+             --replications > 1" )
       else if replications > 1 then begin
-        run_replicated params engine horizon warmup seed faults replications
-          jobs;
+        let progress = Serve.Progress.create ~phase:"replications" () in
+        Serve.Progress.set_total progress replications;
+        let snapshot () = Serve.Progress.to_snapshot progress in
+        let monitor =
+          if serving then Some (Serve.Progress.pool_monitor progress)
+          else None
+        in
+        with_exporter ~serve ~serve_socket ~snapshot (fun () ->
+            Serve.Progress.start progress;
+            run_replicated params engine horizon warmup seed faults
+              replications jobs monitor;
+            Serve.Progress.finish progress);
         `Ok ()
       end
       else begin
@@ -760,45 +937,102 @@ let simulate_cmd =
             Option.map (fun _ -> Lattol_obs.Events.create ()) trace_out
           in
           let metrics =
-            Option.map (fun _ -> Lattol_obs.Metrics.create ()) metrics_out
+            if metrics_out <> None || serving then
+              Some (Lattol_obs.Metrics.create ())
+            else None
           in
-          let r =
-            Lattol_sim.Mms_des.run
-              ~config:
-                {
-                  Lattol_sim.Mms_des.default_config with
-                  Lattol_sim.Mms_des.horizon;
-                  warmup;
-                  seed;
-                  faults;
-                  trace;
-                  metrics;
-                }
-              params
+          let progress = Serve.Progress.create ~phase:"des" () in
+          Serve.Progress.set_total progress
+            Lattol_sim.Mms_des.default_config.Lattol_sim.Mms_des.batches;
+          let snapshot () =
+            Serve.Progress.to_snapshot progress
+            @
+            match metrics with
+            | Some reg -> Lattol_obs.Metrics.snapshot reg
+            | None -> []
           in
-          Format.printf "%a@." Measures.pp r.Lattol_sim.Mms_des.measures;
-          let mean, half = r.Lattol_sim.Mms_des.u_p_ci in
-          Format.printf "U_p 95%% CI: %.4f +- %.4f (%d events, %d remote trips)@."
-            mean half r.Lattol_sim.Mms_des.events
-            r.Lattol_sim.Mms_des.remote_trips;
-          List.iter
-            (Format.printf "%a@." Lattol_sim.Mms_des.pp_fault_stats)
-            r.Lattol_sim.Mms_des.faults;
+          (* Event-rate estimation straddles batches: remember the last
+             batch boundary's cumulative count and wall-clock stamp. *)
+          let last = ref (0, 0.) in
+          let on_batch =
+            if serving then
+              Some
+                (fun ~events ~time ->
+                  Serve.Progress.step progress;
+                  let e0, t0 = !last in
+                  let now = Unix.gettimeofday () in
+                  if t0 > 0. && now > t0 then
+                    Serve.Progress.set_gauge progress "des_event_rate"
+                      (float_of_int (events - e0) /. (now -. t0));
+                  last := (events, now);
+                  Serve.Progress.set_gauge progress "des_virtual_time" time;
+                  Serve.Progress.set_gauge progress "des_events_total"
+                    (float_of_int events))
+            else None
+          in
           (match (trace, trace_out) with
           | Some tr, Some file ->
-            write_span_trace tr file;
-            Format.printf "trace: %d spans -> %s%s@." (Lattol_obs.Events.count tr)
-              file
-              (if Lattol_obs.Events.dropped tr = 0 then ""
-               else
-                 Printf.sprintf " (%d dropped)" (Lattol_obs.Events.dropped tr))
+            flush_on_exit file (fun () -> write_span_trace tr file)
           | _ -> ());
           (match (metrics, metrics_out) with
           | Some reg, Some file ->
-            write_metrics reg file;
-            Format.printf "metrics: %d series -> %s@."
-              (Lattol_obs.Metrics.size reg) file
-          | _ -> ())
+            flush_on_exit file (fun () -> write_metrics reg file)
+          | _ -> ());
+          with_exporter ~serve ~serve_socket ~snapshot (fun () ->
+              Serve.Progress.start progress;
+              let r =
+                Lattol_sim.Mms_des.run
+                  ~config:
+                    {
+                      Lattol_sim.Mms_des.default_config with
+                      Lattol_sim.Mms_des.horizon;
+                      warmup;
+                      seed;
+                      faults;
+                      trace;
+                      metrics;
+                      on_batch;
+                    }
+                  params
+              in
+              Format.printf "%a@." Measures.pp r.Lattol_sim.Mms_des.measures;
+              let mean, half = r.Lattol_sim.Mms_des.u_p_ci in
+              Format.printf
+                "U_p 95%% CI: %.4f +- %.4f (%d events, %d remote trips)@."
+                mean half r.Lattol_sim.Mms_des.events
+                r.Lattol_sim.Mms_des.remote_trips;
+              List.iter
+                (Format.printf "%a@." Lattol_sim.Mms_des.pp_fault_stats)
+                r.Lattol_sim.Mms_des.faults;
+              (match (trace, trace_out) with
+              | Some tr, Some file ->
+                write_span_trace tr file;
+                flushed file;
+                Format.printf "trace: %d spans -> %s%s@."
+                  (Lattol_obs.Events.count tr) file
+                  (if Lattol_obs.Events.dropped tr = 0 then ""
+                   else
+                     Printf.sprintf " (%d dropped)"
+                       (Lattol_obs.Events.dropped tr))
+              | _ -> ());
+              Serve.Progress.finish progress;
+              match (metrics, metrics_out) with
+              | Some reg, Some file ->
+                if serving then begin
+                  (* The file is the final scrape: identical bytes to what
+                     /metrics.json returns from here on. *)
+                  let snap = snapshot () in
+                  write_metrics_snapshot snap file;
+                  Format.printf "metrics: %d series -> %s@."
+                    (List.length snap) file
+                end
+                else begin
+                  write_metrics reg file;
+                  Format.printf "metrics: %d series -> %s@."
+                    (Lattol_obs.Metrics.size reg) file
+                end;
+                flushed file
+              | _ -> ())
         | `Stpn ->
           let r =
             Lattol_petri.Mms_stpn.run ~seed ~warmup ~horizon ~faults params
@@ -827,7 +1061,67 @@ let simulate_cmd =
        $ jobs_arg
            "Worker domains for the replication fan-out (with \
             $(b,--replications))."
-       $ metrics_out_arg $ trace_out_arg span_trace_doc))
+       $ metrics_out_arg $ trace_out_arg span_trace_doc $ serve_arg
+       $ serve_socket_arg))
+
+(* ------------------------------------------------------------------ *)
+(* bench *)
+
+let bench_cmd =
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "Shrink quotas, horizons and replication counts so the run \
+             finishes in seconds: same code paths and metric names, \
+             coarser numbers.  CI smoke jobs and the committed baselines \
+             use this mode.")
+  in
+  let suite_arg =
+    Arg.(
+      value
+      & opt (enum [ ("solvers", `Solvers); ("exec", `Exec); ("all", `All) ])
+          `All
+      & info [ "suite" ] ~docv:"SUITE"
+          ~doc:"Which suite to run: $(b,solvers), $(b,exec) or $(b,all).")
+  in
+  let out_dir_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:"Directory the BENCH_*.json documents are written into.")
+  in
+  let run quick suite out_dir =
+    if not (Sys.file_exists out_dir) then
+      `Error (false, Printf.sprintf "--out-dir %s does not exist" out_dir)
+    else begin
+      let write doc =
+        let file =
+          Filename.concat out_dir
+            ("BENCH_" ^ doc.Lattol_bench.Bench_json.suite ^ ".json")
+        in
+        Lattol_bench.Bench_json.to_file doc file;
+        Format.printf "wrote %s (%d metrics)@." file
+          (List.length doc.Lattol_bench.Bench_json.metrics)
+      in
+      (match suite with
+      | `Solvers | `All ->
+        write (Lattol_bench.Bench_suites.solvers ~quick ())
+      | `Exec -> ());
+      (match suite with
+      | `Exec | `All -> write (Lattol_bench.Bench_suites.exec ~quick ())
+      | `Solvers -> ());
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the perf-trajectory benchmark suites and write versioned \
+          BENCH_*.json documents (diff them against a committed baseline \
+          with tools/bench_compare)")
+    Term.(ret (const run $ quick_arg $ suite_arg $ out_dir_arg))
 
 (* ------------------------------------------------------------------ *)
 (* profile *)
@@ -1026,8 +1320,8 @@ let main_cmd =
     (Cmd.info "mms_cli" ~version:"1.0.0" ~doc)
     [
       solve_cmd; tolerance_cmd; bottleneck_cmd; sweep_cmd; figures_cmd;
-      simulate_cmd; profile_cmd; partition_cmd; sensitivity_cmd; report_cmd;
-      kernels_cmd;
+      simulate_cmd; bench_cmd; profile_cmd; partition_cmd; sensitivity_cmd;
+      report_cmd; kernels_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -60,6 +60,16 @@ let stats t =
   Mutex.unlock t.lock;
   s
 
+let inflight t =
+  Mutex.lock t.lock;
+  let n =
+    Hashtbl.fold
+      (fun _ entry acc -> match entry with Running -> acc + 1 | Done _ -> acc)
+      t.memo 0
+  in
+  Mutex.unlock t.lock;
+  n
+
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf "%d hits (%d disk, %d shared), %d misses, %d solves"
     (s.disk_hits + s.memo_hits)

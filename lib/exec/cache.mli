@@ -51,4 +51,9 @@ type stats = {
 
 val stats : t -> stats
 
+val inflight : t -> int
+(** Keys currently being computed (claimed but not yet landed).  Like
+    {!stats}, safe to poll from any domain — the live-metrics exporter
+    samples it on every scrape. *)
+
 val pp_stats : Format.formatter -> stats -> unit

@@ -93,13 +93,13 @@ let mkdir_p dir =
 
 type written = { figure : figure; path : string; rows : int }
 
-let write ?solver ?cache ?jobs ~dir figures =
+let write ?solver ?cache ?jobs ?monitor ~dir figures =
   mkdir_p dir;
   let cache = match cache with Some c -> c | None -> Cache.create () in
   List.map
     (fun figure ->
       let rows =
-        Sweep.run ?solver ~cache ?jobs ~base:figure.base figure.axes
+        Sweep.run ?solver ~cache ?jobs ?monitor ~base:figure.base figure.axes
       in
       let csv, data_rows = csv_of_rows figure rows in
       let path = Filename.concat dir (figure.name ^ ".csv") in

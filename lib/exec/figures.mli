@@ -31,11 +31,13 @@ val write :
   ?solver:Mms.solver ->
   ?cache:Cache.t ->
   ?jobs:int ->
+  ?monitor:Pool.monitor ->
   dir:string ->
   figure list ->
   written list
 (** Solve and write [<dir>/<name>.csv] for each figure (creating [dir]),
-    all figures sharing one cache.  CSV layout: a ["# title"] comment, a
+    all figures sharing one cache.  [monitor] observes every figure's
+    sweep through one {!Pool.monitor} (items accumulate across figures).  CSV layout: a ["# title"] comment, a
     header of the swept parameter names followed by
     [u_p,lambda,lambda_net,s_obs,l_obs,tol_network,tol_memory], then one
     ["%g"]-keyed, ["%.6f"]-valued row per grid point.  [rows] counts data

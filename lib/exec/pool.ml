@@ -9,10 +9,34 @@
 
 let available_cores () = Domain.recommended_domain_count ()
 
-let map ?(chunk = 0) ~jobs f items =
+type monitor = {
+  on_start : jobs:int -> items:int -> unit;
+  on_worker : worker:int -> busy:bool -> unit;
+  on_claim : remaining:int -> unit;
+  on_item : unit -> unit;
+}
+
+let map ?(chunk = 0) ?monitor ~jobs f items =
   let n = Array.length items in
   if jobs < 1 then invalid_arg "Pool.map: jobs must be at least 1";
-  if n <= 1 || jobs = 1 then Array.map f items
+  if n <= 1 || jobs = 1 then begin
+    match monitor with
+    | None -> Array.map f items
+    | Some m ->
+      m.on_start ~jobs:1 ~items:n;
+      m.on_worker ~worker:0 ~busy:true;
+      let results =
+        Array.mapi
+          (fun i x ->
+            m.on_claim ~remaining:(n - i - 1);
+            let y = f x in
+            m.on_item ();
+            y)
+          items
+      in
+      m.on_worker ~worker:0 ~busy:false;
+      results
+  end
   else begin
     let jobs = min jobs n in
     (* Small chunks keep the pool balanced when task costs are skewed (a
@@ -22,13 +46,21 @@ let map ?(chunk = 0) ~jobs f items =
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
-    let worker () =
+    (match monitor with Some m -> m.on_start ~jobs ~items:n | None -> ());
+    let worker w =
+      (match monitor with
+      | Some m -> m.on_worker ~worker:w ~busy:true
+      | None -> ());
       let rec loop () =
         let lo = Atomic.fetch_and_add next chunk in
         if lo < n && Atomic.get failure = None then begin
+          (match monitor with
+          | Some m -> m.on_claim ~remaining:(max 0 (n - lo - chunk))
+          | None -> ());
           (try
              for i = lo to min n (lo + chunk) - 1 do
-               results.(i) <- Some (f items.(i))
+               results.(i) <- Some (f items.(i));
+               match monitor with Some m -> m.on_item () | None -> ()
              done
            with e ->
              (* Remember the first failure; later ones lose the race. *)
@@ -36,10 +68,15 @@ let map ?(chunk = 0) ~jobs f items =
           loop ()
         end
       in
-      loop ()
+      loop ();
+      match monitor with
+      | Some m -> m.on_worker ~worker:w ~busy:false
+      | None -> ()
     in
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let domains =
+      List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+    in
+    worker 0;
     List.iter Domain.join domains;
     (match Atomic.get failure with Some e -> raise e | None -> ());
     Array.map
@@ -47,5 +84,5 @@ let map ?(chunk = 0) ~jobs f items =
       results
   end
 
-let map_list ?chunk ~jobs f items =
-  Array.to_list (map ?chunk ~jobs f (Array.of_list items))
+let map_list ?chunk ?monitor ~jobs f items =
+  Array.to_list (map ?chunk ?monitor ~jobs f (Array.of_list items))

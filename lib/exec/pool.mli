@@ -15,10 +15,30 @@ val available_cores : unit -> int
 (** [Domain.recommended_domain_count ()]: the pool size above which more
     jobs cannot help. *)
 
-val map : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+type monitor = {
+  on_start : jobs:int -> items:int -> unit;
+      (** once, before any work: effective pool size and item count *)
+  on_worker : worker:int -> busy:bool -> unit;
+      (** worker [worker] (0 = the caller) enters ([true]) / leaves
+          ([false]) the work loop *)
+  on_claim : remaining:int -> unit;
+      (** a chunk was claimed; [remaining] items are still unclaimed *)
+  on_item : unit -> unit;  (** one item finished *)
+}
+(** Observation hooks for live progress reporting.  Callbacks fire
+    concurrently from every pool domain: they must be domain-safe, cheap,
+    and must not raise.  They observe scheduling only — results and their
+    order are unaffected (the byte-identity guarantee stands). *)
+
+val map :
+  ?chunk:int -> ?monitor:monitor -> jobs:int -> ('a -> 'b) -> 'a array ->
+  'b array
 (** [chunk] overrides the queue's claim granularity (default: enough for
     roughly four slices per worker).  [jobs < 1] is rejected; [jobs = 1]
-    runs in the calling domain with no queue at all. *)
+    runs in the calling domain with no queue at all (the [monitor] still
+    sees a one-worker pool). *)
 
-val map_list : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map_list :
+  ?chunk:int -> ?monitor:monitor -> jobs:int -> ('a -> 'b) -> 'a list ->
+  'b list
 (** List variant of {!map}. *)

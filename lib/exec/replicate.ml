@@ -24,7 +24,7 @@ let summarize results ~u_p ~lambda =
   in
   { results; u_p_ci = ci u_p; lambda_ci = ci lambda }
 
-let des ?(jobs = 1) ?(config = Des.default_config) ~replications p =
+let des ?(jobs = 1) ?monitor ?(config = Des.default_config) ~replications p =
   if replications < 1 then
     invalid_arg "Replicate.des: replications must be at least 1";
   if replications > 1 && (config.Des.trace <> None || config.Des.metrics <> None)
@@ -33,7 +33,7 @@ let des ?(jobs = 1) ?(config = Des.default_config) ~replications p =
        collide on series names. *)
     invalid_arg "Replicate.des: trace/metrics sinks require replications = 1";
   let results =
-    Pool.map_list ~jobs
+    Pool.map_list ?monitor ~jobs
       (fun rng -> Des.run ~config:{ config with Des.rng = Some rng } p)
       (streams ~seed:config.Des.seed replications)
   in
@@ -41,8 +41,8 @@ let des ?(jobs = 1) ?(config = Des.default_config) ~replications p =
     ~u_p:(fun r -> r.Des.measures.Measures.u_p)
     ~lambda:(fun r -> r.Des.measures.Measures.lambda)
 
-let stpn ?(jobs = 1) ?(seed = 1) ?warmup ?horizon ?memory ?faults ~replications
-    p =
+let stpn ?(jobs = 1) ?monitor ?(seed = 1) ?warmup ?horizon ?memory ?faults
+    ~replications p =
   if replications < 1 then
     invalid_arg "Replicate.stpn: replications must be at least 1";
   let root = Prng.create ~seed () in
@@ -50,7 +50,7 @@ let stpn ?(jobs = 1) ?(seed = 1) ?warmup ?horizon ?memory ?faults ~replications
     List.init replications (fun _ -> Int64.to_int (Prng.bits64 root) land max_int)
   in
   let results =
-    Pool.map_list ~jobs
+    Pool.map_list ?monitor ~jobs
       (fun s -> Stpn.run ~seed:s ?warmup ?horizon ?memory ?faults p)
       seeds
   in

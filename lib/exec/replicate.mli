@@ -23,6 +23,7 @@ type 'a summary = {
 
 val des :
   ?jobs:int ->
+  ?monitor:Pool.monitor ->
   ?config:Lattol_sim.Mms_des.config ->
   replications:int ->
   Params.t ->
@@ -30,10 +31,12 @@ val des :
 (** Discrete-event replications.  [config.rng] is overridden per
     replication with a split stream rooted at [config.seed]; [trace] and
     [metrics] sinks are rejected when [replications > 1] (they are per-run
-    recorders).  Raises [Invalid_argument] on [replications < 1]. *)
+    recorders).  [monitor] observes the fan-out pool (one item per
+    replication).  Raises [Invalid_argument] on [replications < 1]. *)
 
 val stpn :
   ?jobs:int ->
+  ?monitor:Pool.monitor ->
   ?seed:int ->
   ?warmup:float ->
   ?horizon:float ->

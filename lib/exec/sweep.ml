@@ -62,7 +62,7 @@ let points axes =
     axes [ [] ]
 
 let run ?solver ?cache ?(jobs = 1) ?(ideal_method = Tolerance.Zero_remote)
-    ?trace ?on_sweep ~base axes =
+    ?trace ?on_sweep ?monitor ~base axes =
   if jobs < 1 then invalid_arg "Sweep.run: jobs must be at least 1";
   if axes = [] then invalid_arg "Sweep.run: at least one axis";
   List.iter
@@ -139,4 +139,4 @@ let run ?solver ?cache ?(jobs = 1) ?(ideal_method = Tolerance.Zero_remote)
             };
       }
   in
-  Pool.map_list ~jobs eval (points axes)
+  Pool.map_list ?monitor ~jobs eval (points axes)

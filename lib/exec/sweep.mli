@@ -61,6 +61,7 @@ val run :
   ?ideal_method:Tolerance.ideal_method ->
   ?trace:Lattol_obs.Solver_trace.t ->
   ?on_sweep:(iteration:int -> residual:float -> Amva.progress) ->
+  ?monitor:Pool.monitor ->
   base:Params.t ->
   axis list ->
   row list
@@ -70,5 +71,7 @@ val run :
     point (labelled with {!label}) and requires [jobs = 1] — a single
     chronological recording cannot interleave domains.  [on_sweep] observes
     every AMVA iteration of every solve (real and ideal) that actually
-    runs; cache hits invoke neither.  Raises [Invalid_argument] on
-    [jobs < 1], an empty axis list, or an empty axis. *)
+    runs; cache hits invoke neither.  [monitor] observes pool scheduling
+    (one {!Pool.monitor} item per grid point) without affecting results.
+    Raises [Invalid_argument] on [jobs < 1], an empty axis list, or an
+    empty axis. *)

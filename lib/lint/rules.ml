@@ -22,16 +22,17 @@ let metas =
       id = "det-wallclock";
       family = "determinism";
       summary =
-        "wall-clock read in deterministic solver/experiment code (lib/core, \
-         lib/queueing, lib/exec)";
+        "wall-clock read in deterministic model/experiment code (lib/ \
+         outside the telemetry and supervision layers)";
       hint =
         "solver results, cache keys and golden CSVs must not depend on time; \
-         read clocks only in telemetry sinks (lib/obs) or executables";
+         read clocks only in the layers scoped for it (lib/obs, lib/serve, \
+         lib/robust) or in executables";
     };
     {
       id = "det-stdout";
       family = "determinism";
-      summary = "direct stdout write in library code";
+      summary = "direct stdout write in library code (lib/serve excepted)";
       hint =
         "emit through a Format.formatter or a Report/Metrics sink chosen by \
          the caller; library stdout interleaves nondeterministically under \
@@ -220,8 +221,9 @@ type ctx = {
   report : rule:string -> loc:Location.t -> message:string -> unit;
   (* scope gates, precomputed once per file *)
   allow_random : bool;      (* true in lib/stats/prng.ml *)
-  wallclock_scope : bool;   (* lib/core, lib/queueing, lib/exec *)
+  wallclock_scope : bool;   (* lib/ minus the layers allowed to read clocks *)
   lib_scope : bool;         (* any path with a lib/ segment *)
+  serve_scope : bool;       (* lib/serve: the live exporter layer *)
   div_scope : bool;         (* lib/queueing, lib/core *)
   stats_scope : bool;       (* lib/stats *)
   (* traversal state *)
@@ -231,16 +233,25 @@ type ctx = {
 }
 
 let make_ctx ~path ~enabled ~report =
+  (* Wall-clock allowance is scoped, not enumerated per consumer: every
+     lib/ module is in det-wallclock scope except the layers whose job is
+     observing real time — telemetry sinks (lib/obs), the live exporter
+     and its progress heartbeat (lib/serve), and the supervisor's
+     wall-time budgets (lib/robust). *)
+  let clock_allowed =
+    in_dir path [ "lib"; "obs" ]
+    || in_dir path [ "lib"; "serve" ]
+    || in_dir path [ "lib"; "robust" ]
+    || in_dir path [ "lib"; "lint" ]
+  in
   {
     path;
     enabled;
     report;
     allow_random = in_dir path [ "lib"; "stats"; "prng.ml" ];
-    wallclock_scope =
-      in_dir path [ "lib"; "core" ]
-      || in_dir path [ "lib"; "queueing" ]
-      || in_dir path [ "lib"; "exec" ];
+    wallclock_scope = List.mem "lib" (segs path) && not clock_allowed;
     lib_scope = List.mem "lib" (segs path);
+    serve_scope = in_dir path [ "lib"; "serve" ];
     div_scope = in_dir path [ "lib"; "queueing" ] || in_dir path [ "lib"; "core" ];
     stats_scope = in_dir path [ "lib"; "stats" ];
     guards = [];
@@ -348,7 +359,11 @@ let check_expr ctx e =
     | p when ctx.wallclock_scope && List.mem p wallclock_idents ->
       fire ctx "det-wallclock" loc "%s reads the wall clock"
         (String.concat "." p)
-    | p when ctx.lib_scope && List.mem p stdout_printers ->
+    | p when ctx.lib_scope && not ctx.serve_scope && List.mem p stdout_printers
+      ->
+      (* lib/serve is exempt: a serving layer reports operational state
+         (bound address, shutdown) on process streams by design, and none
+         of it lands in golden outputs. *)
       fire ctx "det-stdout" loc "%s writes directly to stdout"
         (String.concat "." p)
     | [ "Obj"; "magic" ] ->

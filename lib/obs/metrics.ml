@@ -95,13 +95,111 @@ let size t = List.length t.entries
 let entries t = List.rev t.entries
 
 (* ------------------------------------------------------------------ *)
+(* Snapshots and merging *)
+
+type snap_value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Twa_v of float
+  | Hist_v of Histogram.t
+
+type series = {
+  s_name : string;
+  s_labels : labels;
+  s_help : string;
+  s_value : snap_value;
+}
+
+type snapshot = series list
+
+let snap_value = function
+  | Counter c -> Counter_v !c
+  | Gauge g -> Gauge_v !g
+  | Twa w -> Twa_v (twa_value w)
+  | Hist h -> Hist_v (Histogram.copy h)
+
+(* Reading [t.entries] is a single pointer load and the cells behind it
+   are immutable, so a snapshot taken while another domain registers new
+   series just sees a consistent prefix.  The instruments themselves are
+   read without synchronization: fine for monitoring, not for accounting
+   across racing writers. *)
+let snapshot t =
+  List.map
+    (fun e ->
+      { s_name = e.name; s_labels = e.labels; s_help = e.help;
+        s_value = snap_value e.value })
+    (entries t)
+
+let copy_value = function
+  | Counter c -> Counter (ref !c)
+  | Gauge g -> Gauge (ref !g)
+  | Twa w -> Twa { w with started = w.started }
+  | Hist h -> Hist (Histogram.copy h)
+
+(* Span-weighted combination: integrals and observed spans both add, so
+   the merged average is (Ia + Ib) / (Sa + Sb), independent of order. *)
+let merge_twa a b =
+  match (a.started, b.started) with
+  | _, false -> { a with started = a.started }
+  | false, true -> { b with started = true }
+  | true, true ->
+    let span_a = a.last_t -. a.first and span_b = b.last_t -. b.first in
+    {
+      first = 0.;
+      last_t = span_a +. span_b;
+      last_v = b.last_v;
+      integral = a.integral +. b.integral;
+      started = true;
+    }
+
+let merged_value name va vb =
+  match (va, vb) with
+  | Counter a, Counter b -> Counter (ref (!a + !b))
+  | Gauge a, Gauge b -> Gauge (ref (if Float.is_nan !b then !a else !b))
+  | Twa a, Twa b -> Twa (merge_twa a b)
+  | Hist a, Hist b -> Hist (Histogram.merge a b)
+  | _ -> Format.kasprintf invalid_arg "Metrics.merge: kind mismatch on %s" name
+
+let merge a b =
+  let t = create () in
+  let b_entries = entries b in
+  let in_a e' =
+    List.exists
+      (fun e -> e.name = e'.name && e.labels = e'.labels)
+      (entries a)
+  in
+  List.iter
+    (fun e ->
+      let help = ref e.help in
+      let value =
+        match
+          List.find_opt
+            (fun e' -> e'.name = e.name && e'.labels = e.labels)
+            b_entries
+        with
+        | None -> copy_value e.value
+        | Some e' ->
+          if !help = "" then help := e'.help;
+          merged_value e.name e.value e'.value
+      in
+      register t ~name:e.name ~labels:e.labels ~help:!help value)
+    (entries a);
+  List.iter
+    (fun e' ->
+      if not (in_a e') then
+        register t ~name:e'.name ~labels:e'.labels ~help:e'.help
+          (copy_value e'.value))
+    b_entries;
+  t
+
+(* ------------------------------------------------------------------ *)
 (* Sinks *)
 
-let kind_string = function
-  | Counter _ -> "counter"
-  | Gauge _ -> "gauge"
-  | Twa _ -> "twa"
-  | Hist _ -> "histogram"
+let snap_kind_string = function
+  | Counter_v _ -> "counter"
+  | Gauge_v _ -> "gauge"
+  | Twa_v _ -> "twa"
+  | Hist_v _ -> "histogram"
 
 let json_labels labels =
   String.concat ","
@@ -113,62 +211,74 @@ let json_labels labels =
 let hist_quantile h q =
   if Histogram.count h = 0 then nan else Histogram.quantile h q
 
-let write_json t oc =
-  output_string oc "{\"metrics\":[\n";
+let buf_json_snapshot b snap =
+  Buffer.add_string b "{\"metrics\":[\n";
   let first = ref true in
   List.iter
-    (fun e ->
-      if not !first then output_string oc ",\n";
+    (fun s ->
+      if not !first then Buffer.add_string b ",\n";
       first := false;
-      Printf.fprintf oc "{\"name\":\"%s\",\"type\":\"%s\",\"labels\":{%s}"
-        (Jsonu.escape e.name) (kind_string e.value) (json_labels e.labels);
-      if e.help <> "" then
-        Printf.fprintf oc ",\"help\":\"%s\"" (Jsonu.escape e.help);
-      (match e.value with
-      | Counter c -> Printf.fprintf oc ",\"value\":%d" !c
-      | Gauge g -> Printf.fprintf oc ",\"value\":%s" (Jsonu.number !g)
-      | Twa w -> Printf.fprintf oc ",\"value\":%s" (Jsonu.number (twa_value w))
-      | Hist h ->
-        Printf.fprintf oc
+      Printf.bprintf b "{\"name\":\"%s\",\"type\":\"%s\",\"labels\":{%s}"
+        (Jsonu.escape s.s_name) (snap_kind_string s.s_value)
+        (json_labels s.s_labels);
+      if s.s_help <> "" then
+        Printf.bprintf b ",\"help\":\"%s\"" (Jsonu.escape s.s_help);
+      (match s.s_value with
+      | Counter_v c -> Printf.bprintf b ",\"value\":%d" c
+      | Gauge_v g -> Printf.bprintf b ",\"value\":%s" (Jsonu.number g)
+      | Twa_v w -> Printf.bprintf b ",\"value\":%s" (Jsonu.number w)
+      | Hist_v h ->
+        Printf.bprintf b
           ",\"count\":%d,\"underflow\":%d,\"overflow\":%d,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"counts\":["
           (Histogram.count h) (Histogram.underflow h) (Histogram.overflow h)
           (Jsonu.number (hist_quantile h 0.5))
           (Jsonu.number (hist_quantile h 0.9))
           (Jsonu.number (hist_quantile h 0.99));
         for i = 0 to Histogram.bins h - 1 do
-          if i > 0 then output_string oc ",";
-          Printf.fprintf oc "%d" (Histogram.bin_count h i)
+          if i > 0 then Buffer.add_string b ",";
+          Printf.bprintf b "%d" (Histogram.bin_count h i)
         done;
-        output_string oc "]");
-      output_string oc "}")
-    (entries t);
-  output_string oc "\n]}\n"
+        Buffer.add_string b "]");
+      Buffer.add_string b "}")
+    snap;
+  Buffer.add_string b "\n]}\n"
+
+let json_of_snapshot snap =
+  let b = Buffer.create 4096 in
+  buf_json_snapshot b snap;
+  Buffer.contents b
+
+let write_json_snapshot snap oc = output_string oc (json_of_snapshot snap)
+
+let write_json t oc = write_json_snapshot (snapshot t) oc
 
 let csv_labels labels =
   String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
 
 let csv_number v = if Float.is_nan v then "nan" else Printf.sprintf "%.12g" v
 
-let write_csv t oc =
+let write_csv_snapshot snap oc =
   output_string oc "name,labels,type,field,value\n";
   List.iter
-    (fun e ->
+    (fun s ->
       let row field value =
-        Printf.fprintf oc "%s,%s,%s,%s,%s\n" e.name (csv_labels e.labels)
-          (kind_string e.value) field value
+        Printf.fprintf oc "%s,%s,%s,%s,%s\n" s.s_name (csv_labels s.s_labels)
+          (snap_kind_string s.s_value) field value
       in
-      match e.value with
-      | Counter c -> row "value" (string_of_int !c)
-      | Gauge g -> row "value" (csv_number !g)
-      | Twa w -> row "value" (csv_number (twa_value w))
-      | Hist h ->
+      match s.s_value with
+      | Counter_v c -> row "value" (string_of_int c)
+      | Gauge_v g -> row "value" (csv_number g)
+      | Twa_v w -> row "value" (csv_number w)
+      | Hist_v h ->
         row "count" (string_of_int (Histogram.count h));
         row "underflow" (string_of_int (Histogram.underflow h));
         row "overflow" (string_of_int (Histogram.overflow h));
         row "p50" (csv_number (hist_quantile h 0.5));
         row "p90" (csv_number (hist_quantile h 0.9));
         row "p99" (csv_number (hist_quantile h 0.99)))
-    (entries t)
+    snap
+
+let write_csv t oc = write_csv_snapshot (snapshot t) oc
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";

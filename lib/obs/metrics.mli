@@ -59,6 +59,44 @@ val histogram :
 val record : histogram -> float -> unit
 val histogram_data : histogram -> Lattol_stats.Histogram.t
 
+(** {1 Snapshots}
+
+    A snapshot is a pure point-in-time copy of every registered series —
+    plain data, safe to render from another domain while the live
+    instruments keep moving.  The series order is registration order,
+    exactly what the sinks emit. *)
+
+type snap_value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Twa_v of float  (** the resolved time-weighted average *)
+  | Hist_v of Lattol_stats.Histogram.t  (** a private copy of the bins *)
+
+type series = {
+  s_name : string;
+  s_labels : labels;
+  s_help : string;
+  s_value : snap_value;
+}
+
+type snapshot = series list
+
+val snapshot : t -> snapshot
+(** Safe to call concurrently with instrument updates (monitoring-grade
+    consistency: each series is copied atomically enough for scrapes, not
+    for audits); registrations racing with the snapshot may or may not be
+    included. *)
+
+val merge : t -> t -> t
+(** [merge a b]: a fresh registry holding the union of both series sets —
+    [a]'s series in registration order, then [b]'s unmatched ones.  Series
+    present on both sides combine by kind: counters sum, gauges keep the
+    last write ([b] unless its value is [nan]), time-weighted averages
+    combine span-weighted, histograms add bin-wise (geometries must match).
+    Counter and histogram merging is commutative and associative; gauges
+    are last-write-wins by construction, so only associative.  Raises
+    [Invalid_argument] when a shared name carries different kinds. *)
+
 (** {1 Sinks} *)
 
 val size : t -> int
@@ -69,9 +107,18 @@ val write_json : t -> out_channel -> unit
     line-greppable yet a single valid document.  Histograms carry their
     bin counts and the 0.5/0.9/0.99 quantiles. *)
 
+val json_of_snapshot : snapshot -> string
+(** The exact bytes {!write_json} would emit for this snapshot — shared by
+    the [--metrics-out] sink and the live [/metrics.json] endpoint so a
+    final scrape equals the flushed file. *)
+
+val write_json_snapshot : snapshot -> out_channel -> unit
+
 val write_csv : t -> out_channel -> unit
 (** Long-form CSV: [name,labels,type,field,value]; scalar instruments emit
     one row, histograms one row per exported field. *)
+
+val write_csv_snapshot : snapshot -> out_channel -> unit
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable dump, one series per line. *)

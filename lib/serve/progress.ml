@@ -1,0 +1,139 @@
+module Metrics = Lattol_obs.Metrics
+module Pool = Lattol_exec.Pool
+
+type kind = [ `Counter | `Gauge ]
+
+type t = {
+  phase_name : string;
+  total_ : int Atomic.t;
+  done_ : int Atomic.t;
+  workers : int Atomic.t;
+  busy : int Atomic.t;
+  queue_depth : int Atomic.t;
+  started : float Atomic.t; (* wall-clock stamp; nan = not yet *)
+  finished : float Atomic.t; (* wall-clock stamp; nan = still running *)
+  lock : Mutex.t;
+  (* both in first-registration order, so snapshots are stable *)
+  mutable gauges : (string * float) list;
+  mutable pulls : (string * kind * (unit -> float)) list;
+}
+
+let create ?(phase = "run") () =
+  {
+    phase_name = phase;
+    total_ = Atomic.make 0;
+    done_ = Atomic.make 0;
+    workers = Atomic.make 0;
+    busy = Atomic.make 0;
+    queue_depth = Atomic.make 0;
+    started = Atomic.make nan;
+    finished = Atomic.make nan;
+    lock = Mutex.create ();
+    gauges = [];
+    pulls = [];
+  }
+
+let phase t = t.phase_name
+
+let set_total t n = Atomic.set t.total_ n
+
+let step ?(n = 1) t = ignore (Atomic.fetch_and_add t.done_ n)
+
+let done_count t = Atomic.get t.done_
+
+let total t = Atomic.get t.total_
+
+let set_workers t n = Atomic.set t.workers n
+
+let worker_busy t b =
+  ignore (Atomic.fetch_and_add t.busy (if b then 1 else -1))
+
+let busy_workers t = Atomic.get t.busy
+
+let set_queue_depth t n = Atomic.set t.queue_depth n
+
+let pool_monitor t =
+  {
+    Pool.on_start = (fun ~jobs ~items:_ -> set_workers t jobs);
+    on_worker = (fun ~worker:_ ~busy -> worker_busy t busy);
+    on_claim = (fun ~remaining -> set_queue_depth t remaining);
+    on_item = (fun () -> step t);
+  }
+
+let set_gauge t name v =
+  Mutex.protect t.lock (fun () ->
+      if List.mem_assoc name t.gauges then
+        t.gauges <-
+          List.map
+            (fun (n, old) -> if String.equal n name then (n, v) else (n, old))
+            t.gauges
+      else t.gauges <- t.gauges @ [ (name, v) ])
+
+let register_pull t ?(kind = `Gauge) name f =
+  Mutex.protect t.lock (fun () -> t.pulls <- t.pulls @ [ (name, kind, f) ])
+
+let start t =
+  let now = Unix.gettimeofday () in
+  ignore (Atomic.compare_and_set t.started nan now)
+
+let finish t =
+  let now = Unix.gettimeofday () in
+  ignore (Atomic.compare_and_set t.finished nan now)
+
+let elapsed t =
+  let t0 = Atomic.get t.started in
+  if Float.is_nan t0 then 0.
+  else
+    let t1 = Atomic.get t.finished in
+    let t1 = if Float.is_nan t1 then Unix.gettimeofday () else t1 in
+    Float.max 0. (t1 -. t0)
+
+let eta t =
+  if not (Float.is_nan (Atomic.get t.finished)) then 0.
+  else
+    let total = Atomic.get t.total_ and d = Atomic.get t.done_ in
+    if total <= 0 || d <= 0 then nan
+    else if d >= total then 0.
+    else elapsed t /. float_of_int d *. float_of_int (total - d)
+
+let to_snapshot t =
+  let gauges, pulls =
+    Mutex.protect t.lock (fun () -> (t.gauges, t.pulls))
+  in
+  let series name help v =
+    { Metrics.s_name = name; s_labels = []; s_help = help; s_value = v }
+  in
+  let phase_series =
+    [
+      series (t.phase_name ^ "_points_done")
+        "work items completed so far"
+        (Metrics.Counter_v (Atomic.get t.done_));
+      series (t.phase_name ^ "_points_total")
+        "work items planned for this run"
+        (Metrics.Gauge_v (float_of_int (Atomic.get t.total_)));
+      series "pool_workers" "domains the work pool was configured with"
+        (Metrics.Gauge_v (float_of_int (Atomic.get t.workers)));
+      series "pool_busy_domains" "pool domains currently executing work"
+        (Metrics.Gauge_v (float_of_int (Atomic.get t.busy)));
+      series "pool_queue_depth" "work items not yet claimed by any domain"
+        (Metrics.Gauge_v (float_of_int (Atomic.get t.queue_depth)));
+      series "elapsed_seconds" "wall-clock time since the run started"
+        (Metrics.Gauge_v (elapsed t));
+      series "eta_seconds"
+        "estimated wall-clock time to completion (linear extrapolation)"
+        (Metrics.Gauge_v (eta t));
+    ]
+  in
+  let gauge_series =
+    List.map (fun (name, v) -> series name "" (Metrics.Gauge_v v)) gauges
+  in
+  let pull_series =
+    List.map
+      (fun (name, kind, f) ->
+        let v = f () in
+        match kind with
+        | `Counter -> series name "" (Metrics.Counter_v (int_of_float v))
+        | `Gauge -> series name "" (Metrics.Gauge_v v))
+      pulls
+  in
+  phase_series @ gauge_series @ pull_series

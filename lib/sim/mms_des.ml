@@ -20,6 +20,7 @@ type config = {
   faults : Fault_plan.t;
   trace : Ev.t option;
   metrics : Metrics.t option;
+  on_batch : (events:int -> time:float -> unit) option;
 }
 
 let default_config =
@@ -36,6 +37,7 @@ let default_config =
     faults = Fault_plan.none;
     trace = None;
     metrics = None;
+    on_batch = None;
   }
 
 type fault_stats = {
@@ -438,7 +440,11 @@ let run_batch st ~config ~n ~batch_span ~prev_completions ~prev_busy
   prev_busy := busy_now;
   Moments.add lambda_batches
     (float_of_int d_completions /. batch_span /. float_of_int n);
-  Moments.add u_p_batches (d_busy /. batch_span /. float_of_int n)
+  Moments.add u_p_batches (d_busy /. batch_span /. float_of_int n);
+  match config.on_batch with
+  | None -> ()
+  | Some f ->
+    f ~events:(Engine.events_processed st.engine) ~time:(Engine.now st.engine)
 
 let rec run ?(config = default_config) p =
   if config.warmup < 0. || config.horizon <= 0. then

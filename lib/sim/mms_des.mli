@@ -54,6 +54,12 @@ type config = {
           (labeled by station name), completion / event counters and a
           trip-time histogram.  Use a fresh registry per run — series
           names would otherwise collide.  Default [None]. *)
+  on_batch : (events:int -> time:float -> unit) option;
+      (** heartbeat hook, invoked after every measurement batch with the
+          cumulative engine event count and the current virtual time.  It
+          observes the run (live progress reporting) and must not perturb
+          it: keep it cheap and side-effect-free with respect to the
+          model.  Default [None]. *)
 }
 
 val default_config : config

@@ -5,6 +5,7 @@ type t = {
   counts : int array;
   mutable underflow : int;
   mutable overflow : int;
+  mutable total : float; (* sum of every observation, outliers included *)
 }
 
 let create ?(lo = 0.) ~hi ~bins () =
@@ -17,9 +18,11 @@ let create ?(lo = 0.) ~hi ~bins () =
     counts = Array.make bins 0;
     underflow = 0;
     overflow = 0;
+    total = 0.;
   }
 
 let add t x =
+  t.total <- t.total +. x;
   if x < t.lo then t.underflow <- t.underflow + 1
   else if x >= t.hi then t.overflow <- t.overflow + 1
   else begin
@@ -37,6 +40,29 @@ let bin_count t i = t.counts.(i)
 let underflow t = t.underflow
 
 let overflow t = t.overflow
+
+let lo t = t.lo
+
+let hi t = t.hi
+
+let sum t = t.total
+
+let copy t = { t with counts = Array.copy t.counts }
+
+let same_geometry a b =
+  Float.equal a.lo b.lo && Float.equal a.hi b.hi
+  && Array.length a.counts = Array.length b.counts
+
+let merge a b =
+  if not (same_geometry a b) then
+    invalid_arg "Histogram.merge: geometries differ";
+  {
+    a with
+    counts = Array.init (Array.length a.counts) (fun i -> a.counts.(i) + b.counts.(i));
+    underflow = a.underflow + b.underflow;
+    overflow = a.overflow + b.overflow;
+    total = a.total +. b.total;
+  }
 
 let bin_bounds t i =
   let a = t.lo +. (float_of_int i *. t.width) in

@@ -23,6 +23,25 @@ val underflow : t -> int
 
 val overflow : t -> int
 
+val lo : t -> float
+(** Lower bound of the binned range. *)
+
+val hi : t -> float
+(** Upper bound of the binned range. *)
+
+val sum : t -> float
+(** Sum of every observation ever added, outliers included — the
+    Prometheus [_sum] companion to {!count}. *)
+
+val copy : t -> t
+(** Independent snapshot; further {!add}s to either side do not affect
+    the other. *)
+
+val merge : t -> t -> t
+(** Bin-wise sum of two histograms over the same geometry (same [lo],
+    [hi] and bin count — raises [Invalid_argument] otherwise).  Neither
+    input is modified. *)
+
 val bin_bounds : t -> int -> float * float
 (** Inclusive-exclusive bounds of bin [i]. *)
 

@@ -239,3 +239,36 @@ empirical tolerance index (real vs ideal run) against the prediction:
     U_p ideal = 0.8855 +- 0.0101
   analytical tolerance = 0.9491 -> within CI: yes
   exit: 0
+
+The bench command writes schema-versioned perf-trajectory documents; the
+numbers are machine-local, so only the envelope is locked here:
+
+  $ ../bin/mms_cli.exe bench --quick --suite solvers
+  wrote ./BENCH_solvers.json (12 metrics)
+  $ head -4 BENCH_solvers.json
+  {
+    "schema": "lattol-bench/1",
+    "suite": "solvers",
+    "quick": true,
+
+bench_compare gates a run against a baseline: a document is always
+within tolerance of itself,
+
+  $ ../tools/bench_compare.exe BENCH_solvers.json BENCH_solvers.json
+  suite solvers: 12 metrics within 50%, 0 beyond, 0 missing, 0 added
+
+a vanished metric fails the gate while an added one is only reported,
+
+  $ sed 's,solvers/exact_2x2/time,solvers/exact_2x2/time_x,' BENCH_solvers.json > perturbed.json
+  $ ../tools/bench_compare.exe BENCH_solvers.json perturbed.json
+  suite solvers: 11 metrics within 50%, 0 beyond, 1 missing, 1 added
+    MISSING solvers/exact_2x2/time (was in the baseline)
+    new metric solvers/exact_2x2/time_x (not gated)
+  [1]
+
+and comparing documents from different suites is a usage error:
+
+  $ ../bin/mms_cli.exe bench --quick --suite exec --out-dir . > /dev/null
+  $ ../tools/bench_compare.exe BENCH_solvers.json BENCH_exec.json
+  bench_compare: suite mismatch: "solvers" vs "exec"
+  [2]

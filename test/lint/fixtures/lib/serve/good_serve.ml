@@ -1,0 +1,6 @@
+(* Fixture: neither det-wallclock nor det-stdout fires in lib/serve —
+   the exporter layer reads real time for its heartbeat and reports
+   operational state on process streams by design. *)
+let heartbeat () = Unix.gettimeofday ()
+
+let announce addr = print_endline ("serving metrics on " ^ addr)

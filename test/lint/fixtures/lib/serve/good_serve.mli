@@ -1,0 +1,3 @@
+val heartbeat : unit -> float
+
+val announce : string -> unit

@@ -1,0 +1,3 @@
+(* Fixture: det-wallclock must fire anywhere in lib/ outside the
+   telemetry layers — simulators run on virtual time. *)
+let stamp () = Unix.time ()

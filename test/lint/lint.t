@@ -8,8 +8,8 @@ The rule pack itself:
 
   $ ../../bin/lattol_lint.exe --list-rules
   det-random             determinism   ambient Random use outside lib/stats/prng.ml
-  det-wallclock          determinism   wall-clock read in deterministic solver/experiment code (lib/core, lib/queueing, lib/exec)
-  det-stdout             determinism   direct stdout write in library code
+  det-wallclock          determinism   wall-clock read in deterministic model/experiment code (lib/ outside the telemetry and supervision layers)
+  det-stdout             determinism   direct stdout write in library code (lib/serve excepted)
   float-polycompare      float-safety  polymorphic =/<>/compare/Hashtbl.hash on a float-bearing value
   float-div-unguarded    float-safety  float division by a difference with no dominating nonzero guard
   float-sum-naive        float-safety  naive float accumulation via fold_left in lib/stats
@@ -26,18 +26,23 @@ the sanctioned home of the generator:
       hint: draw from a Lattol_stats.Prng stream threaded from the experiment seed; the ambient Random is invisible to replay and to the solve cache
   [1]
 
-det-wallclock fires on clock reads in solver scope (lib/core,
-lib/queueing, lib/exec), but not in telemetry scope (lib/obs):
+det-wallclock fires on clock reads anywhere in lib/ outside the layers
+scoped to read real time — the telemetry sinks (lib/obs), the live
+exporter and its progress heartbeat (lib/serve), and the supervisor's
+wall-time budgets (lib/robust):
 
   $ ../../bin/lattol_lint.exe --no-config --rules det-wallclock fixtures/lib
   fixtures/lib/core/bad_clock.ml:2:13: [det-wallclock] Unix.gettimeofday reads the wall clock
-      hint: solver results, cache keys and golden CSVs must not depend on time; read clocks only in telemetry sinks (lib/obs) or executables
+      hint: solver results, cache keys and golden CSVs must not depend on time; read clocks only in the layers scoped for it (lib/obs, lib/serve, lib/robust) or in executables
+  fixtures/lib/sim/bad_clock.ml:3:15: [det-wallclock] Unix.time reads the wall clock
+      hint: solver results, cache keys and golden CSVs must not depend on time; read clocks only in the layers scoped for it (lib/obs, lib/serve, lib/robust) or in executables
   [1]
 
 det-stdout fires on direct stdout writes in library code, but not in
-executables:
+executables and not in lib/serve (a serving layer reports operational
+state on process streams by design):
 
-  $ ../../bin/lattol_lint.exe --no-config --rules det-stdout fixtures/lib/core/bad_print.ml fixtures/bin
+  $ ../../bin/lattol_lint.exe --no-config --rules det-stdout fixtures/lib/core/bad_print.ml fixtures/lib/serve fixtures/bin
   fixtures/lib/core/bad_print.ml:2:15: [det-stdout] Printf.printf writes directly to stdout
       hint: emit through a Format.formatter or a Report/Metrics sink chosen by the caller; library stdout interleaves nondeterministically under --jobs
   [1]
@@ -122,4 +127,4 @@ JSON output carries the same findings machine-readably:
 
 A clean subtree exits 0 with no output:
 
-  $ ../../bin/lattol_lint.exe --no-config fixtures/lib/obs fixtures/bin
+  $ ../../bin/lattol_lint.exe --no-config fixtures/lib/obs fixtures/lib/serve fixtures/bin

@@ -1,0 +1,24 @@
+An interrupted run must still leave a parseable trace.  The CLI routes
+SIGINT through exit, and every pending sink flushes from at_exit — so a
+Ctrl-C'd simulation leaves a truncated but well-formed Chrome trace
+(header, whatever events were buffered, footer), not a torn file.
+
+Start a run whose horizon guarantees it cannot finish, give it a moment
+to buffer spans, then interrupt it:
+
+  $ ../bin/mms_cli.exe simulate -k 2 -d 1 --horizon 100000000 --trace-out interrupted.json >/dev/null 2>&1 &
+  $ pid=$!
+  $ sleep 1; kill -INT $pid; wait $pid
+  [130]
+
+The flushed file is a complete Chrome trace document:
+
+  $ head -c 16 interrupted.json
+  {"traceEvents":[
+  $ tail -c 25 interrupted.json
+  ,"displayTimeUnit":"ms"}
+
+And it actually captured events before the interrupt:
+
+  $ grep -c '"ph":"X"' interrupted.json > /dev/null && echo has-spans
+  has-spans

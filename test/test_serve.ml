@@ -1,0 +1,277 @@
+(* Live metrics exporter: Prometheus rendering, the progress heartbeat,
+   and the HTTP endpoint hammered from several domains while the
+   instruments keep moving. *)
+
+module Metrics = Lattol_obs.Metrics
+module Histogram = Lattol_stats.Histogram
+module Progress = Lattol_serve.Progress
+module Prom = Lattol_serve.Prom
+module Exporter = Lattol_serve.Exporter
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.equal (String.sub haystack i nl) needle || go (i + 1))
+  in
+  go 0
+
+let check_contains what needle haystack =
+  if not (contains ~needle haystack) then
+    Alcotest.failf "%s: %S not found in:\n%s" what needle haystack
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text rendering *)
+
+let test_prom_render () =
+  let reg = Metrics.create () in
+  Metrics.incr ~by:7
+    (Metrics.counter reg
+       ~labels:[ ("station", "mem\"3\"") ]
+       ~help:"events\nprocessed" "events");
+  Metrics.set_gauge (Metrics.gauge reg "u_p") 0.625;
+  let h = Metrics.histogram reg ~hi:4. ~bins:2 "lat" in
+  List.iter (Metrics.record h) [ 1.; 3.; 9.; -1. ];
+  let text = Prom.render (Metrics.snapshot reg) in
+  check_contains "help escapes newline"
+    "# HELP lattol_events events\\nprocessed" text;
+  check_contains "counter type" "# TYPE lattol_events counter" text;
+  check_contains "label escaping"
+    "lattol_events{station=\"mem\\\"3\\\"\"} 7" text;
+  check_contains "gauge sample" "lattol_u_p 0.625" text;
+  check_contains "histogram type" "# TYPE lattol_lat histogram" text;
+  (* cumulative buckets: underflow below every bound, overflow in +Inf *)
+  check_contains "first bucket" "lattol_lat_bucket{le=\"2\"} 2" text;
+  check_contains "second bucket" "lattol_lat_bucket{le=\"4\"} 3" text;
+  check_contains "inf bucket" "lattol_lat_bucket{le=\"+Inf\"} 4" text;
+  check_contains "count" "lattol_lat_count 4" text;
+  check_contains "sum" "lattol_lat_sum 12" text
+
+let test_prom_families_grouped () =
+  (* Samples of one family render under a single TYPE header even when
+     interleaved with other series in registration order. *)
+  let reg = Metrics.create () in
+  Metrics.set_gauge (Metrics.gauge reg ~labels:[ ("s", "a") ] "util") 0.25;
+  Metrics.incr (Metrics.counter reg "other");
+  Metrics.set_gauge (Metrics.gauge reg ~labels:[ ("s", "b") ] "util") 0.5;
+  let text = Prom.render (Metrics.snapshot reg) in
+  let occurrences needle =
+    let n = String.length needle in
+    let rec go i acc =
+      if i + n > String.length text then acc
+      else if String.equal (String.sub text i n) needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one TYPE line for util" 1
+    (occurrences "# TYPE lattol_util gauge");
+  check_contains "first sample" "lattol_util{s=\"a\"} 0.25" text;
+  check_contains "second sample" "lattol_util{s=\"b\"} 0.5" text
+
+(* ------------------------------------------------------------------ *)
+(* Progress heartbeat *)
+
+let test_progress_snapshot () =
+  let p = Progress.create ~phase:"sweep" () in
+  Progress.set_total p 10;
+  Progress.step p ~n:3;
+  Progress.set_workers p 4;
+  Progress.worker_busy p true;
+  Progress.worker_busy p true;
+  Progress.worker_busy p false;
+  Progress.set_gauge p "des_virtual_time" 125.;
+  Progress.register_pull p ~kind:`Counter "pulled" (fun () -> 42.);
+  let find name snap =
+    List.find (fun s -> String.equal s.Metrics.s_name name) snap
+  in
+  let snap = Progress.to_snapshot p in
+  (match (find "sweep_points_done" snap).Metrics.s_value with
+  | Metrics.Counter_v v -> Alcotest.(check int) "done" 3 v
+  | _ -> Alcotest.fail "points_done not a counter");
+  (match (find "pool_busy_domains" snap).Metrics.s_value with
+  | Metrics.Gauge_v v -> Alcotest.(check (float 0.) ) "busy" 1. v
+  | _ -> Alcotest.fail "busy not a gauge");
+  (match (find "des_virtual_time" snap).Metrics.s_value with
+  | Metrics.Gauge_v v -> Alcotest.(check (float 0.)) "gauge" 125. v
+  | _ -> Alcotest.fail "named gauge missing");
+  (match (find "pulled" snap).Metrics.s_value with
+  | Metrics.Counter_v v -> Alcotest.(check int) "pull" 42 v
+  | _ -> Alcotest.fail "pull not a counter");
+  (* finish freezes the clock: two later snapshots render identically *)
+  Progress.start p;
+  Progress.finish p;
+  let a = Metrics.json_of_snapshot (Progress.to_snapshot p) in
+  let b = Metrics.json_of_snapshot (Progress.to_snapshot p) in
+  Alcotest.(check string) "frozen after finish" a b
+
+(* ------------------------------------------------------------------ *)
+(* HTTP plumbing over a Unix-domain socket (sandbox-friendly) *)
+
+let scrape path target =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let req = "GET " ^ target ^ " HTTP/1.0\r\n\r\n" in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let b = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let k = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if k > 0 then begin
+          Buffer.add_subbytes b chunk 0 k;
+          drain ()
+        end
+      in
+      drain ();
+      Buffer.contents b)
+
+let split_response resp =
+  let rec find i =
+    if i + 4 > String.length resp then None
+    else if String.equal (String.sub resp i 4) "\r\n\r\n" then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+    ( String.sub resp 0 i,
+      String.sub resp (i + 4) (String.length resp - i - 4) )
+  | None -> (resp, "")
+
+let body_of resp = snd (split_response resp)
+
+let status_of resp =
+  match String.index_opt resp '\r' with
+  | Some i -> String.sub resp 0 i
+  | None -> resp
+
+(* The counter sample line for [lattol_<name> <value>]. *)
+let sample_value name body =
+  let prefix = "lattol_" ^ name ^ " " in
+  let lines = String.split_on_char '\n' body in
+  List.find_map
+    (fun line ->
+      if
+        String.length line > String.length prefix
+        && String.equal (String.sub line 0 (String.length prefix)) prefix
+      then
+        int_of_string_opt
+          (String.sub line (String.length prefix)
+             (String.length line - String.length prefix))
+      else None)
+    lines
+
+let socket_path () =
+  let file = Filename.temp_file "lattol_serve" ".sock" in
+  Sys.remove file;
+  file
+
+let test_endpoints () =
+  let reg = Metrics.create () in
+  Metrics.incr ~by:9 (Metrics.counter reg "events");
+  let path = socket_path () in
+  match Exporter.start ~snapshot:(fun () -> Metrics.snapshot reg)
+          (Exporter.Unix_path path)
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok t ->
+    Fun.protect
+      ~finally:(fun () -> Exporter.stop t)
+      (fun () ->
+        Alcotest.(check string) "address" path (Exporter.address t);
+        let m = scrape path "/metrics" in
+        Alcotest.(check string) "200" "HTTP/1.0 200 OK" (status_of m);
+        check_contains "prom body" "lattol_events 9" (body_of m);
+        let j = scrape path "/metrics.json" in
+        Alcotest.(check string) "json equals sink bytes"
+          (Metrics.json_of_snapshot (Metrics.snapshot reg))
+          (body_of j);
+        let h = scrape path "/healthz" in
+        Alcotest.(check string) "healthz" "ok\n" (body_of h);
+        let nf = scrape path "/nope" in
+        Alcotest.(check string) "404" "HTTP/1.0 404 Not Found" (status_of nf);
+        Alcotest.(check bool) "scrapes counted" true (Exporter.scrapes t >= 4));
+    (* stop unlinks the socket and is idempotent *)
+    Exporter.stop t;
+    Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path)
+
+(* Scraper body, top-level so the Domain.spawn closures below stay bare
+   applications: returns (parse_failures, readings-in-order). *)
+let scraper_worker path k =
+  let rec go i failures acc =
+    if i = k then (failures, List.rev acc)
+    else
+      let resp = scrape path "/metrics" in
+      if not (String.equal (status_of resp) "HTTP/1.0 200 OK") then
+        go (i + 1) (failures + 1) acc
+      else
+        match sample_value "hammer_total" (body_of resp) with
+        | Some v -> go (i + 1) failures (v :: acc)
+        | None -> go (i + 1) (failures + 1) acc
+  in
+  go 0 0 []
+
+let rec monotone = function
+  | a :: (b :: _ as rest) -> a <= b && monotone rest
+  | _ -> true
+
+let test_scrapes_under_load () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "hammer_total" in
+  let progress = Progress.create ~phase:"stress" () in
+  Progress.set_total progress 50_000;
+  Progress.start progress;
+  let snapshot () =
+    Progress.to_snapshot progress @ Metrics.snapshot reg
+  in
+  let path = socket_path () in
+  match Exporter.start ~snapshot (Exporter.Unix_path path) with
+  | Error msg -> Alcotest.fail msg
+  | Ok t ->
+    let scrapers =
+      List.init 3 (fun _ -> Domain.spawn (fun () -> scraper_worker path 15))
+    in
+    (* Mutate the registry and the heartbeat while the scrapers hammer. *)
+    for _ = 1 to 50_000 do
+      Metrics.incr c;
+      Progress.step progress
+    done;
+    let results = List.map Domain.join scrapers in
+    (* Final consistency: with the instruments quiesced and the run
+       finished, a scrape returns exactly the bytes the --metrics-out
+       sink would write. *)
+    Progress.finish progress;
+    let final = scrape path "/metrics.json" in
+    Exporter.stop t;
+    Alcotest.(check string) "final scrape equals sink bytes"
+      (Metrics.json_of_snapshot (snapshot ()))
+      (body_of final);
+    List.iteri
+      (fun i (failures, readings) ->
+        Alcotest.(check int)
+          (Printf.sprintf "scraper %d: every scrape parsed" i)
+          0 failures;
+        Alcotest.(check bool)
+          (Printf.sprintf "scraper %d: counter monotone" i)
+          true (monotone readings))
+      results
+
+let () =
+  Alcotest.run "lattol_serve"
+    [
+      ( "prom",
+        [
+          Alcotest.test_case "render" `Quick test_prom_render;
+          Alcotest.test_case "families grouped" `Quick
+            test_prom_families_grouped;
+        ] );
+      ( "progress",
+        [ Alcotest.test_case "snapshot" `Quick test_progress_snapshot ] );
+      ( "exporter",
+        [
+          Alcotest.test_case "endpoints" `Quick test_endpoints;
+          Alcotest.test_case "scrapes under load" `Quick
+            test_scrapes_under_load;
+        ] );
+    ]

@@ -1,0 +1,76 @@
+(* Gate a BENCH_*.json document against a committed baseline.
+
+     bench_compare [--max-rel R] BASELINE CURRENT
+
+   Exit 0 when every baseline metric is present in CURRENT and within R
+   (relative, default 0.5) of its baseline value; 1 on any drift beyond
+   the threshold or a missing metric; 2 on usage, I/O or parse errors.
+   Metrics only present in CURRENT are reported but never fail the gate,
+   so suites can grow without immediately breaking CI. *)
+
+module J = Lattol_bench.Bench_json
+
+let usage = "usage: bench_compare [--max-rel R] BASELINE CURRENT"
+
+let fail_usage msg =
+  prerr_endline msg;
+  prerr_endline usage;
+  exit 2
+
+let parse_args () =
+  let max_rel = ref 0.5 in
+  let files = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--max-rel" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some r when r > 0. ->
+        max_rel := r;
+        go rest
+      | Some _ | None -> fail_usage (Printf.sprintf "bad --max-rel %S" v))
+    | [ "--max-rel" ] -> fail_usage "--max-rel needs a value"
+    | arg :: _ when String.length arg > 0 && Char.equal arg.[0] '-' ->
+      fail_usage (Printf.sprintf "unknown option %s" arg)
+    | file :: rest ->
+      files := file :: !files;
+      go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  match List.rev !files with
+  | [ base; current ] -> (!max_rel, base, current)
+  | _ -> fail_usage "expected exactly two files"
+
+let load file =
+  match J.load file with
+  | Ok doc -> doc
+  | Error msg ->
+    prerr_endline ("bench_compare: " ^ msg);
+    exit 2
+
+let percent rel = 100. *. rel
+
+let () =
+  let max_rel, base_file, current_file = parse_args () in
+  let base = load base_file in
+  let current = load current_file in
+  if not (String.equal base.J.suite current.J.suite) then begin
+    Printf.eprintf "bench_compare: suite mismatch: %S vs %S\n" base.J.suite
+      current.J.suite;
+    exit 2
+  end;
+  let c = J.compare_docs ~max_rel ~base ~current in
+  Printf.printf "suite %s: %d metrics within %.0f%%, %d beyond, %d missing, %d added\n"
+    base.J.suite (List.length c.J.within) (percent max_rel)
+    (List.length c.J.regressions)
+    (List.length c.J.missing) (List.length c.J.added);
+  List.iter
+    (fun (d : J.delta) ->
+      Printf.printf "  DRIFT %s: %g -> %g (%.0f%% > %.0f%%) [%s]\n" d.J.metric
+        d.J.base_value d.J.current_value (percent d.J.rel) (percent max_rel)
+        (if Float.abs d.J.current_value > Float.abs d.J.base_value then
+           "regressed"
+         else "improved — refresh the baseline?"))
+    c.J.regressions;
+  List.iter (Printf.printf "  MISSING %s (was in the baseline)\n") c.J.missing;
+  List.iter (Printf.printf "  new metric %s (not gated)\n") c.J.added;
+  if c.J.regressions <> [] || c.J.missing <> [] then exit 1
