@@ -264,7 +264,7 @@ let serve_socket_arg =
 
 (* Run [k] with the exporter live, shutting it down afterwards.  Exit 124
    on a bind failure — nothing has been computed yet at that point. *)
-let with_exporter ~serve ~serve_socket ~snapshot k =
+let with_exporter ?health ~serve ~serve_socket ~snapshot k =
   let endpoint =
     match (serve, serve_socket) with
     | Some _, Some _ ->
@@ -277,7 +277,7 @@ let with_exporter ~serve ~serve_socket ~snapshot k =
   match endpoint with
   | None -> k ()
   | Some endpoint -> (
-    match Serve.Exporter.start ~snapshot endpoint with
+    match Serve.Exporter.start ?health ~snapshot endpoint with
     | Error msg ->
       Printf.eprintf "mms: %s\n%!" msg;
       exit 124
@@ -304,7 +304,22 @@ let register_cache_pulls progress cache =
   Serve.Progress.register_pull progress ~kind:`Counter "cache_solves"
     (stat (fun s -> s.Exec.Cache.solves));
   Serve.Progress.register_pull progress "cache_inflight" (fun () ->
-      float_of_int (Exec.Cache.inflight cache))
+      float_of_int (Exec.Cache.inflight cache));
+  Serve.Progress.register_pull progress ~kind:`Counter "cache_corrupt"
+    (stat (fun s -> s.Exec.Cache.corrupt));
+  Serve.Progress.register_pull progress ~kind:`Counter "cache_tmp_reclaimed"
+    (stat (fun s -> s.Exec.Cache.tmp_reclaimed))
+
+(* /healthz stops lying "ok" once the store has served us corruption:
+   quarantined entries are self-healed (re-solved on demand) but the
+   probe should surface that the disk is eating bytes. *)
+let cache_health cache () =
+  let s = Exec.Cache.stats cache in
+  if s.Exec.Cache.corrupt > 0 then
+    Some
+      (Printf.sprintf "%d corrupt cache entries quarantined"
+         s.Exec.Cache.corrupt)
+  else None
 
 (* Analytical measures as gauges, one labeled series family per field. *)
 let register_measures reg ?labels (m : Measures.t) =
@@ -497,6 +512,152 @@ let cache_arg doc = Arg.(value & opt (some string) None & info [ "cache" ] ~docv
 
 let measure_header = "u_p,lambda,lambda_net,s_obs,l_obs,tol_network,tol_memory"
 
+(* ------------------------------------------------------------------ *)
+(* crash-safety / chaos flags (shared by sweep, figures, simulate) *)
+
+let journal_arg doc =
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let sweep_journal_doc =
+  "Checkpoint journal: every completed grid point is appended (and \
+   fsync'd) to $(docv) as it lands, so a killed run can $(b,--resume)."
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Replay completed work units from the checkpoint journal instead \
+           of recomputing them.  The journal must have been written by the \
+           same run configuration; output is byte-identical to an \
+           uninterrupted run.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Attempts per work unit.  Transient failures (injected chaos, \
+           I/O errors, expired deadlines) retry with exponential backoff; \
+           a unit still failing after $(docv) attempts becomes an error \
+           row instead of sinking the run.  Deterministic solver errors \
+           are never retried.")
+
+let task_deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "task-deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-attempt deadline: a work unit running longer is cancelled \
+           cooperatively and handled as a transient failure.")
+
+let chaos_fail_rate_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "chaos-fail-rate" ] ~docv:"F"
+        ~doc:
+          "(chaos harness) Fraction of work units that fail their leading \
+           attempts with an injected fault — deterministic in \
+           $(b,--chaos-seed).")
+
+let chaos_fail_attempts_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "chaos-fail-attempts" ] ~docv:"N"
+        ~doc:
+          "(chaos harness) Leading attempts an affected unit fails before \
+           succeeding, so $(b,--retries) > $(docv) always recovers.")
+
+let chaos_delay_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "chaos-delay" ] ~docv:"SECONDS"
+        ~doc:"(chaos harness) Injected latency before every attempt.")
+
+let chaos_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "chaos-seed" ] ~docv:"SEED"
+        ~doc:"(chaos harness) Selects the affected-unit subset.")
+
+let chaos_kill_after_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chaos-kill-after" ] ~docv:"N"
+        ~doc:
+          "(chaos harness) SIGKILL this process right after the $(docv)-th \
+           journal record of this run is appended — an unclean mid-run \
+           death for resume testing.  Requires a journal.")
+
+type robustness = {
+  journal_path : string option;
+  resume : bool;
+  retry : Lattol_robust.Retry.policy option;
+  deadline : float option;
+  chaos : Lattol_robust.Chaos.plan;
+  kill_after : int option;
+}
+
+(* Fold the nine flags into one validated record.  Retry backoff is
+   compressed (20 ms doubling to a 100 ms cap) — these are solver tasks,
+   not network calls, and the chaos soak tests retry hundreds of them. *)
+let robustness journal resume retries task_deadline rate attempts delay seed
+    kill_after =
+  if retries < 1 then Error "--retries must be at least 1"
+  else if (match task_deadline with Some d -> d <= 0. | None -> false) then
+    Error "--task-deadline must be positive"
+  else if (match kill_after with Some n -> n < 1 | None -> false) then
+    Error "--chaos-kill-after must be at least 1"
+  else if kill_after <> None && journal = None then
+    Error "--chaos-kill-after requires a journal"
+  else if resume && journal = None then Error "--resume requires --journal"
+  else
+    match
+      if rate > 0. || delay > 0. then
+        Lattol_robust.Chaos.plan ~fail_rate:rate ~fail_attempts:attempts
+          ~delay ~seed ()
+      else Lattol_robust.Chaos.none
+    with
+    | chaos ->
+      let retry =
+        if retries = 1 then None
+        else
+          Some
+            (Lattol_robust.Retry.policy ~max_attempts:retries
+               ~base_delay:0.02 ~max_delay:0.1 ())
+      in
+      Ok
+        {
+          journal_path = journal;
+          resume;
+          retry;
+          deadline = task_deadline;
+          chaos;
+          kill_after;
+        }
+    | exception Invalid_argument msg -> Error msg
+
+let kill_switch kill_after =
+  Option.map
+    (fun n k -> if k >= n then Lattol_robust.Chaos.kill_self ())
+    kill_after
+
+(* Open (or resume) the journal; [Error] exits 124 before any work. *)
+let open_journal ?on_record ~resume ~meta path =
+  if resume then Exec.Journal.resume ?on_record ~path ~meta ()
+  else Ok (Exec.Journal.create ?on_record ~path ~meta ())
+
+let report_resume journal =
+  match journal with
+  | Some j when Exec.Journal.replayed j > 0 || Exec.Journal.discarded j > 0
+    ->
+    Printf.eprintf "journal: replayed %d records (%d discarded)\n%!"
+      (Exec.Journal.replayed j)
+      (Exec.Journal.discarded j)
+  | _ -> ()
+
 let sweep_cmd =
   let param_conv =
     Arg.enum (List.map (fun p -> (Exec.Sweep.param_name p, p)) Exec.Sweep.all_params)
@@ -524,9 +685,16 @@ let sweep_cmd =
       & info [ "steps" ] ~docv:"N" ~doc:"Number of points (default 11).")
   in
   let run params solver names froms tos stepss jobs cache_dir metrics_out
-      trace_out serve serve_socket =
+      trace_out serve serve_socket journal resume retries task_deadline
+      chaos_rate chaos_attempts chaos_delay chaos_seed kill_after =
     let n = List.length names in
     let stepss = stepss @ List.init (max 0 (n - List.length stepss)) (fun _ -> 11) in
+    match
+      robustness journal resume retries task_deadline chaos_rate
+        chaos_attempts chaos_delay chaos_seed kill_after
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok robust ->
     if List.length froms <> n || List.length tos <> n || List.length stepss <> n
     then
       `Error
@@ -545,6 +713,19 @@ let sweep_cmd =
           names
           (List.combine froms (List.combine tos stepss))
       in
+      let meta = Exec.Sweep.journal_meta ?solver ~base:params axes in
+      match
+        match robust.journal_path with
+        | None -> Ok None
+        | Some path ->
+          Result.map Option.some
+            (open_journal
+               ?on_record:(kill_switch robust.kill_after)
+               ~resume:robust.resume ~meta path)
+      with
+      | Error msg -> `Error (false, msg)
+      | Ok journal ->
+      report_resume journal;
       let serving = serve <> None || serve_socket <> None in
       let telemetry =
         Option.map (fun _ -> Lattol_obs.Solver_trace.create ()) trace_out
@@ -576,11 +757,13 @@ let sweep_cmd =
       | Some reg, Some file ->
         flush_on_exit file (fun () -> write_metrics reg file)
       | _ -> ());
-      with_exporter ~serve ~serve_socket ~snapshot (fun () ->
+      with_exporter ~health:(cache_health cache) ~serve ~serve_socket
+        ~snapshot (fun () ->
           Serve.Progress.start progress;
           let rows =
             Exec.Sweep.run ?solver ~cache ~jobs ?trace:telemetry ?monitor
-              ~base:params axes
+              ?journal ?retry:robust.retry ?deadline:robust.deadline
+              ~chaos:robust.chaos ~base:params axes
           in
           let single = match axes with [ _ ] -> true | _ -> false in
           if single then
@@ -640,6 +823,7 @@ let sweep_cmd =
             else write_metrics reg file;
             flushed file
           | _ -> ());
+      Option.iter Exec.Journal.close journal;
       `Ok ()
     end
   in
@@ -654,7 +838,11 @@ let sweep_cmd =
            "Content-addressed solve cache: re-runs over the same \
             configurations perform zero new solves."
        $ metrics_out_arg $ trace_out_arg solver_trace_doc $ serve_arg
-       $ serve_socket_arg))
+       $ serve_socket_arg
+       $ journal_arg sweep_journal_doc
+       $ resume_arg $ retries_arg $ task_deadline_arg $ chaos_fail_rate_arg
+       $ chaos_fail_attempts_arg $ chaos_delay_arg $ chaos_seed_arg
+       $ chaos_kill_after_arg))
 
 (* ------------------------------------------------------------------ *)
 (* figures *)
@@ -677,7 +865,22 @@ let figures_cmd =
           ~doc:"Produce only the named figure (repeatable).")
   in
   let run params solver out jobs cache_dir no_cache only metrics_out serve
-      serve_socket =
+      serve_socket journal resume retries task_deadline chaos_rate
+      chaos_attempts chaos_delay chaos_seed kill_after =
+    (* The journal is always on for figures — the batch is long enough
+       that crash-safety should not be opt-in. *)
+    let journal_path =
+      Some
+        (match journal with
+        | Some p -> p
+        | None -> Filename.concat out "journal.ltj")
+    in
+    match
+      robustness journal_path resume retries task_deadline chaos_rate
+        chaos_attempts chaos_delay chaos_seed kill_after
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok robust ->
     if jobs < 1 then `Error (false, "--jobs must be at least 1")
     else begin
       let figures = Exec.Figures.all ~base:params () in
@@ -708,6 +911,19 @@ let figures_cmd =
               | None -> Filename.concat out "cache")
         in
         let cache = Exec.Cache.create ?dir () in
+        let meta = Exec.Figures.journal_meta ?solver figures in
+        match
+          match robust.journal_path with
+          | None -> Ok None
+          | Some path ->
+            Result.map Option.some
+              (open_journal
+                 ?on_record:(kill_switch robust.kill_after)
+                 ~resume:robust.resume ~meta path)
+        with
+        | Error msg -> `Error (false, msg)
+        | Ok journal ->
+        report_resume journal;
         let serving = serve <> None || serve_socket <> None in
         let progress = Serve.Progress.create ~phase:"figures" () in
         Serve.Progress.set_total progress
@@ -721,11 +937,13 @@ let figures_cmd =
           if serving then Some (Serve.Progress.pool_monitor progress)
           else None
         in
-        with_exporter ~serve ~serve_socket ~snapshot (fun () ->
+        with_exporter ~health:(cache_health cache) ~serve ~serve_socket
+          ~snapshot (fun () ->
             Serve.Progress.start progress;
             let written =
-              Exec.Figures.write ?solver ~cache ~jobs ?monitor ~dir:out
-                figures
+              Exec.Figures.write ?solver ~cache ~jobs ?monitor ?journal
+                ?retry:robust.retry ?deadline:robust.deadline
+                ~chaos:robust.chaos ~dir:out figures
             in
             List.iter
               (fun w ->
@@ -738,6 +956,7 @@ let figures_cmd =
             Option.iter
               (fun file -> write_metrics_snapshot (snapshot ()) file)
               metrics_out);
+        Option.iter Exec.Journal.close journal;
         `Ok ()
     end
   in
@@ -754,7 +973,14 @@ let figures_cmd =
             for every value."
        $ cache_arg "Cache directory (default $(docv) = OUT/cache)."
        $ no_cache_arg $ only_arg $ metrics_out_arg $ serve_arg
-       $ serve_socket_arg))
+       $ serve_socket_arg
+       $ journal_arg
+           "Checkpoint journal (default OUT/journal.ltj — always on): \
+            every solved grid point is appended and fsync'd, so a killed \
+            batch can $(b,--resume)."
+       $ resume_arg $ retries_arg $ task_deadline_arg $ chaos_fail_rate_arg
+       $ chaos_fail_attempts_arg $ chaos_delay_arg $ chaos_seed_arg
+       $ chaos_kill_after_arg))
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)
@@ -838,7 +1064,7 @@ let simulate_cmd =
              value.")
   in
   let run_replicated params engine horizon warmup seed faults replications jobs
-      monitor =
+      monitor journal =
     Format.printf "%a@." Params.pp params;
     if Lattol_robust.Fault_plan.active faults then
       Format.printf "fault plan: %a@." Lattol_robust.Fault_plan.pp faults;
@@ -847,7 +1073,10 @@ let simulate_cmd =
        degree of parallelism. *)
     Format.printf "replications: %d (%s)@." replications
       (match engine with `Des -> "des" | `Stpn -> "stpn");
-    let u_p_ci, lambda_ci =
+    (* The report only ever reads each replication's measures, so the
+       fan-out runs at measures level — the granularity the checkpoint
+       journal records. *)
+    let s =
       match engine with
       | `Des ->
         let config =
@@ -859,26 +1088,19 @@ let simulate_cmd =
             faults;
           }
         in
-        let s = Exec.Replicate.des ~jobs ?monitor ~config ~replications params in
-        List.iteri
-          (fun i r ->
-            let m = r.Lattol_sim.Mms_des.measures in
-            Format.printf "rep %d: U_p=%.6f lambda=%.6f@." (i + 1)
-              m.Measures.u_p m.Measures.lambda)
-          s.Exec.Replicate.results;
-        (s.Exec.Replicate.u_p_ci, s.Exec.Replicate.lambda_ci)
+        Exec.Replicate.des_measures ~jobs ?monitor ?journal ~config
+          ~replications params
       | `Stpn ->
-        let s =
-          Exec.Replicate.stpn ~jobs ?monitor ~seed ~warmup ~horizon ~faults
-            ~replications params
-        in
-        List.iteri
-          (fun i r ->
-            let m = r.Lattol_petri.Mms_stpn.measures in
-            Format.printf "rep %d: U_p=%.6f lambda=%.6f@." (i + 1)
-              m.Measures.u_p m.Measures.lambda)
-          s.Exec.Replicate.results;
-        (s.Exec.Replicate.u_p_ci, s.Exec.Replicate.lambda_ci)
+        Exec.Replicate.stpn_measures ~jobs ?monitor ?journal ~seed ~warmup
+          ~horizon ~faults ~replications params
+    in
+    List.iteri
+      (fun i m ->
+        Format.printf "rep %d: U_p=%.6f lambda=%.6f@." (i + 1) m.Measures.u_p
+          m.Measures.lambda)
+      s.Exec.Replicate.results;
+    let u_p_ci, lambda_ci =
+      (s.Exec.Replicate.u_p_ci, s.Exec.Replicate.lambda_ci)
     in
     (match u_p_ci with
     | Some (mean, half) ->
@@ -890,8 +1112,23 @@ let simulate_cmd =
         half
     | None -> ())
   in
+  (* Everything that decides a replication's result, digested the same
+     way a cache key is: a journal written under different simulation
+     inputs must refuse to resume. *)
+  let simulate_meta params engine horizon warmup seed faults replications =
+    Digest.to_hex
+      (Digest.string
+         (Printf.sprintf "simulate/%d;%s;engine=%s;seed=%d;horizon=%h;\
+                          warmup=%h;reps=%d;faults=%s"
+            Exec.Journal.format_version
+            (Exec.Cache.canonical params)
+            (match engine with `Des -> "des" | `Stpn -> "stpn")
+            seed horizon warmup replications
+            (Format.asprintf "%a" Lattol_robust.Fault_plan.pp faults)))
+  in
   let run params engine horizon warmup seed mtbf mttr degrade target
-      replications jobs metrics_out trace_out serve serve_socket =
+      replications jobs metrics_out trace_out serve serve_socket journal_path
+      resume =
     let serving = serve <> None || serve_socket <> None in
     match fault_plan mtbf mttr degrade target with
     | Error msg -> `Error (false, msg)
@@ -904,6 +1141,10 @@ let simulate_cmd =
       else if replications > 1 && (metrics_out <> None || trace_out <> None)
       then
         `Error (false, "--metrics-out/--trace-out require --replications 1")
+      else if journal_path <> None && replications = 1 then
+        `Error (false, "--journal requires --replications > 1")
+      else if resume && journal_path = None then
+        `Error (false, "--resume requires --journal")
       else if serving && engine = `Stpn && replications = 1 then
         (* The STPN engine has no heartbeat hook; only the replication
            fan-out is observable live. *)
@@ -912,6 +1153,18 @@ let simulate_cmd =
             "--serve/--serve-socket with --engine stpn require \
              --replications > 1" )
       else if replications > 1 then begin
+        let meta =
+          simulate_meta params engine horizon warmup seed faults replications
+        in
+        match
+          match journal_path with
+          | None -> Ok None
+          | Some path ->
+            Result.map Option.some (open_journal ~resume ~meta path)
+        with
+        | Error msg -> `Error (false, msg)
+        | Ok journal ->
+        report_resume journal;
         let progress = Serve.Progress.create ~phase:"replications" () in
         Serve.Progress.set_total progress replications;
         let snapshot () = Serve.Progress.to_snapshot progress in
@@ -922,8 +1175,9 @@ let simulate_cmd =
         with_exporter ~serve ~serve_socket ~snapshot (fun () ->
             Serve.Progress.start progress;
             run_replicated params engine horizon warmup seed faults
-              replications jobs monitor;
+              replications jobs monitor journal;
             Serve.Progress.finish progress);
+        Option.iter Exec.Journal.close journal;
         `Ok ()
       end
       else begin
@@ -1062,7 +1316,116 @@ let simulate_cmd =
            "Worker domains for the replication fan-out (with \
             $(b,--replications))."
        $ metrics_out_arg $ trace_out_arg span_trace_doc $ serve_arg
-       $ serve_socket_arg))
+       $ serve_socket_arg
+       $ journal_arg
+           "Checkpoint journal for the replication fan-out (requires \
+            $(b,--replications) > 1): each replication's measures are \
+            appended as they land, so a killed run can $(b,--resume) \
+            without re-simulating completed replications."
+       $ resume_arg))
+
+(* ------------------------------------------------------------------ *)
+(* cache maintenance *)
+
+let cache_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Cache directory.")
+  in
+  let scrub_cmd =
+    let run dir =
+      let cache = Exec.Cache.create ~dir () in
+      let report = Exec.Cache.scrub cache in
+      Format.printf "%a@." Exec.Cache.pp_scrub report;
+      let s = Exec.Cache.stats cache in
+      if s.Exec.Cache.tmp_reclaimed > 0 then
+        Format.printf "%d orphaned temp files reclaimed@."
+          s.Exec.Cache.tmp_reclaimed;
+      (* Nonzero exit when something was quarantined: a cron'd scrub can
+         alert without parsing output.  The store is already healed —
+         the next run simply re-solves the quarantined keys. *)
+      exit (if report.Exec.Cache.quarantined > 0 then 1 else 0)
+    in
+    Cmd.v
+      (Cmd.info "scrub"
+         ~doc:
+           "Verify every entry of a solve-cache store: checksum-valid \
+            entries are kept, corrupt ones quarantined (they re-solve on \
+            next use), stale-format ones dropped.  Exits 1 if anything \
+            was quarantined.")
+      Term.(const run $ dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Solve-cache maintenance")
+    [ scrub_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* chaos (file corruptors for the chaos harness) *)
+
+let chaos_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE" ~doc:"Target file.")
+  in
+  let flip_cmd =
+    let offset_arg =
+      Arg.(
+        value & opt int 0
+        & info [ "offset" ] ~docv:"N"
+            ~doc:
+              "Byte offset to corrupt; negative counts back from the end \
+               of the file.")
+    in
+    let run file offset =
+      let size =
+        match (Unix.stat file).Unix.st_size with
+        | s -> s
+        | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "mms: %s: %s\n%!" file (Unix.error_message e);
+          exit 124
+      in
+      let offset = if offset < 0 then size + offset else offset in
+      match Lattol_robust.Chaos.flip_byte ~path:file ~offset with
+      | () -> `Ok ()
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | exception Unix.Unix_error (e, _, _) ->
+        `Error (false, Printf.sprintf "%s: %s" file (Unix.error_message e))
+    in
+    Cmd.v
+      (Cmd.info "flip"
+         ~doc:"XOR one byte of $(b,--file) with 0xFF (simulated bit rot)")
+      Term.(ret (const run $ file_arg $ offset_arg))
+  in
+  let truncate_cmd =
+    let keep_arg =
+      Arg.(
+        value & opt int 0
+        & info [ "keep" ] ~docv:"N" ~doc:"Bytes to keep from the start.")
+    in
+    let run file keep =
+      match Lattol_robust.Chaos.truncate_file ~path:file ~keep with
+      | () -> `Ok ()
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | exception Unix.Unix_error (e, _, _) ->
+        `Error (false, Printf.sprintf "%s: %s" file (Unix.error_message e))
+    in
+    Cmd.v
+      (Cmd.info "truncate"
+         ~doc:"Truncate $(b,--file) to its first $(b,--keep) bytes \
+               (simulated torn write)")
+      Term.(ret (const run $ file_arg $ keep_arg))
+  in
+  Cmd.group
+    (Cmd.info "chaos"
+       ~doc:
+         "Deterministic fault injectors: corrupt files the way dying \
+          hardware would, so the self-healing paths can be exercised from \
+          tests")
+    [ flip_cmd; truncate_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* bench *)
@@ -1321,7 +1684,7 @@ let main_cmd =
     [
       solve_cmd; tolerance_cmd; bottleneck_cmd; sweep_cmd; figures_cmd;
       simulate_cmd; bench_cmd; profile_cmd; partition_cmd; sensitivity_cmd;
-      report_cmd; kernels_cmd;
+      report_cmd; kernels_cmd; cache_cmd; chaos_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

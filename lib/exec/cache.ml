@@ -2,8 +2,9 @@ open Lattol_core
 open Lattol_topology
 
 (* Bump when the key derivation or the value encoding changes: stale
-   entries from older layouts then simply miss. *)
-let format_version = 1
+   entries from older layouts then simply miss.  Version 2 added the
+   per-entry trailing checksum line. *)
+let format_version = 2
 
 type stats = {
   memo_hits : int;
@@ -11,6 +12,8 @@ type stats = {
   misses : int;
   solves : int;
   stores : int;
+  corrupt : int;
+  tmp_reclaimed : int;
 }
 
 (* In-run memo entry: [Running] parks later requesters of the same key on
@@ -29,9 +32,53 @@ type t = {
   mutable misses : int;
   mutable solves : int;
   mutable stores : int;
+  mutable corrupt : int;
+  mutable tmp_reclaimed : int;
 }
 
+(* A process that died between [Filename.temp_file] and [Sys.rename]
+   leaves its temp file behind forever.  Reclaim them on open: anything
+   matching the store's temp pattern and older than the open itself is an
+   orphan (an in-flight writer's temp is younger; losing a race against
+   one only makes that store fail atomically and re-solve later). *)
+let reclaim_orphan_tmps dir ~before =
+  let dir_exists d =
+    match Sys.is_directory d with
+    | b -> b
+    | exception Sys_error _ -> false
+  in
+  if not (dir_exists dir) then 0
+  else
+    Array.fold_left
+      (fun acc sub ->
+        let subdir = Filename.concat dir sub in
+        if String.length sub = 2 && dir_exists subdir then
+          Array.fold_left
+            (fun acc name ->
+              if
+                String.starts_with ~prefix:"lattol" name
+                && Filename.check_suffix name ".tmp"
+              then begin
+                let p = Filename.concat subdir name in
+                match Unix.stat p with
+                | st when st.Unix.st_mtime < before -> (
+                  match Sys.remove p with
+                  | () -> acc + 1
+                  | exception Sys_error _ -> acc)
+                | _ -> acc
+                | exception Unix.Unix_error (_, _, _) -> acc
+              end
+              else acc)
+            acc (Sys.readdir subdir)
+        else acc)
+      0 (Sys.readdir dir)
+
 let create ?dir () =
+  let tmp_reclaimed =
+    match dir with
+    | None -> 0
+    | Some d -> reclaim_orphan_tmps d ~before:(Lattol_robust.Retry.now ())
+  in
   {
     dir;
     memo = Hashtbl.create 64;
@@ -42,6 +89,8 @@ let create ?dir () =
     misses = 0;
     solves = 0;
     stores = 0;
+    corrupt = 0;
+    tmp_reclaimed;
   }
 
 let directory t = t.dir
@@ -55,10 +104,17 @@ let stats t =
       misses = t.misses;
       solves = t.solves;
       stores = t.stores;
+      corrupt = t.corrupt;
+      tmp_reclaimed = t.tmp_reclaimed;
     }
   in
   Mutex.unlock t.lock;
   s
+
+let note_corrupt t =
+  Mutex.lock t.lock;
+  t.corrupt <- t.corrupt + 1;
+  Mutex.unlock t.lock
 
 let inflight t =
   Mutex.lock t.lock;
@@ -70,10 +126,16 @@ let inflight t =
   Mutex.unlock t.lock;
   n
 
+(* The historical prefix is load-bearing (golden cram output and the CI
+   warm-cache grep both match on it); the robustness counters only appear
+   when they are nonzero. *)
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf "%d hits (%d disk, %d shared), %d misses, %d solves"
     (s.disk_hits + s.memo_hits)
-    s.disk_hits s.memo_hits s.misses s.solves
+    s.disk_hits s.memo_hits s.misses s.solves;
+  if s.corrupt > 0 then Format.fprintf ppf ", %d corrupt" s.corrupt;
+  if s.tmp_reclaimed > 0 then
+    Format.fprintf ppf ", %d tmp reclaimed" s.tmp_reclaimed
 
 (* ------------------------------------------------------------------ *)
 (* Canonical key *)
@@ -128,6 +190,11 @@ let canonical_of_params b (p : Params.t) =
   Printf.bprintf b ";switch_pipeline=%d;sync_unit=" p.Params.switch_pipeline;
   kfloat b p.Params.sync_unit
 
+let canonical p =
+  let b = Buffer.create 256 in
+  canonical_of_params b p;
+  Buffer.contents b
+
 let key ~solver_id p =
   let b = Buffer.create 256 in
   Printf.bprintf b "lattol/%d;solver=%s;" format_version solver_id;
@@ -155,6 +222,46 @@ let fields (m : Measures.t) =
     ("queue_network", m.Measures.queue_network);
   ]
 
+let measures_of_table tbl =
+  try
+    let f name = float_of_string (Hashtbl.find tbl name) in
+    Some
+      {
+        Measures.u_p = f "u_p";
+        lambda = f "lambda";
+        lambda_net = f "lambda_net";
+        s_obs = f "s_obs";
+        l_obs = f "l_obs";
+        cycle_time = f "cycle_time";
+        util_memory = f "util_memory";
+        util_switch_in = f "util_switch_in";
+        util_switch_out = f "util_switch_out";
+        util_sync = f "util_sync";
+        su_obs = f "su_obs";
+        queue_processor = f "queue_processor";
+        queue_memory = f "queue_memory";
+        queue_network = f "queue_network";
+        iterations = int_of_string (Hashtbl.find tbl "iterations");
+        converged = bool_of_string (Hashtbl.find tbl "converged");
+      }
+  with Not_found | Failure _ -> None
+
+let table_of_pairs split s =
+  let tbl = Hashtbl.create 17 in
+  match
+    List.iter
+      (fun item ->
+        if item <> "" then
+          match String.index_opt item split with
+          | None -> raise Exit
+          | Some i ->
+            Hashtbl.replace tbl (String.sub item 0 i)
+              (String.sub item (i + 1) (String.length item - i - 1)))
+      s
+  with
+  | () -> Some tbl
+  | exception Exit -> None
+
 let encode (m : Measures.t) =
   let b = Buffer.create 512 in
   Printf.bprintf b "lattol-cache %d\n" format_version;
@@ -166,46 +273,86 @@ let encode (m : Measures.t) =
     (fields m);
   Printf.bprintf b "iterations %d\n" m.Measures.iterations;
   Printf.bprintf b "converged %b\n" m.Measures.converged;
+  (* The trailing checksum line covers every preceding byte: truncation
+     and bit flips alike fail verification. *)
+  Printf.bprintf b "checksum %s"
+    (Digest.to_hex (Digest.string (Buffer.contents b)));
+  Buffer.add_char b '\n';
   Buffer.contents b
 
-let decode text =
-  match String.split_on_char '\n' (String.trim text) with
-  | header :: lines when header = Printf.sprintf "lattol-cache %d" format_version
-    -> begin
-    let tbl = Hashtbl.create 17 in
-    try
-      List.iter
-        (fun line ->
-          match String.index_opt line ' ' with
-          | None -> raise Exit
-          | Some i ->
-            Hashtbl.replace tbl
-              (String.sub line 0 i)
-              (String.sub line (i + 1) (String.length line - i - 1)))
-        lines;
-      let f name = float_of_string (Hashtbl.find tbl name) in
+(* Split off the trailing "checksum <hex>" line; [None] if the entry does
+   not end with one (truncated, or torn mid-line). *)
+let checksum_split text =
+  let n = String.length text in
+  if n = 0 || text.[n - 1] <> '\n' then None
+  else
+    let start =
+      match String.rindex_from_opt text (n - 2) '\n' with
+      | Some i -> i + 1
+      | None -> 0
+    in
+    let line = String.sub text start (n - 1 - start) in
+    if String.starts_with ~prefix:"checksum " line then
       Some
-        {
-          Measures.u_p = f "u_p";
-          lambda = f "lambda";
-          lambda_net = f "lambda_net";
-          s_obs = f "s_obs";
-          l_obs = f "l_obs";
-          cycle_time = f "cycle_time";
-          util_memory = f "util_memory";
-          util_switch_in = f "util_switch_in";
-          util_switch_out = f "util_switch_out";
-          util_sync = f "util_sync";
-          su_obs = f "su_obs";
-          queue_processor = f "queue_processor";
-          queue_memory = f "queue_memory";
-          queue_network = f "queue_network";
-          iterations = int_of_string (Hashtbl.find tbl "iterations");
-          converged = bool_of_string (Hashtbl.find tbl "converged");
-        }
-    with Exit | Not_found | Failure _ -> None
-  end
-  | _ -> None
+        ( String.sub text 0 start,
+          String.sub line 9 (String.length line - 9) )
+    else None
+
+type decoded = Value of Measures.t | Corrupt | Stale
+
+(* Decode one on-disk entry.  [Stale] = an intact header from an older
+   format version (a plain miss: the store overwrites it); [Corrupt] = an
+   entry claiming the current format that fails verification or parsing
+   (quarantined, counted, re-solved). *)
+let decode_entry text =
+  match String.index_opt text '\n' with
+  | None -> Corrupt
+  | Some i ->
+    let header = String.sub text 0 i in
+    if not (String.equal header (Printf.sprintf "lattol-cache %d" format_version))
+    then
+      if String.starts_with ~prefix:"lattol-cache " header then Stale
+      else Corrupt
+    else begin
+      match checksum_split text with
+      | None -> Corrupt
+      | Some (body, hex) ->
+        if not (String.equal (Digest.to_hex (Digest.string body)) hex) then
+          Corrupt
+        else begin
+          match
+            String.split_on_char '\n' (String.trim body) |> List.tl
+            |> table_of_pairs ' '
+          with
+          | None -> Corrupt
+          | Some tbl -> (
+            match measures_of_table tbl with
+            | Some m -> Value m
+            | None -> Corrupt)
+        end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Single-line measures codec (the checkpoint Journal's payload format;
+   same exact hex floats, so a journaled measure round-trips
+   bit-identically just like a cached one). *)
+
+let encode_measures_line (m : Measures.t) =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (name, v) ->
+      Printf.bprintf b "%s=" name;
+      hfloat b v;
+      Buffer.add_char b ';')
+    (fields m);
+  Printf.bprintf b "iterations=%d;converged=%b" m.Measures.iterations
+    m.Measures.converged;
+  Buffer.contents b
+
+let decode_measures_line s =
+  match table_of_pairs '=' (String.split_on_char ';' s) with
+  | None -> None
+  | Some tbl -> measures_of_table tbl
 
 let path_of_key dir k = Filename.concat (Filename.concat dir (String.sub k 0 2)) k
 
@@ -218,13 +365,29 @@ let mkdir_p dir =
   in
   go dir
 
+(* A corrupted entry is moved aside (never deleted: the bytes are
+   evidence) so the key misses and re-solves; the fresh store then
+   overwrites the now-vacant slot. *)
+let quarantine dir k =
+  let qdir = Filename.concat dir "quarantine" in
+  mkdir_p qdir;
+  try Sys.rename (path_of_key dir k) (Filename.concat qdir k)
+  with Sys_error _ -> ()
+
 let disk_find t k =
   match t.dir with
   | None -> None
   | Some dir -> (
     let path = path_of_key dir k in
     match In_channel.with_open_bin path In_channel.input_all with
-    | text -> decode text
+    | text -> (
+      match decode_entry text with
+      | Value m -> Some m
+      | Stale -> None
+      | Corrupt ->
+        quarantine dir k;
+        note_corrupt t;
+        None)
     | exception Sys_error _ -> None)
 
 let disk_store t k m =
@@ -298,3 +461,70 @@ let find_or_compute t ~key:k f =
         Condition.broadcast t.cond;
         Mutex.unlock t.lock;
         raise e))
+
+(* ------------------------------------------------------------------ *)
+(* Scrub: full verification pass over the on-disk store *)
+
+type scrub_report = {
+  scanned : int;
+  intact : int;
+  quarantined : int;
+  stale : int;
+}
+
+let empty_scrub = { scanned = 0; intact = 0; quarantined = 0; stale = 0 }
+
+let scrub t =
+  match t.dir with
+  | None -> empty_scrub
+  | Some dir ->
+    let dir_exists d =
+      match Sys.is_directory d with
+      | b -> b
+      | exception Sys_error _ -> false
+    in
+    if not (dir_exists dir) then empty_scrub
+    else begin
+      let subdirs = Sys.readdir dir in
+      Array.sort String.compare subdirs;
+      Array.fold_left
+        (fun acc sub ->
+          let subdir = Filename.concat dir sub in
+          if String.length sub = 2 && dir_exists subdir then begin
+            let names = Sys.readdir subdir in
+            Array.sort String.compare names;
+            Array.fold_left
+              (fun acc name ->
+                if Filename.check_suffix name ".tmp" then acc
+                else begin
+                  let acc = { acc with scanned = acc.scanned + 1 } in
+                  match
+                    In_channel.with_open_bin
+                      (Filename.concat subdir name)
+                      In_channel.input_all
+                  with
+                  | text -> (
+                    match decode_entry text with
+                    | Value _ -> { acc with intact = acc.intact + 1 }
+                    | Stale ->
+                      (* An older format never gets served; dropping it
+                         here reclaims the space a store would otherwise
+                         only reuse on the same key. *)
+                      (try Sys.remove (Filename.concat subdir name)
+                       with Sys_error _ -> ());
+                      { acc with stale = acc.stale + 1 }
+                    | Corrupt ->
+                      quarantine dir name;
+                      note_corrupt t;
+                      { acc with quarantined = acc.quarantined + 1 })
+                  | exception Sys_error _ -> acc
+                end)
+              acc names
+          end
+          else acc)
+        empty_scrub subdirs
+    end
+
+let pp_scrub ppf r =
+  Format.fprintf ppf "%d entries scanned, %d intact, %d quarantined, %d stale"
+    r.scanned r.intact r.quarantined r.stale

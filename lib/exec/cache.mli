@@ -17,7 +17,15 @@
     same solve as [0.0], and every nan (any sign or payload) the same
     solve as every other, since those parameterize identical models.  The
     encoding carries a format version: entries written by an older layout
-    simply miss. *)
+    simply miss.
+
+    The store is {e verified}: every entry ends with a checksum line over
+    its preceding bytes.  A truncated or bit-flipped entry is never
+    served — it is moved to a [quarantine/] subdirectory, counted in
+    {!stats}[.corrupt], and transparently re-solved.  {!scrub} runs that
+    verification over the whole store eagerly.  Opening a store also
+    reclaims orphaned [*.tmp] files left by writers that died between
+    create and rename ({!stats}[.tmp_reclaimed]). *)
 
 open Lattol_core
 
@@ -47,6 +55,13 @@ type stats = {
   misses : int;     (** keys that had to be computed *)
   solves : int;     (** thunk executions — 0 on a fully warm re-run *)
   stores : int;     (** entries written to disk *)
+  corrupt : int;
+      (** entries that failed checksum/parse verification and were
+          quarantined (lookups and {!scrub} both count here) — nonzero
+          turns the exporter's [/healthz] degraded *)
+  tmp_reclaimed : int;
+      (** orphaned temp files swept on open (writers that died between
+          create and rename) *)
 }
 
 val stats : t -> stats
@@ -57,3 +72,32 @@ val inflight : t -> int
     samples it on every scrape. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+(** Historical format, extended with [", N corrupt"] /
+    [", N tmp reclaimed"] only when those counters are nonzero. *)
+
+type scrub_report = {
+  scanned : int;  (** entries examined (temp files excluded) *)
+  intact : int;  (** verified clean *)
+  quarantined : int;  (** failed verification, moved to [quarantine/] *)
+  stale : int;  (** intact but older-format entries, dropped *)
+}
+
+val scrub : t -> scrub_report
+(** Verify every entry of the on-disk store (no-op without a directory).
+    Corrupt entries are quarantined and counted in {!stats}[.corrupt]
+    exactly as a lookup would; subsequent lookups of those keys re-solve
+    and re-store.  Deterministic scan order. *)
+
+val pp_scrub : Format.formatter -> scrub_report -> unit
+
+val canonical : Lattol_core.Params.t -> string
+(** The canonical parameter encoding behind {!key} (exact hex floats,
+    [-0.0]/nan canonicalized) — exposed so run journals can fingerprint
+    their configuration the same way cache keys do. *)
+
+val encode_measures_line : Measures.t -> string
+(** Single-line [name=value;...] encoding of a measure in exact hex
+    floats — the {!Journal} payload codec.  Round-trips bit-identically
+    through {!decode_measures_line}. *)
+
+val decode_measures_line : string -> Measures.t option

@@ -93,13 +93,26 @@ let mkdir_p dir =
 
 type written = { figure : figure; path : string; rows : int }
 
-let write ?solver ?cache ?jobs ?monitor ~dir figures =
+let journal_meta ?solver figures =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "figures/%d;" Journal.format_version;
+  List.iter
+    (fun f ->
+      Printf.bprintf b "%s=%s;" f.name
+        (Sweep.journal_meta ?solver ~base:f.base f.axes))
+    figures;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let write ?solver ?cache ?jobs ?monitor ?journal ?retry ?deadline ?chaos ~dir
+    figures =
   mkdir_p dir;
   let cache = match cache with Some c -> c | None -> Cache.create () in
   List.map
     (fun figure ->
       let rows =
-        Sweep.run ?solver ~cache ?jobs ?monitor ~base:figure.base figure.axes
+        Sweep.run ?solver ~cache ?jobs ?monitor ?journal
+          ~journal_prefix:(figure.name ^ "/") ?retry ?deadline ?chaos
+          ~base:figure.base figure.axes
       in
       let csv, data_rows = csv_of_rows figure rows in
       let path = Filename.concat dir (figure.name ^ ".csv") in

@@ -27,18 +27,30 @@ val find : ?base:Params.t -> string -> figure option
 
 type written = { figure : figure; path : string; rows : int }
 
+val journal_meta : ?solver:Mms.solver -> figure list -> string
+(** Digest over every figure's {!Sweep.journal_meta}, in order — the meta
+    a multi-figure checkpoint journal is bound to. *)
+
 val write :
   ?solver:Mms.solver ->
   ?cache:Cache.t ->
   ?jobs:int ->
   ?monitor:Pool.monitor ->
+  ?journal:Journal.t ->
+  ?retry:Lattol_robust.Retry.policy ->
+  ?deadline:float ->
+  ?chaos:Lattol_robust.Chaos.plan ->
   dir:string ->
   figure list ->
   written list
 (** Solve and write [<dir>/<name>.csv] for each figure (creating [dir]),
     all figures sharing one cache.  [monitor] observes every figure's
-    sweep through one {!Pool.monitor} (items accumulate across figures).  CSV layout: a ["# title"] comment, a
-    header of the swept parameter names followed by
+    sweep through one {!Pool.monitor} (items accumulate across figures).
+    [journal] checkpoints every figure's rows into one file, record ids
+    prefixed ["<figure name>/"]; open it with {!journal_meta} so a resumed
+    run replays only matching configurations.  [retry]/[deadline]/[chaos]
+    pass through to each {!Sweep.run}.  CSV layout: a ["# title"] comment,
+    a header of the swept parameter names followed by
     [u_p,lambda,lambda_net,s_obs,l_obs,tol_network,tol_memory], then one
     ["%g"]-keyed, ["%.6f"]-valued row per grid point.  [rows] counts data
     rows (skipped points become ["# skipped"] comments). *)

@@ -1,0 +1,196 @@
+(* Append-only, checksummed run journal ("lattol-journal" format 1).
+
+   One header line binds the file to a run specification:
+
+     lattol-journal 1 <meta>
+
+   then one record per completed unit of work:
+
+     <md5-hex> <id> <payload>
+
+   where the digest covers "<id> <payload>".  Appends are serialized
+   under a mutex and fsync'd record-by-record, so after a SIGKILL the
+   file is a valid journal plus at most one torn trailing record —
+   {!resume} verifies every line, truncates the bad tail, and replays
+   the survivors.  [meta] is the caller's digest of everything that
+   shapes the results (parameters, axes, solver, format versions): a
+   mismatch on resume is an error, never a silent wrong answer. *)
+
+let format_version = 1
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  lock : Mutex.t;
+  entries : (string * string) list;
+  index : (string, string) Hashtbl.t;
+  discarded : int;
+  mutable appended : int;
+  on_record : int -> unit;
+}
+
+let path t = t.path
+
+let entries t = t.entries
+
+let replayed t = List.length t.entries
+
+let discarded t = t.discarded
+
+let appended t = t.appended
+
+let find t id = Hashtbl.find_opt t.index id
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ -> ()
+    end
+  in
+  go dir
+
+let header meta = Printf.sprintf "lattol-journal %d %s\n" format_version meta
+
+let single_line what s =
+  if String.exists (fun c -> c = '\n' || c = '\r') s then
+    invalid_arg (Printf.sprintf "Journal: %s must be a single line" what)
+
+let check_meta meta =
+  single_line "meta" meta;
+  if String.contains meta ' ' then
+    invalid_arg "Journal: meta must not contain spaces"
+
+let check_id id =
+  single_line "id" id;
+  if id = "" || String.contains id ' ' then
+    invalid_arg "Journal: id must be non-empty and space-free"
+
+let digest_of ~id ~payload = Digest.to_hex (Digest.string (id ^ " " ^ payload))
+
+let record_line ~id ~payload =
+  Printf.sprintf "%s %s %s\n" (digest_of ~id ~payload) id payload
+
+(* A complete record line (no trailing newline) back into (id, payload),
+   or None if torn or corrupted. *)
+let parse_record line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some sp1 -> (
+    let digest = String.sub line 0 sp1 in
+    if String.length digest <> 32 then None
+    else
+      match String.index_from_opt line (sp1 + 1) ' ' with
+      | None -> None
+      | Some sp2 ->
+        let id = String.sub line (sp1 + 1) (sp2 - sp1 - 1) in
+        let payload = String.sub line (sp2 + 1) (String.length line - sp2 - 1) in
+        if String.equal (digest_of ~id ~payload) digest then Some (id, payload)
+        else None)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      let k = Unix.write_substring fd s off (n - off) in
+      go (off + k)
+  in
+  go 0
+
+let make ~path ~fd ~entries ~discarded on_record =
+  let index = Hashtbl.create 64 in
+  List.iter (fun (id, payload) -> Hashtbl.replace index id payload) entries;
+  {
+    path;
+    fd;
+    lock = Mutex.create ();
+    entries;
+    index;
+    discarded;
+    appended = 0;
+    on_record;
+  }
+
+let create ?(on_record = fun _ -> ()) ~path ~meta () =
+  check_meta meta;
+  mkdir_p (Filename.dirname path);
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  write_all fd (header meta);
+  Unix.fsync fd;
+  make ~path ~fd ~entries:[] ~discarded:0 on_record
+
+let count_lines s lo hi =
+  let n = ref 0 in
+  for i = lo to hi - 1 do
+    if s.[i] = '\n' then incr n
+  done;
+  if hi > lo && s.[hi - 1] <> '\n' then incr n;
+  !n
+
+let resume ?(on_record = fun _ -> ()) ~path ~meta () =
+  check_meta meta;
+  if not (Sys.file_exists path) then Ok (create ~on_record ~path ~meta ())
+  else begin
+    let text = In_channel.with_open_bin path In_channel.input_all in
+    let expected = header meta in
+    let hlen = String.length expected in
+    if
+      String.length text < hlen
+      || not (String.equal (String.sub text 0 hlen) expected)
+    then
+      if String.starts_with ~prefix:"lattol-journal " text then
+        Error
+          (Printf.sprintf
+             "journal %s was written for a different run configuration \
+              (start fresh without --resume, or delete it)"
+             path)
+      else Error (Printf.sprintf "%s is not a lattol-journal file" path)
+    else begin
+      let n = String.length text in
+      let entries = ref [] in
+      (* [good] = offset just past the last verified record; everything
+         after it (a torn append, garbage) is truncated away. *)
+      let good = ref hlen in
+      let pos = ref hlen in
+      (try
+         while !pos < n do
+           match String.index_from_opt text !pos '\n' with
+           | None -> raise Exit (* torn final record: no newline landed *)
+           | Some nl -> (
+             match parse_record (String.sub text !pos (nl - !pos)) with
+             | Some entry ->
+               entries := entry :: !entries;
+               good := nl + 1;
+               pos := nl + 1
+             | None -> raise Exit)
+         done
+       with Exit -> ());
+      let discarded = count_lines text !good n in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      if discarded > 0 then begin
+        Unix.ftruncate fd !good;
+        Unix.fsync fd
+      end;
+      ignore (Unix.lseek fd !good Unix.SEEK_SET);
+      Ok (make ~path ~fd ~entries:(List.rev !entries) ~discarded on_record)
+    end
+  end
+
+let append t ~id ~payload =
+  check_id id;
+  single_line "payload" payload;
+  let line = record_line ~id ~payload in
+  let nth =
+    Mutex.protect t.lock (fun () ->
+        write_all t.fd line;
+        Unix.fsync t.fd;
+        Hashtbl.replace t.index id payload;
+        t.appended <- t.appended + 1;
+        t.appended)
+  in
+  (* Outside the lock: the hook may be a chaos kill switch. *)
+  t.on_record nth
+
+let close t = try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()

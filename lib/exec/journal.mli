@@ -1,0 +1,60 @@
+(** Append-only checkpoint journal (format ["lattol-journal 1"]).
+
+    A journal records one line per completed unit of work (a sweep
+    point, a replication) so an interrupted run can {!resume}: completed
+    ids are skipped and the output is byte-identical to an uninterrupted
+    run.  The discipline mirrors the {!Cache}'s verified storage:
+
+    - every record carries an MD5 checksum over its id and payload;
+    - appends are serialized and [fsync]'d record-by-record, so a
+      SIGKILL leaves at most one torn trailing record;
+    - {!resume} verifies every line, truncates the torn/corrupt tail
+      (counted in {!discarded}) and replays the survivors;
+    - the header binds the file to a [meta] digest of the run
+      specification — resuming against a different specification is an
+      [Error], never a silently wrong merge.
+
+    Ids and meta are single-line and space-free; payloads single-line.
+    Appends are domain-safe. *)
+
+type t
+
+val format_version : int
+
+val create : ?on_record:(int -> unit) -> path:string -> meta:string ->
+  unit -> t
+(** Start a fresh journal (truncating any existing file), creating parent
+    directories as needed.  [on_record n] fires after the [n]-th
+    successful append of this process — the chaos harness uses it as a
+    deterministic kill switch.  Raises [Invalid_argument] on a malformed
+    [meta]; I/O errors propagate as [Unix.Unix_error]. *)
+
+val resume : ?on_record:(int -> unit) -> path:string -> meta:string ->
+  unit -> (t, string) result
+(** Reopen [path] for appending, replaying its verified records.  A
+    missing file starts fresh; a header whose meta differs from [meta]
+    (or a non-journal file) is an [Error].  A torn or corrupted tail is
+    truncated away and counted in {!discarded}. *)
+
+val find : t -> string -> string option
+(** Payload recorded for this id, if any (later records win). *)
+
+val entries : t -> (string * string) list
+(** Replayed [(id, payload)] records in append order — appends made
+    through this handle are not included. *)
+
+val replayed : t -> int
+
+val discarded : t -> int
+(** Records dropped by {!resume}'s tail truncation. *)
+
+val appended : t -> int
+(** Appends made through this handle. *)
+
+val append : t -> id:string -> payload:string -> unit
+(** Write and fsync one record, then fire [on_record].  Raises
+    [Invalid_argument] on a malformed id/payload. *)
+
+val path : t -> string
+
+val close : t -> unit

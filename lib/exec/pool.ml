@@ -5,7 +5,17 @@
    written back to its input's slot, so the output order never depends on
    the scheduling of the domains.  That determinism is the point: callers
    format results after the map, and `--jobs 8` must be byte-identical to
-   `--jobs 1`. *)
+   `--jobs 1`.
+
+   Fault containment is per task: a [retry] policy re-runs transient
+   failures with backoff (deterministic solver errors stay fatal and
+   propagate first-exception, as before), a [deadline] arms cooperative
+   cancellation that long tasks poll through their [ctx], and [on_poison]
+   substitutes a caller-chosen result for a task whose transient failures
+   outlast the policy — so one pathological item cannot wedge a domain or
+   sink the whole run. *)
+
+module Retry = Lattol_robust.Retry
 
 let available_cores () = Domain.recommended_domain_count ()
 
@@ -16,12 +26,57 @@ type monitor = {
   on_item : unit -> unit;
 }
 
-let map ?(chunk = 0) ?monitor ~jobs f items =
+type ctx = { attempt : int; should_stop : unit -> bool }
+
+type poisoned = { index : int; attempts : int; error : string }
+
+(* One item, through the full attempt loop.  [failure] is the pool's
+   first-exception slot: a set slot makes [should_stop] true (cooperative
+   cancellation of siblings) and suppresses further retries. *)
+let run_one ?retry ?deadline ?on_poison ~failure f i x =
+  let max_attempts =
+    match retry with Some p -> p.Retry.max_attempts | None -> 1
+  in
+  let classify =
+    match retry with
+    | Some p -> p.Retry.classify
+    | None -> Retry.default_classify
+  in
+  let rec go attempt =
+    let dl = Option.map (fun timeout -> Retry.start ~timeout) deadline in
+    let should_stop () =
+      Atomic.get failure <> None
+      || (match dl with Some d -> Retry.expired d | None -> false)
+    in
+    match f { attempt; should_stop } x with
+    | y -> y
+    | exception e -> (
+      match classify e with
+      | Retry.Fatal -> raise e
+      | Retry.Transient ->
+        if attempt < max_attempts && Atomic.get failure = None then begin
+          (match retry with
+          | Some p -> Retry.sleep (Retry.delay p ~attempt ~salt:i)
+          | None -> ());
+          go (attempt + 1)
+        end
+        else begin
+          match on_poison with
+          | Some g ->
+            g { index = i; attempts = attempt; error = Printexc.to_string e }
+          | None -> raise e
+        end)
+  in
+  go 1
+
+let map_ctx ?(chunk = 0) ?monitor ?retry ?deadline ?on_poison ~jobs f items =
   let n = Array.length items in
   if jobs < 1 then invalid_arg "Pool.map: jobs must be at least 1";
+  let failure = Atomic.make None in
+  let run i x = run_one ?retry ?deadline ?on_poison ~failure f i x in
   if n <= 1 || jobs = 1 then begin
     match monitor with
-    | None -> Array.map f items
+    | None -> Array.mapi run items
     | Some m ->
       m.on_start ~jobs:1 ~items:n;
       m.on_worker ~worker:0 ~busy:true;
@@ -29,7 +84,7 @@ let map ?(chunk = 0) ?monitor ~jobs f items =
         Array.mapi
           (fun i x ->
             m.on_claim ~remaining:(n - i - 1);
-            let y = f x in
+            let y = run i x in
             m.on_item ();
             y)
           items
@@ -45,7 +100,6 @@ let map ?(chunk = 0) ?monitor ~jobs f items =
     let chunk = if chunk > 0 then chunk else max 1 (n / (jobs * 4)) in
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let failure = Atomic.make None in
     (match monitor with Some m -> m.on_start ~jobs ~items:n | None -> ());
     let worker w =
       (match monitor with
@@ -59,7 +113,7 @@ let map ?(chunk = 0) ?monitor ~jobs f items =
           | None -> ());
           (try
              for i = lo to min n (lo + chunk) - 1 do
-               results.(i) <- Some (f items.(i));
+               results.(i) <- Some (run i items.(i));
                match monitor with Some m -> m.on_item () | None -> ()
              done
            with e ->
@@ -84,5 +138,12 @@ let map ?(chunk = 0) ?monitor ~jobs f items =
       results
   end
 
-let map_list ?chunk ?monitor ~jobs f items =
-  Array.to_list (map ?chunk ?monitor ~jobs f (Array.of_list items))
+let map ?chunk ?monitor ?retry ?deadline ?on_poison ~jobs f items =
+  map_ctx ?chunk ?monitor ?retry ?deadline ?on_poison ~jobs
+    (fun _ctx x -> f x)
+    items
+
+let map_list ?chunk ?monitor ?retry ?deadline ?on_poison ~jobs f items =
+  Array.to_list
+    (map ?chunk ?monitor ?retry ?deadline ?on_poison ~jobs f
+       (Array.of_list items))

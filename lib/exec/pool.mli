@@ -1,4 +1,5 @@
-(** Fixed-size [Domain]-based work pool with deterministic result ordering.
+(** Fixed-size [Domain]-based work pool with deterministic result ordering
+    and per-task fault containment.
 
     [map ~jobs f items] evaluates [f] on every element of [items] using up
     to [jobs] domains (the calling domain included) and returns the results
@@ -8,8 +9,17 @@
 
     [f] runs concurrently with itself: it must not touch shared mutable
     state unless that state synchronizes itself (the {!Cache} does).  If
-    any call raises, remaining chunks are abandoned and the first exception
-    is re-raised in the caller after all domains have joined. *)
+    any call raises a {e fatal} exception, remaining chunks are abandoned
+    and the first exception is re-raised in the caller after all domains
+    have joined — exactly the historical behavior, and still the default
+    for every exception when no [retry]/[deadline]/[on_poison] is given.
+
+    With a [retry] policy, failures its [classify] deems
+    {!Lattol_robust.Retry.Transient} are re-attempted with exponential
+    backoff and deterministic jitter; a [deadline] (seconds, per attempt)
+    arms cooperative cancellation through {!ctx}; and [on_poison], when
+    present, substitutes a result for a task whose transient failures
+    outlast the policy instead of sinking the run. *)
 
 val available_cores : unit -> int
 (** [Domain.recommended_domain_count ()]: the pool size above which more
@@ -30,15 +40,45 @@ type monitor = {
     and must not raise.  They observe scheduling only — results and their
     order are unaffected (the byte-identity guarantee stands). *)
 
+type ctx = {
+  attempt : int;  (** 1-based attempt number for this item *)
+  should_stop : unit -> bool;
+      (** cooperative cancellation: [true] once this attempt's deadline
+          has expired or a sibling task failed fatally.  Long-running
+          tasks should poll it and raise
+          {!Lattol_robust.Retry.Deadline_exceeded} (transient, so the
+          retry/poison machinery takes over) *)
+}
+
+type poisoned = {
+  index : int;  (** the input item's index *)
+  attempts : int;  (** attempts consumed (= the policy's max) *)
+  error : string;  (** [Printexc.to_string] of the last failure *)
+}
+(** Record handed to [on_poison] when a task exhausts its transient
+    retries: the caller chooses the substitute result (an error row, a
+    sentinel) and the rest of the map proceeds. *)
+
 val map :
-  ?chunk:int -> ?monitor:monitor -> jobs:int -> ('a -> 'b) -> 'a array ->
-  'b array
+  ?chunk:int -> ?monitor:monitor -> ?retry:Lattol_robust.Retry.policy ->
+  ?deadline:float -> ?on_poison:(poisoned -> 'b) -> jobs:int ->
+  ('a -> 'b) -> 'a array -> 'b array
 (** [chunk] overrides the queue's claim granularity (default: enough for
     roughly four slices per worker).  [jobs < 1] is rejected; [jobs = 1]
     runs in the calling domain with no queue at all (the [monitor] still
-    sees a one-worker pool). *)
+    sees a one-worker pool).  [deadline] is per attempt; without
+    [on_poison], exhausted transient failures propagate like fatal
+    ones. *)
+
+val map_ctx :
+  ?chunk:int -> ?monitor:monitor -> ?retry:Lattol_robust.Retry.policy ->
+  ?deadline:float -> ?on_poison:(poisoned -> 'b) -> jobs:int ->
+  (ctx -> 'a -> 'b) -> 'a array -> 'b array
+(** {!map} with the task's {!ctx} exposed, for tasks that poll
+    [should_stop] or vary behavior by [attempt]. *)
 
 val map_list :
-  ?chunk:int -> ?monitor:monitor -> jobs:int -> ('a -> 'b) -> 'a list ->
-  'b list
+  ?chunk:int -> ?monitor:monitor -> ?retry:Lattol_robust.Retry.policy ->
+  ?deadline:float -> ?on_poison:(poisoned -> 'b) -> jobs:int ->
+  ('a -> 'b) -> 'a list -> 'b list
 (** List variant of {!map}. *)

@@ -24,6 +24,77 @@ let summarize results ~u_p ~lambda =
   in
   { results; u_p_ci = ci u_p; lambda_ci = ci lambda }
 
+(* Journaled measures-level fan-out: replication [i] checkpoints under id
+   ["rep<i>"], payload {!Cache.encode_measures_line}.  Inputs (streams or
+   seeds) are always derived for the FULL replication set before the
+   journal filters out completed indices — a resumed run must hand
+   replication [i] exactly the stream it would have had uninterrupted. *)
+let journaled_map ?journal ?monitor ~jobs run inputs =
+  let arr = Array.of_list inputs in
+  let n = Array.length arr in
+  let rep_id i = Printf.sprintf "rep%d" i in
+  let rows = Array.make n None in
+  (match journal with
+  | None -> ()
+  | Some j ->
+    for i = 0 to n - 1 do
+      match Journal.find j (rep_id i) with
+      | Some payload -> rows.(i) <- Cache.decode_measures_line payload
+      | None -> ()
+    done);
+  let missing =
+    Array.of_list
+      (List.filter (fun i -> rows.(i) = None) (List.init n (fun i -> i)))
+  in
+  let computed =
+    Pool.map ?monitor ~jobs
+      (fun i ->
+        let m = run arr.(i) in
+        (match journal with
+        | None -> ()
+        | Some j ->
+          Journal.append j ~id:(rep_id i)
+            ~payload:(Cache.encode_measures_line m));
+        m)
+      missing
+  in
+  Array.iteri (fun slot i -> rows.(i) <- Some computed.(slot)) missing;
+  List.init n (fun i ->
+      match rows.(i) with
+      | Some m -> m
+      | None -> invalid_arg "Replicate: missing replication")
+
+let summarize_measures results =
+  summarize results
+    ~u_p:(fun m -> m.Measures.u_p)
+    ~lambda:(fun m -> m.Measures.lambda)
+
+let des_measures ?(jobs = 1) ?monitor ?journal
+    ?(config = Des.default_config) ~replications p =
+  if replications < 1 then
+    invalid_arg "Replicate.des_measures: replications must be at least 1";
+  if config.Des.trace <> None || config.Des.metrics <> None then
+    invalid_arg "Replicate.des_measures: trace/metrics sinks are per-run";
+  summarize_measures
+    (journaled_map ?journal ?monitor ~jobs
+       (fun rng ->
+         (Des.run ~config:{ config with Des.rng = Some rng } p).Des.measures)
+       (streams ~seed:config.Des.seed replications))
+
+let stpn_seeds ~seed n =
+  let root = Prng.create ~seed () in
+  List.init n (fun _ -> Int64.to_int (Prng.bits64 root) land max_int)
+
+let stpn_measures ?(jobs = 1) ?monitor ?journal ?(seed = 1) ?warmup ?horizon
+    ?memory ?faults ~replications p =
+  if replications < 1 then
+    invalid_arg "Replicate.stpn_measures: replications must be at least 1";
+  summarize_measures
+    (journaled_map ?journal ?monitor ~jobs
+       (fun s ->
+         (Stpn.run ~seed:s ?warmup ?horizon ?memory ?faults p).Stpn.measures)
+       (stpn_seeds ~seed replications))
+
 let des ?(jobs = 1) ?monitor ?(config = Des.default_config) ~replications p =
   if replications < 1 then
     invalid_arg "Replicate.des: replications must be at least 1";
@@ -45,10 +116,7 @@ let stpn ?(jobs = 1) ?monitor ?(seed = 1) ?warmup ?horizon ?memory ?faults
     ~replications p =
   if replications < 1 then
     invalid_arg "Replicate.stpn: replications must be at least 1";
-  let root = Prng.create ~seed () in
-  let seeds =
-    List.init replications (fun _ -> Int64.to_int (Prng.bits64 root) land max_int)
-  in
+  let seeds = stpn_seeds ~seed replications in
   let results =
     Pool.map_list ?monitor ~jobs
       (fun s -> Stpn.run ~seed:s ?warmup ?horizon ?memory ?faults p)

@@ -46,3 +46,34 @@ val stpn :
   Params.t ->
   Lattol_petri.Mms_stpn.result summary
 (** Stochastic-Petri-net replications, seeded from one root generator. *)
+
+val des_measures :
+  ?jobs:int ->
+  ?monitor:Pool.monitor ->
+  ?journal:Journal.t ->
+  ?config:Lattol_sim.Mms_des.config ->
+  replications:int ->
+  Params.t ->
+  Lattol_core.Measures.t summary
+(** {!des} reduced to each replication's {!Measures.t} — the level the CLI
+    reports at — and therefore checkpointable: with [journal], replication
+    [i] is recorded under id ["rep<i>"] as it completes, and a resumed run
+    replays completed replications instead of re-simulating them.  Streams
+    for the full set are derived before the journal filter, so resumed and
+    uninterrupted runs are byte-identical.  [trace]/[metrics] sinks are
+    rejected at any replication count (a replayed run cannot reproduce
+    them). *)
+
+val stpn_measures :
+  ?jobs:int ->
+  ?monitor:Pool.monitor ->
+  ?journal:Journal.t ->
+  ?seed:int ->
+  ?warmup:float ->
+  ?horizon:float ->
+  ?memory:Lattol_petri.Mms_stpn.memory_distribution ->
+  ?faults:Lattol_robust.Fault_plan.t ->
+  replications:int ->
+  Params.t ->
+  Lattol_core.Measures.t summary
+(** {!stpn} at measures level, journaled like {!des_measures}. *)

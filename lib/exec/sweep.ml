@@ -61,8 +61,82 @@ let points axes =
         axis.values)
     axes [ [] ]
 
+(* ------------------------------------------------------------------ *)
+(* Journal codec
+
+   A checkpointed point stores only its three raw measures (exact hex
+   floats, one line) — the tolerance reports are pure functions of those
+   measures, recomputed on restore by [Tolerance.of_measures], so a
+   resumed row is bit-identical to a freshly solved one. *)
+
+let reports ~ideal_method ~real ~ideal_net ~ideal_mem =
+  {
+    measures = real;
+    tol_network =
+      Tolerance.of_measures ~ideal_method Tolerance.Network_latency ~real
+        ~ideal:ideal_net;
+    tol_memory =
+      Tolerance.of_measures Tolerance.Memory_latency ~real ~ideal:ideal_mem;
+  }
+
+let encode_row row =
+  match row.result with
+  | Error msg -> "err " ^ String.escaped msg
+  | Ok s ->
+    Printf.sprintf "ok %s|%s|%s"
+      (Cache.encode_measures_line s.measures)
+      (Cache.encode_measures_line s.tol_network.Tolerance.ideal)
+      (Cache.encode_measures_line s.tol_memory.Tolerance.ideal)
+
+let decode_row ~ideal_method assigns payload =
+  if String.starts_with ~prefix:"ok " payload then begin
+    match
+      String.split_on_char '|'
+        (String.sub payload 3 (String.length payload - 3))
+    with
+    | [ r; ni; mi ] -> (
+      match
+        ( Cache.decode_measures_line r,
+          Cache.decode_measures_line ni,
+          Cache.decode_measures_line mi )
+      with
+      | Some real, Some ideal_net, Some ideal_mem ->
+        Some
+          {
+            assigns;
+            result = Ok (reports ~ideal_method ~real ~ideal_net ~ideal_mem);
+          }
+      | _ -> None)
+    | _ -> None
+  end
+  else if String.starts_with ~prefix:"err " payload then begin
+    match Scanf.unescaped (String.sub payload 4 (String.length payload - 4)) with
+    | msg -> Some { assigns; result = Error msg }
+    | exception Scanf.Scan_failure _ -> None
+  end
+  else None
+
+let ideal_method_name = function
+  | Tolerance.Zero_delay -> "zero-delay"
+  | Tolerance.Zero_remote -> "zero-remote"
+
+let journal_meta ?solver ?(ideal_method = Tolerance.Zero_remote) ~base axes =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "sweep/%d;solver=%s;ideal=%s;base=%s;" Journal.format_version
+    (match solver with Some s -> Mms.solver_label s | None -> "default")
+    (ideal_method_name ideal_method)
+    (Cache.canonical base);
+  List.iter
+    (fun a ->
+      Printf.bprintf b "axis:%s=" (param_name a.param);
+      List.iter (fun v -> Printf.bprintf b "%h," v) a.values;
+      Buffer.add_char b ';')
+    axes;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 let run ?solver ?cache ?(jobs = 1) ?(ideal_method = Tolerance.Zero_remote)
-    ?trace ?on_sweep ?monitor ~base axes =
+    ?trace ?on_sweep ?monitor ?journal ?(journal_prefix = "") ?retry ?deadline
+    ?(chaos = Lattol_robust.Chaos.none) ~base axes =
   if jobs < 1 then invalid_arg "Sweep.run: jobs must be at least 1";
   if axes = [] then invalid_arg "Sweep.run: at least one axis";
   List.iter
@@ -76,8 +150,9 @@ let run ?solver ?cache ?(jobs = 1) ?(ideal_method = Tolerance.Zero_remote)
   | _ -> ());
   let cache = match cache with Some c -> c | None -> Cache.create () in
   (* [label] marks the real solve of a sweep point in the trace; ideal
-     solves are untraced support work, as in the pre-engine CLI. *)
-  let solve_point ?label params =
+     solves are untraced support work, as in the pre-engine CLI.  [hook]
+     is the per-task on_sweep (the caller's, plus deadline polling). *)
+  let solve_point ?label ~hook params =
     let resolved =
       match solver with Some s -> s | None -> Mms.default_solver params
     in
@@ -88,55 +163,110 @@ let run ?solver ?cache ?(jobs = 1) ?(ideal_method = Tolerance.Zero_remote)
           ~budget:Amva.default_options.Amva.max_iterations
           ~solver:(Mms.solver_label resolved)
           ~damping:Amva.default_options.Amva.damping ();
-        let hook ~iteration ~residual =
+        let h ~iteration ~residual =
           Lattol_obs.Solver_trace.record tel ~iteration ~residual;
-          match on_sweep with
+          match hook with
           | None -> Amva.Continue
           | Some f -> f ~iteration ~residual
         in
-        let solution =
-          Mms.solve_network ~solver:resolved ~on_sweep:hook params
-        in
+        let solution = Mms.solve_network ~solver:resolved ~on_sweep:h params in
         Lattol_obs.Solver_trace.finish_attempt tel
           ~converged:solution.Solution.converged
           ~iterations:solution.Solution.iterations;
         Mms.measures_of_solution params solution
-      | _ -> Mms.solve ~solver:resolved ?on_sweep params
+      | _ -> Mms.solve ~solver:resolved ?on_sweep:hook params
     in
     Cache.find_or_compute cache
       ~key:(Cache.key ~solver_id:(Mms.solver_label resolved) params)
       compute
   in
-  let eval assigns =
+  let contained = retry <> None || deadline <> None in
+  let eval (ctx : Pool.ctx) assigns =
+    Lattol_robust.Chaos.inject chaos ~task:(label assigns)
+      ~attempt:ctx.Pool.attempt;
     let p =
       List.fold_left (fun p (param, v) -> apply p param v) base assigns
     in
     match Params.validate p with
     | Error msg -> { assigns; result = Error msg }
     | Ok p ->
-      let real = solve_point ~label:(label assigns) p in
+      let hook =
+        match deadline with
+        | None -> on_sweep
+        | Some _ ->
+          (* Deadline expiry must RAISE out of the solver, not return
+             [Abort]: an aborted solve yields a non-converged solution
+             that would otherwise land in the cache and the journal. *)
+          Some
+            (fun ~iteration ~residual ->
+              if ctx.Pool.should_stop () then
+                raise Lattol_robust.Retry.Deadline_exceeded;
+              match on_sweep with
+              | None -> Amva.Continue
+              | Some f -> f ~iteration ~residual)
+      in
+      let real = solve_point ~label:(label assigns) ~hook p in
       let ideal_net =
-        solve_point
+        solve_point ~hook
           (Tolerance.ideal_params Tolerance.Network_latency ideal_method p)
       in
       let ideal_mem =
-        solve_point
+        solve_point ~hook
           (Tolerance.ideal_params Tolerance.Memory_latency Tolerance.Zero_delay
              p)
       in
-      {
-        assigns;
-        result =
-          Ok
-            {
-              measures = real;
-              tol_network =
-                Tolerance.of_measures ~ideal_method Tolerance.Network_latency
-                  ~real ~ideal:ideal_net;
-              tol_memory =
-                Tolerance.of_measures Tolerance.Memory_latency ~real
-                  ~ideal:ideal_mem;
-            };
-      }
+      { assigns; result = Ok (reports ~ideal_method ~real ~ideal_net ~ideal_mem) }
   in
-  Pool.map_list ?monitor ~jobs eval (points axes)
+  let pts = Array.of_list (points axes) in
+  let n = Array.length pts in
+  (* Ids carry the point's index (axes can repeat a value) and its label
+     (readability when inspecting a journal). *)
+  let point_id i = Printf.sprintf "%s%d:%s" journal_prefix i (label pts.(i)) in
+  let rows = Array.make n None in
+  (match journal with
+  | None -> ()
+  | Some j ->
+    for i = 0 to n - 1 do
+      match Journal.find j (point_id i) with
+      | Some payload -> rows.(i) <- decode_row ~ideal_method pts.(i) payload
+      | None -> ()
+    done);
+  let missing =
+    Array.of_list
+      (List.filter
+         (fun i -> rows.(i) = None)
+         (List.init n (fun i -> i)))
+  in
+  let record i row =
+    (match journal with
+    | None -> ()
+    | Some j -> Journal.append j ~id:(point_id i) ~payload:(encode_row row));
+    row
+  in
+  (* Poison substitution only arms alongside retry/deadline containment:
+     without them, failures propagate first-exception as they always
+     did.  A poisoned point becomes (and is journaled as) an error row. *)
+  let on_poison =
+    if not contained then None
+    else
+      Some
+        (fun (p : Pool.poisoned) ->
+          record p.Pool.index
+            {
+              assigns = pts.(p.Pool.index);
+              result =
+                Error
+                  (Printf.sprintf "gave up after %d attempts: %s"
+                     p.Pool.attempts p.Pool.error);
+            })
+  in
+  let computed =
+    Pool.map_ctx ?monitor ?retry ?deadline ?on_poison ~jobs
+      (fun ctx i -> record i (eval ctx pts.(i)))
+      missing
+  in
+  Array.iteri (fun slot i -> rows.(i) <- Some computed.(slot)) missing;
+  List.init n (fun i ->
+      match rows.(i) with
+      | Some row -> row
+      | None -> invalid_arg "Sweep.run: missing row")

@@ -54,6 +54,32 @@ val points : axis list -> (param * float) list list
 (** Row-major cartesian product (first axis slowest), exposed for callers
     that need the grid shape without solving it. *)
 
+val journal_meta :
+  ?solver:Mms.solver ->
+  ?ideal_method:Tolerance.ideal_method ->
+  base:Params.t ->
+  axis list ->
+  string
+(** Digest fingerprinting everything that determines the grid's results:
+    solver, ideal method, canonical base parameters, and every axis value
+    in exact hex floats.  {!run} only replays journal records whose file
+    was opened ({!Journal.resume}) under the same meta, so a journal can
+    never leak rows into a differently-configured run. *)
+
+val encode_row : row -> string
+(** Journal payload for one row: ["ok <real>|<ideal_net>|<ideal_mem>"]
+    (three {!Cache.encode_measures_line} encodings — the tolerance reports
+    are recomputed from them on restore, bit-identically) or
+    ["err <escaped message>"] for a validation/poisoned row. *)
+
+val decode_row :
+  ideal_method:Tolerance.ideal_method ->
+  (param * float) list ->
+  string ->
+  row option
+(** Inverse of {!encode_row} for the given grid point; [None] on any
+    malformed payload (the point is then simply recomputed). *)
+
 val run :
   ?solver:Mms.solver ->
   ?cache:Cache.t ->
@@ -62,6 +88,11 @@ val run :
   ?trace:Lattol_obs.Solver_trace.t ->
   ?on_sweep:(iteration:int -> residual:float -> Amva.progress) ->
   ?monitor:Pool.monitor ->
+  ?journal:Journal.t ->
+  ?journal_prefix:string ->
+  ?retry:Lattol_robust.Retry.policy ->
+  ?deadline:float ->
+  ?chaos:Lattol_robust.Chaos.plan ->
   base:Params.t ->
   axis list ->
   row list
@@ -73,5 +104,15 @@ val run :
     every AMVA iteration of every solve (real and ideal) that actually
     runs; cache hits invoke neither.  [monitor] observes pool scheduling
     (one {!Pool.monitor} item per grid point) without affecting results.
-    Raises [Invalid_argument] on [jobs < 1], an empty axis list, or an
-    empty axis. *)
+
+    [journal] checkpoints every completed row (append + fsync before the
+    row is reported) and skips points already present when the journal was
+    resumed, so a killed sweep re-run with the same journal produces
+    byte-identical rows while re-solving only the missing points.
+    [journal_prefix] namespaces the record ids (multi-figure journals).
+    [retry]/[deadline] arm per-task fault containment (see {!Pool.map_ctx});
+    when either is set, a task that exhausts its attempts becomes an
+    [Error "gave up after N attempts: ..."] row instead of sinking the run.
+    [chaos] injects deterministic faults for the chaos harness (default
+    {!Lattol_robust.Chaos.none}).  Raises [Invalid_argument] on
+    [jobs < 1], an empty axis list, or an empty axis. *)

@@ -1,0 +1,76 @@
+(* Deterministic fault injection for the chaos harness.
+
+   Everything here is reproducible: whether a task is affected depends
+   only on (seed, task name), never on scheduling or time, so a chaos run
+   that fails can be re-run and fail identically.  The file corruptors
+   exist so tests (and `mms chaos`) can damage cache entries and journals
+   exactly the way real crashes and bit rot do. *)
+
+exception Injected_fault of string
+
+type plan = {
+  fail_rate : float;
+  fail_attempts : int;
+  delay : float;
+  seed : int;
+}
+
+let none = { fail_rate = 0.; fail_attempts = 1; delay = 0.; seed = 0 }
+
+let plan ?(fail_rate = 0.) ?(fail_attempts = 1) ?(delay = 0.) ?(seed = 0) () =
+  if fail_rate < 0. || fail_rate > 1. then
+    invalid_arg "Chaos.plan: fail_rate must lie in [0, 1]";
+  if fail_attempts < 0 then
+    invalid_arg "Chaos.plan: fail_attempts must be non-negative";
+  if delay < 0. then invalid_arg "Chaos.plan: delay must be non-negative";
+  { fail_rate; fail_attempts; delay; seed }
+
+let active p = p.fail_rate > 0. || p.delay > 0.
+
+(* Deterministic per-task coin: [Hashtbl.hash] over (seed, task) is a
+   fixed function of its input, so the affected set is a pure function of
+   the plan — no ambient PRNG, no ordering dependence. *)
+let affected p ~task =
+  p.fail_rate > 0.
+  && (p.fail_rate >= 1.
+     ||
+     let h = Hashtbl.hash (p.seed, task) land 0xFFFF in
+     float_of_int h /. 65536. < p.fail_rate)
+
+let inject p ~task ~attempt =
+  if p.delay > 0. then Unix.sleepf p.delay;
+  if affected p ~task && attempt <= p.fail_attempts then
+    raise
+      (Injected_fault
+         (Printf.sprintf "chaos: injected fault in %s (attempt %d)" task
+            attempt))
+
+(* ------------------------------------------------------------------ *)
+(* File corruptors: the two failure modes verified storage must survive. *)
+
+let flip_byte ~path ~offset =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let size = (Unix.fstat fd).Unix.st_size in
+      if size = 0 then invalid_arg "Chaos.flip_byte: empty file";
+      if offset < 0 || offset >= size then
+        invalid_arg "Chaos.flip_byte: offset out of range";
+      let buf = Bytes.create 1 in
+      ignore (Unix.lseek fd offset Unix.SEEK_SET);
+      if Unix.read fd buf 0 1 <> 1 then
+        invalid_arg "Chaos.flip_byte: short read";
+      Bytes.set buf 0 (Char.chr (Char.code (Bytes.get buf 0) lxor 0xFF));
+      ignore (Unix.lseek fd offset Unix.SEEK_SET);
+      if Unix.write fd buf 0 1 <> 1 then
+        invalid_arg "Chaos.flip_byte: short write")
+
+let truncate_file ~path ~keep =
+  if keep < 0 then invalid_arg "Chaos.truncate_file: keep must be non-negative";
+  Unix.truncate path keep
+
+let kill_self () =
+  Unix.kill (Unix.getpid ()) Sys.sigkill;
+  (* SIGKILL cannot be caught; control never reaches this point. *)
+  assert false

@@ -1,0 +1,53 @@
+(** Deterministic fault injection for chaos testing.
+
+    A {!plan} decides, as a pure function of its seed and a task's name,
+    which tasks fail and for how many attempts — so an injected failure
+    set is reproducible run-to-run and independent of scheduling.  The
+    file corruptors simulate the two storage failure modes the
+    self-healing cache must survive (bit flips and truncation), and
+    {!kill_self} is the unclean death the checkpoint journal must
+    survive. *)
+
+exception Injected_fault of string
+(** Raised by {!inject}; classified as transient by
+    {!Retry.default_classify}, so a bounded retry absorbs it. *)
+
+type plan = {
+  fail_rate : float;  (** fraction of tasks affected, in [0, 1] *)
+  fail_attempts : int;
+      (** an affected task fails this many leading attempts, then
+          succeeds — so [retries > fail_attempts] always recovers *)
+  delay : float;  (** injected latency (seconds) before every attempt *)
+  seed : int;  (** choice of the affected-task subset *)
+}
+
+val none : plan
+(** No injection: [inject] is a no-op. *)
+
+val plan :
+  ?fail_rate:float -> ?fail_attempts:int -> ?delay:float -> ?seed:int ->
+  unit -> plan
+(** Validating constructor (defaults: rate 0, 1 attempt, no delay, seed
+    0).  Raises [Invalid_argument] on a rate outside [0, 1] or negative
+    attempts/delay. *)
+
+val active : plan -> bool
+
+val affected : plan -> task:string -> bool
+(** Whether this plan ever injects a failure into [task] — deterministic
+    in [(seed, task)]. *)
+
+val inject : plan -> task:string -> attempt:int -> unit
+(** Sleep [delay], then raise {!Injected_fault} when [task] is affected
+    and [attempt <= fail_attempts] (attempts are 1-based). *)
+
+val flip_byte : path:string -> offset:int -> unit
+(** XOR one byte of a file with 0xFF in place (simulated bit rot).
+    Raises [Invalid_argument] on an empty file or offset out of range. *)
+
+val truncate_file : path:string -> keep:int -> unit
+(** Truncate a file to its first [keep] bytes (simulated torn write). *)
+
+val kill_self : unit -> 'a
+(** [kill -9] the current process: death with no atexit, no flushing, no
+    cleanup — exactly what the journal's fsync discipline must absorb. *)

@@ -9,6 +9,7 @@ type t = {
   unlink : string option;
   prefix : string;
   snapshot : unit -> Metrics.snapshot;
+  health : unit -> string option;
   stopping : bool Atomic.t;
   scrape_count : int Atomic.t;
   mutable domain : unit Domain.t option;
@@ -78,8 +79,21 @@ let route t path =
   | "/metrics.json" ->
     response ~status:"200 OK" ~content_type:"application/json"
       (Metrics.json_of_snapshot (t.snapshot ()))
-  | "/healthz" ->
-    response ~status:"200 OK" ~content_type:"text/plain; charset=utf-8" "ok\n"
+  | "/healthz" -> (
+    (* The health probe must answer even if the callback misbehaves: a
+       raising probe reads as degraded, never as a wedged endpoint. *)
+    match t.health () with
+    | None ->
+      response ~status:"200 OK" ~content_type:"text/plain; charset=utf-8"
+        "ok\n"
+    | Some reason ->
+      response ~status:"503 Service Unavailable"
+        ~content_type:"text/plain; charset=utf-8"
+        ("degraded: " ^ reason ^ "\n")
+    | exception e ->
+      response ~status:"503 Service Unavailable"
+        ~content_type:"text/plain; charset=utf-8"
+        ("degraded: health probe raised " ^ Printexc.to_string e ^ "\n"))
   | _ ->
     response ~status:"404 Not Found" ~content_type:"text/plain; charset=utf-8"
       "not found\n"
@@ -164,7 +178,7 @@ let bind_endpoint = function
         (Printf.sprintf "cannot bind socket %s: %s" path
            (Unix.error_message e)))
 
-let start ?(prefix = "lattol_") ~snapshot endpoint =
+let start ?(prefix = "lattol_") ?(health = fun () -> None) ~snapshot endpoint =
   match bind_endpoint endpoint with
   | Error _ as e -> e
   | Ok (fd, address, port, unlink) ->
@@ -179,6 +193,7 @@ let start ?(prefix = "lattol_") ~snapshot endpoint =
         unlink;
         prefix;
         snapshot;
+        health;
         stopping = Atomic.make false;
         scrape_count = Atomic.make 0;
         domain = None;

@@ -8,7 +8,9 @@
     - [GET /metrics.json]: the registry JSON document, byte-identical to
       what {!Lattol_obs.Metrics.write_json_snapshot} flushes to
       [--metrics-out], so a final scrape equals the written file;
-    - [GET /healthz]: ["ok\n"].
+    - [GET /healthz]: ["ok\n"] (200) while the health callback reports
+      nothing, ["degraded: <reason>\n"] (503) once it does — e.g. after
+      the solve cache has quarantined corrupt entries.
 
     Every request re-samples the snapshot callback, so scrapes observe the
     live run.  Connections are serial (scrape traffic, not serving
@@ -24,16 +26,21 @@ type t
 
 val start :
   ?prefix:string ->
+  ?health:(unit -> string option) ->
   snapshot:(unit -> Lattol_obs.Metrics.snapshot) ->
   endpoint ->
   (t, string) result
 (** Bind, listen and spawn the serving domain.  [snapshot] is called on
     the serving domain at every scrape: it must be domain-safe (registry
-    snapshots and {!Progress.to_snapshot} are).  [prefix] overrides the
-    Prometheus name prefix (default [lattol_]).  [Error] carries the bind
-    failure ([EADDRINUSE], a bad path...); nothing is spawned then.
-    Starting an exporter ignores [SIGPIPE] process-wide — a scraper
-    hanging up mid-response must not kill the run. *)
+    snapshots and {!Progress.to_snapshot} are).  [health] is sampled on
+    every [/healthz] probe, also on the serving domain: [None] keeps the
+    probe ["ok"], [Some reason] turns it 503 degraded (a raising callback
+    reads as degraded too, never as a wedged endpoint).  Default: always
+    healthy.  [prefix] overrides the Prometheus name prefix (default
+    [lattol_]).  [Error] carries the bind failure ([EADDRINUSE], a bad
+    path...); nothing is spawned then.  Starting an exporter ignores
+    [SIGPIPE] process-wide — a scraper hanging up mid-response must not
+    kill the run. *)
 
 val address : t -> string
 (** Human-readable bound address: ["127.0.0.1:43017"] or the socket

@@ -1,0 +1,152 @@
+Chaos harness: the crash-safe execution layer under injected faults.
+Three failure families are exercised end-to-end — unclean process death
+mid-journal-write (kill -9), storage corruption (bit flips, truncation,
+orphaned temp files), and flaky tasks (injected transient faults, with
+and without retry budget).  The invariant throughout: a recovered run's
+output is byte-identical to an undisturbed one.
+
+A reference sweep, no crash-safety machinery at all:
+
+  $ ../bin/mms_cli.exe sweep --param p_remote --from 0 --to 1 --steps 5 --jobs 2 > clean.csv
+
+-------------------------------------------------------------------
+Kill -9 mid-run, then resume.
+
+The journal fsyncs record-by-record; --chaos-kill-after 2 SIGKILLs the
+process right after the second record lands — no atexit, no flushing:
+
+  $ ../bin/mms_cli.exe sweep --param p_remote --from 0 --to 1 --steps 5 --journal j.ltj --chaos-kill-after 2 > part.csv 2>/dev/null &
+  $ wait $!
+  Killed
+  [137]
+
+The file holds the header plus exactly the two fsync'd records:
+
+  $ grep -c . j.ltj
+  3
+
+Resuming replays them, recomputes only the missing points — at a
+different parallelism — and the rows are byte-identical:
+
+  $ ../bin/mms_cli.exe sweep --param p_remote --from 0 --to 1 --steps 5 --journal j.ltj --resume --jobs 2 > resumed.csv
+  journal: replayed 2 records (0 discarded)
+  $ cmp clean.csv resumed.csv
+
+A torn trailing record (the write the power cut interrupted) is
+verified, discarded and truncated away on the next resume:
+
+  $ printf 'deadbeefdeadbeefdeadbeefdeadbeef 4:torn ok u_p=0x1p-1' >> j.ltj
+  $ ../bin/mms_cli.exe sweep --param p_remote --from 0 --to 1 --steps 5 --journal j.ltj --resume > torn.csv
+  journal: replayed 5 records (1 discarded)
+  $ cmp clean.csv torn.csv
+
+A journal written by a different run specification refuses to resume —
+never a silently wrong merge:
+
+  $ ../bin/mms_cli.exe sweep --param p_remote --from 0 --to 1 --steps 7 --journal j.ltj --resume
+  mms_cli: journal j.ltj was written for a different run configuration (start fresh without --resume, or delete it)
+  [124]
+
+And --resume without a journal to resume from is caught up front:
+
+  $ ../bin/mms_cli.exe sweep --param p_remote --from 0 --to 1 --resume
+  mms_cli: --resume requires --journal
+  [124]
+
+-------------------------------------------------------------------
+Storage corruption: the self-healing cache.
+
+Warm a disk cache:
+
+  $ ../bin/mms_cli.exe sweep --param p_remote --from 0 --to 1 --steps 5 --cache c > cached.csv
+  $ cmp clean.csv cached.csv
+
+Flip one byte in the middle of an entry (simulated bit rot).  The scrub
+detects it by checksum, quarantines it, and exits 1 so a cron'd scrub
+can alert:
+
+  $ entry=$(find c -type f | sort | head -n 1)
+  $ ../bin/mms_cli.exe chaos flip --file "$entry" --offset 40
+  $ ../bin/mms_cli.exe cache scrub --dir c
+  11 entries scanned, 10 intact, 1 quarantined, 0 stale
+  [1]
+
+The quarantined entry is gone from the store (parked under
+quarantine/, never served), and a warm re-run transparently re-solves
+it — byte-identical output, exactly one new solve:
+
+  $ find c -path '*quarantine*' -type f | wc -l
+  1
+  $ ../bin/mms_cli.exe sweep --param p_remote --from 0 --to 1 --steps 5 --cache c > healed.csv
+  $ cmp clean.csv healed.csv
+
+Truncation (a torn write) is the same story:
+
+  $ entry=$(find c -type f ! -path '*quarantine*' | sort | head -n 1)
+  $ ../bin/mms_cli.exe chaos truncate --file "$entry" --keep 10
+  $ ../bin/mms_cli.exe cache scrub --dir c
+  11 entries scanned, 10 intact, 1 quarantined, 0 stale
+  [1]
+  $ ../bin/mms_cli.exe sweep --param p_remote --from 0 --to 1 --steps 5 --cache c > healed2.csv
+  $ cmp clean.csv healed2.csv
+
+A clean store scrubs clean:
+
+  $ ../bin/mms_cli.exe cache scrub --dir c
+  11 entries scanned, 11 intact, 0 quarantined, 0 stale
+
+-------------------------------------------------------------------
+Flaky tasks: bounded retry and poisoning.
+
+Every point fails its first two attempts with an injected transient
+fault; three attempts absorb that completely — the output is identical
+to the undisturbed run:
+
+  $ ../bin/mms_cli.exe sweep --param p_remote --from 0 --to 1 --steps 5 --retries 3 --chaos-fail-rate 1 --chaos-fail-attempts 2 --jobs 2 > recovered.csv
+  $ cmp clean.csv recovered.csv
+
+Without a retry budget, the same transient fault is fatal on first
+strike — the historical first-exception behavior is the default:
+
+  $ ../bin/mms_cli.exe sweep --param p_remote --from 0 --to 1 --steps 5 --chaos-fail-rate 1 > /dev/null 2> crash.err
+  [125]
+  $ grep -c Injected_fault crash.err
+  1
+
+When failures outlast the budget, the poisoned points become error rows
+instead of sinking the run — and are journaled as such:
+
+  $ ../bin/mms_cli.exe sweep --param p_remote --from 0 --to 1 --steps 5 --retries 2 --chaos-fail-rate 1 --chaos-fail-attempts 9 --journal poison.ltj > poisoned.csv
+  $ grep -c '# skipped' poisoned.csv
+  5
+  $ grep -c 'gave up after 2 attempts' poisoned.csv
+  5
+
+-------------------------------------------------------------------
+Figures: the multi-sweep batch, killed and resumed.
+
+  $ ../bin/mms_cli.exe figures --out fig --only saturation
+  wrote fig/saturation.csv (21 rows)
+  cache: 20 hits (0 disk, 20 shared), 43 misses, 43 solves
+
+  $ ../bin/mms_cli.exe figures --out fig2 --only saturation --chaos-kill-after 10 >/dev/null 2>&1 &
+  $ wait $!
+  Killed
+  [137]
+  $ ../bin/mms_cli.exe figures --out fig2 --only saturation --resume
+  journal: replayed 10 records (0 discarded)
+  wrote fig2/saturation.csv (21 rows)
+  cache: 11 hits (1 disk, 10 shared), 22 misses, 22 solves
+  $ cmp fig/saturation.csv fig2/saturation.csv
+
+Orphaned temp files (a writer that died between create and rename) are
+reclaimed when the store opens, and counted:
+
+  $ mkdir -p fig/cache/zz
+  $ printf junk > fig/cache/zz/lattol-orphan.tmp
+  $ touch -t 202001010000 fig/cache/zz/lattol-orphan.tmp
+  $ ../bin/mms_cli.exe figures --out fig --only saturation
+  wrote fig/saturation.csv (21 rows)
+  cache: 63 hits (43 disk, 20 shared), 0 misses, 0 solves, 1 tmp reclaimed
+  $ find fig/cache -name '*.tmp' | wc -l
+  0

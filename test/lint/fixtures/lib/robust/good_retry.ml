@@ -1,0 +1,7 @@
+(* lib/robust owns the execution engine's wall-clock machinery (retry
+   backoff, deadlines, supervisor time budgets): det-wallclock must stay
+   silent here.  This fixture pins that scoping — if the exemption list
+   regresses, the clean run below starts failing. *)
+let now () = Unix.gettimeofday ()
+
+let deadline_expired ~started ~timeout = Unix.time () -. started > timeout

@@ -1,0 +1,3 @@
+val now : unit -> float
+
+val deadline_expired : started:float -> timeout:float -> bool

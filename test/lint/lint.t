@@ -125,6 +125,8 @@ JSON output carries the same findings machine-readably:
   {"tool":"lattol-lint","format_version":1,"findings":[{"file":"fixtures/lib/queueing/bad_div.ml","line":2,"col":27,"rule":"float-div-unguarded","message":"divisor is a float difference with no dominating guard","hint":"guard the branch so the divisor is provably nonzero, or annotate with [@lattol.allow \"float-div-unguarded\"] stating the invariant that keeps it away from zero"}],"stats":{"files":2,"findings":1,"suppressed":0,"by_rule":{"float-div-unguarded":1}}}
   [1]
 
-A clean subtree exits 0 with no output:
+A clean subtree exits 0 with no output — fixtures/lib/robust is in the
+list because clock reads there (retry backoff, deadlines) are exempt
+from det-wallclock by scope, and this run pins that exemption:
 
-  $ ../../bin/lattol_lint.exe --no-config fixtures/lib/obs fixtures/lib/serve fixtures/bin
+  $ ../../bin/lattol_lint.exe --no-config fixtures/lib/obs fixtures/lib/serve fixtures/lib/robust fixtures/bin

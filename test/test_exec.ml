@@ -9,6 +9,9 @@ module Cache = Lattol_exec.Cache
 module Sweep = Lattol_exec.Sweep
 module Figures = Lattol_exec.Figures
 module Replicate = Lattol_exec.Replicate
+module Journal = Lattol_exec.Journal
+module Retry = Lattol_robust.Retry
+module Chaos = Lattol_robust.Chaos
 
 let tmp_dir prefix =
   let d = Filename.temp_file prefix "" in
@@ -55,6 +58,199 @@ let test_pool_empty_and_excess_jobs () =
   Alcotest.(check (list int))
     "more jobs than items" [ 2; 4 ]
     (Pool.map_list ~jobs:16 (fun i -> 2 * i) [ 1; 2 ])
+
+(* Fast backoff so the retry tests don't sleep their way through CI. *)
+let quick_policy ?(max_attempts = 3) () =
+  Retry.policy ~max_attempts ~base_delay:0.001 ~max_delay:0.002 ()
+
+let test_pool_retry_recovers () =
+  (* A fault injected on the first two attempts of every item is fully
+     absorbed by a three-attempt budget; attempts are sequential per item
+     even though items run in parallel. *)
+  let attempts = Array.make 8 0 in
+  let out =
+    Pool.map_ctx ~jobs:4 ~retry:(quick_policy ())
+      (fun ctx i ->
+        attempts.(i) <- attempts.(i) + 1;
+        if ctx.Pool.attempt <> attempts.(i) then
+          Alcotest.failf "item %d: ctx says attempt %d, saw %d" i
+            ctx.Pool.attempt attempts.(i);
+        if ctx.Pool.attempt <= 2 then raise (Chaos.Injected_fault "flaky");
+        i * 10)
+      (Array.init 8 (fun i -> i))
+  in
+  Array.iteri
+    (fun i v ->
+      if v <> i * 10 then Alcotest.failf "slot %d holds %d" i v;
+      Alcotest.(check int) "three attempts" 3 attempts.(i))
+    out
+
+let test_pool_fatal_not_retried () =
+  (* A deterministic failure must stay first-exception fatal even under a
+     retry policy: retrying it could only repeat it. *)
+  let calls = Atomic.make 0 in
+  match
+    Pool.map_ctx ~jobs:2 ~retry:(quick_policy ())
+      (fun _ i ->
+        if i = 3 then begin
+          Atomic.incr calls;
+          failwith "deterministic"
+        end
+        else i)
+      (Array.init 8 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "fatal exception swallowed"
+  | exception Failure msg ->
+    Alcotest.(check string) "message" "deterministic" msg;
+    Alcotest.(check int) "never retried" 1 (Atomic.get calls)
+
+let test_pool_poison_substitutes () =
+  let mu = Mutex.create () in
+  let poisoned = ref [] in
+  let out =
+    Pool.map_ctx ~jobs:4
+      ~retry:(quick_policy ~max_attempts:2 ())
+      ~on_poison:(fun p ->
+        Mutex.protect mu (fun () -> poisoned := p :: !poisoned);
+        -1)
+      (fun _ i ->
+        if i mod 2 = 0 then raise (Chaos.Injected_fault "always") else i)
+      (Array.init 6 (fun i -> i))
+  in
+  Alcotest.(check (array int))
+    "poisoned slots hold the substitute" [| -1; 1; -1; 3; -1; 5 |] out;
+  let recs = List.sort compare !poisoned in
+  Alcotest.(check (list int))
+    "poisoned indices" [ 0; 2; 4 ]
+    (List.map (fun p -> p.Pool.index) recs);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "budget consumed" 2 p.Pool.attempts;
+      Alcotest.(check bool) "error names the fault" true
+        (let re = "Injected_fault" in
+         let n = String.length re and m = String.length p.Pool.error in
+         let rec scan i =
+           i + n <= m && (String.sub p.Pool.error i n = re || scan (i + 1))
+         in
+         scan 0))
+    recs
+
+let test_pool_deadline_cancels () =
+  (* should_stop turns true once the per-attempt deadline expires; the
+     task raises Deadline_exceeded (transient) and, with the retry budget
+     also exhausted, lands in on_poison. *)
+  let out =
+    Pool.map_ctx ~jobs:2 ~deadline:0.01
+      ~retry:(quick_policy ~max_attempts:2 ())
+      ~on_poison:(fun p -> -p.Pool.index)
+      (fun ctx i ->
+        if i = 1 then begin
+          let started = Retry.now () in
+          while
+            (not (ctx.Pool.should_stop ())) && Retry.now () -. started < 5.
+          do
+            Domain.cpu_relax ()
+          done;
+          if ctx.Pool.should_stop () then raise Retry.Deadline_exceeded
+          else failwith "deadline never armed"
+        end
+        else i * 10)
+      (Array.init 3 (fun i -> i))
+  in
+  Alcotest.(check (array int)) "slow task poisoned, rest unharmed"
+    [| 0; -1; 20 |] out
+
+(* ------------------------------------------------------------------ *)
+(* Journal *)
+
+let test_journal_roundtrip () =
+  let dir = tmp_dir "lattol_journal" in
+  let path = Filename.concat dir "j.ltj" in
+  let meta = Digest.to_hex (Digest.string "spec") in
+  let j = Journal.create ~path ~meta () in
+  Journal.append j ~id:"a" ~payload:"one";
+  Journal.append j ~id:"b" ~payload:"two words";
+  Alcotest.(check int) "appends counted" 2 (Journal.appended j);
+  Journal.close j;
+  match Journal.resume ~path ~meta () with
+  | Error e -> Alcotest.failf "resume failed: %s" e
+  | Ok j2 ->
+    Alcotest.(check int) "replayed" 2 (Journal.replayed j2);
+    Alcotest.(check int) "discarded" 0 (Journal.discarded j2);
+    Alcotest.(check (list (pair string string)))
+      "entries in append order"
+      [ ("a", "one"); ("b", "two words") ]
+      (Journal.entries j2);
+    Alcotest.(check (option string))
+      "find" (Some "two words") (Journal.find j2 "b");
+    Alcotest.(check (option string)) "absent id" None (Journal.find j2 "c");
+    Journal.close j2
+
+let test_journal_torn_tail_truncated () =
+  let dir = tmp_dir "lattol_journal" in
+  let path = Filename.concat dir "j.ltj" in
+  let meta = Digest.to_hex (Digest.string "spec") in
+  let j = Journal.create ~path ~meta () in
+  List.iter (fun i -> Journal.append j ~id:(string_of_int i) ~payload:"ok")
+    [ 1; 2; 3 ];
+  Journal.close j;
+  (* The write a crash interrupted: a record with a bogus checksum and no
+     terminating newline. *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "deadbeefdeadbeefdeadbeefdeadbeef 4 torn";
+  close_out oc;
+  (match Journal.resume ~path ~meta () with
+  | Error e -> Alcotest.failf "resume failed: %s" e
+  | Ok j2 ->
+    Alcotest.(check int) "survivors replayed" 3 (Journal.replayed j2);
+    Alcotest.(check int) "torn record discarded" 1 (Journal.discarded j2);
+    Journal.close j2);
+  (* The truncation is physical: a second resume sees a clean file. *)
+  match Journal.resume ~path ~meta () with
+  | Error e -> Alcotest.failf "re-resume failed: %s" e
+  | Ok j3 ->
+    Alcotest.(check int) "still three records" 3 (Journal.replayed j3);
+    Alcotest.(check int) "nothing left to discard" 0 (Journal.discarded j3);
+    Journal.close j3
+
+let test_journal_meta_mismatch () =
+  let dir = tmp_dir "lattol_journal" in
+  let path = Filename.concat dir "j.ltj" in
+  let j = Journal.create ~path ~meta:"aaaa" () in
+  Journal.append j ~id:"x" ~payload:"p";
+  Journal.close j;
+  (match Journal.resume ~path ~meta:"bbbb" () with
+  | Ok _ -> Alcotest.fail "resumed against a different run specification"
+  | Error _ -> ());
+  (* A non-journal file is an error, not a silent fresh start... *)
+  let bogus = Filename.concat dir "not_a_journal" in
+  Out_channel.with_open_bin bogus (fun oc ->
+      Out_channel.output_string oc "p_remote,u_p\n0.1,0.9\n");
+  (match Journal.resume ~path:bogus ~meta:"aaaa" () with
+  | Ok _ -> Alcotest.fail "resumed a non-journal file"
+  | Error _ -> ());
+  (* ...but a missing file is a fresh start (first run with --resume in a
+     wrapper script must work). *)
+  match Journal.resume ~path:(Filename.concat dir "absent.ltj") ~meta:"aaaa" ()
+  with
+  | Error e -> Alcotest.failf "missing file refused: %s" e
+  | Ok j2 ->
+    Alcotest.(check int) "nothing replayed" 0 (Journal.replayed j2);
+    Journal.close j2
+
+let test_journal_duplicate_id_last_wins () =
+  let dir = tmp_dir "lattol_journal" in
+  let path = Filename.concat dir "j.ltj" in
+  let j = Journal.create ~path ~meta:"cafe" () in
+  Journal.append j ~id:"x" ~payload:"first";
+  Journal.append j ~id:"x" ~payload:"second";
+  Journal.close j;
+  match Journal.resume ~path ~meta:"cafe" () with
+  | Error e -> Alcotest.failf "resume failed: %s" e
+  | Ok j2 ->
+    Alcotest.(check (option string))
+      "later record wins" (Some "second") (Journal.find j2 "x");
+    Journal.close j2
 
 (* ------------------------------------------------------------------ *)
 (* Cache *)
@@ -180,6 +376,108 @@ let test_cache_concurrent_dedup () =
       if m <> results.(0) then Alcotest.fail "requesters saw different values")
     results
 
+let entry_path dir key =
+  Filename.concat (Filename.concat dir (String.sub key 0 2)) key
+
+let test_cache_scrub_quarantines_and_heals () =
+  let dir = tmp_dir "lattol_scrub" in
+  let p1 = Params.default in
+  let p2 = { p1 with Params.p_remote = 0.25 } in
+  let k1 = Cache.key ~solver_id:(solver_id p1) p1 in
+  let k2 = Cache.key ~solver_id:(solver_id p2) p2 in
+  let c1 = Cache.create ~dir () in
+  let a = Cache.find_or_compute c1 ~key:k1 (fun () -> Mms.solve p1) in
+  let _ = Cache.find_or_compute c1 ~key:k2 (fun () -> Mms.solve p2) in
+  (* Bit rot in one entry: scrub must quarantine exactly that one. *)
+  Chaos.flip_byte ~path:(entry_path dir k1) ~offset:40;
+  let c2 = Cache.create ~dir () in
+  let r = Cache.scrub c2 in
+  Alcotest.(check int) "scanned" 2 r.Cache.scanned;
+  Alcotest.(check int) "intact" 1 r.Cache.intact;
+  Alcotest.(check int) "quarantined" 1 r.Cache.quarantined;
+  Alcotest.(check int) "stale" 0 r.Cache.stale;
+  Alcotest.(check int) "corrupt counter feeds /healthz" 1
+    (Cache.stats c2).Cache.corrupt;
+  Alcotest.(check bool) "parked under quarantine/" true
+    (Sys.file_exists
+       (Filename.concat (Filename.concat dir "quarantine") k1));
+  (* The quarantined key transparently re-solves to the same value... *)
+  let solves = ref 0 in
+  let b =
+    Cache.find_or_compute c2 ~key:k1 (fun () ->
+        incr solves;
+        Mms.solve p1)
+  in
+  Alcotest.(check int) "re-solved once" 1 !solves;
+  Alcotest.(check bool) "healed value bit-identical" true (a = b);
+  (* ...and the re-store heals the disk: a fresh scrub runs clean. *)
+  let r2 = Cache.scrub (Cache.create ~dir ()) in
+  Alcotest.(check int) "store healed" 2 r2.Cache.intact;
+  Alcotest.(check int) "nothing left to quarantine" 0 r2.Cache.quarantined
+
+let test_cache_scrub_drops_stale () =
+  let dir = tmp_dir "lattol_scrub" in
+  let p = Params.default in
+  let key = Cache.key ~solver_id:(solver_id p) p in
+  let c = Cache.create ~dir () in
+  let _ = Cache.find_or_compute c ~key (fun () -> Mms.solve p) in
+  (* An intact entry from an older format version: dropped silently (a
+     plain miss), never quarantined and never counted corrupt. *)
+  let old_key = "zz" ^ String.sub key 2 (String.length key - 2) in
+  let old_path = entry_path dir old_key in
+  Sys.mkdir (Filename.dirname old_path) 0o755;
+  Out_channel.with_open_bin old_path (fun oc ->
+      Out_channel.output_string oc "lattol-cache 1\nu_p 0x1p-1\n");
+  let c2 = Cache.create ~dir () in
+  let r = Cache.scrub c2 in
+  Alcotest.(check int) "scanned" 2 r.Cache.scanned;
+  Alcotest.(check int) "intact" 1 r.Cache.intact;
+  Alcotest.(check int) "stale dropped" 1 r.Cache.stale;
+  Alcotest.(check int) "not quarantined" 0 r.Cache.quarantined;
+  Alcotest.(check int) "not corrupt" 0 (Cache.stats c2).Cache.corrupt;
+  Alcotest.(check bool) "stale file removed" false (Sys.file_exists old_path)
+
+let test_cache_reclaims_orphan_tmps () =
+  let dir = tmp_dir "lattol_tmp" in
+  let sub = Filename.concat dir "ab" in
+  Sys.mkdir sub 0o755;
+  let write p = Out_channel.with_open_bin p (fun oc ->
+      Out_channel.output_string oc "junk") in
+  (* An orphan from a writer that died long ago: reclaimed on open. *)
+  let orphan = Filename.concat sub "lattol-dead.tmp" in
+  write orphan;
+  Unix.utimes orphan 1. 1.;
+  (* A temp another live writer is mid-rename on: younger than the open,
+     left alone.  (Future mtime stands in for "concurrent".) *)
+  let live = Filename.concat sub "lattol-live.tmp" in
+  write live;
+  let future = Lattol_robust.Retry.now () +. 3600. in
+  Unix.utimes live future future;
+  (* A foreign temp file: not ours to delete, whatever its age. *)
+  let foreign = Filename.concat sub "other.tmp" in
+  write foreign;
+  Unix.utimes foreign 1. 1.;
+  let c = Cache.create ~dir () in
+  Alcotest.(check int) "one orphan reclaimed" 1
+    (Cache.stats c).Cache.tmp_reclaimed;
+  Alcotest.(check bool) "orphan gone" false (Sys.file_exists orphan);
+  Alcotest.(check bool) "live temp untouched" true (Sys.file_exists live);
+  Alcotest.(check bool) "foreign temp untouched" true (Sys.file_exists foreign)
+
+let test_measures_codec_roundtrip () =
+  let m = Mms.solve Params.default in
+  let line = Cache.encode_measures_line m in
+  Alcotest.(check bool) "single line" false (String.contains line '\n');
+  (match Cache.decode_measures_line line with
+  | None -> Alcotest.fail "decode of a fresh encoding failed"
+  | Some m' ->
+    Alcotest.(check string) "round-trips bit-identically" line
+      (Cache.encode_measures_line m'));
+  Alcotest.(check bool) "garbage rejected" true
+    (Cache.decode_measures_line "garbage" = None);
+  Alcotest.(check bool) "empty rejected" true
+    (Cache.decode_measures_line "" = None)
+
 (* ------------------------------------------------------------------ *)
 (* Sweep: shared solutions instead of redundant solves *)
 
@@ -255,6 +553,47 @@ let render rows =
       Buffer.add_char b '\n')
     rows;
   Buffer.contents b
+
+let test_sweep_resume_equivalence () =
+  (* Full run journaled, then the journal cut back to its first two
+     records (what a crash after the second fsync leaves).  The resumed
+     run must replay those two, re-solve only the other three, and emit
+     byte-identical rows — at a different parallelism for good measure. *)
+  let dir = tmp_dir "lattol_resume" in
+  let path = Filename.concat dir "sweep.ltj" in
+  let steps = 5 in
+  let axes =
+    [ { Sweep.param = Sweep.P_remote;
+        values = Sweep.linspace ~lo:0.1 ~hi:0.9 ~steps } ]
+  in
+  let meta = Sweep.journal_meta ~base:Params.default axes in
+  let j = Journal.create ~path ~meta () in
+  let full = Sweep.run ~journal:j ~base:Params.default axes in
+  Journal.close j;
+  let lines =
+    In_channel.with_open_bin path In_channel.input_all
+    |> String.split_on_char '\n'
+  in
+  Alcotest.(check int) "header + one record per point" (steps + 1)
+    (List.length (List.filter (fun l -> l <> "") lines));
+  let keep = List.filteri (fun i _ -> i < 3) lines in
+  Out_channel.with_open_bin path (fun oc ->
+      List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) keep);
+  match Journal.resume ~path ~meta () with
+  | Error e -> Alcotest.failf "resume failed: %s" e
+  | Ok j2 ->
+    Alcotest.(check int) "two checkpoints replayed" 2 (Journal.replayed j2);
+    let resumed, solves =
+      count_solves (fun on_sweep ->
+          Sweep.run ~journal:j2 ~jobs:2 ~on_sweep ~base:Params.default axes)
+    in
+    Alcotest.(check int) "only the missing points re-solved"
+      (2 * (steps - 2)) solves;
+    Alcotest.(check int) "missing points re-journaled" (steps - 2)
+      (Journal.appended j2);
+    Journal.close j2;
+    Alcotest.(check string) "rows byte-identical to the uninterrupted run"
+      (render full) (render resumed)
 
 let axes_gen =
   let open QCheck.Gen in
@@ -438,6 +777,24 @@ let () =
           Alcotest.test_case "exception propagates" `Quick test_pool_exception;
           Alcotest.test_case "rejects jobs < 1" `Quick test_pool_rejects_bad_jobs;
           Alcotest.test_case "edge sizes" `Quick test_pool_empty_and_excess_jobs;
+          Alcotest.test_case "retry recovers transient faults" `Quick
+            test_pool_retry_recovers;
+          Alcotest.test_case "fatal failures never retried" `Quick
+            test_pool_fatal_not_retried;
+          Alcotest.test_case "poison substitutes a result" `Quick
+            test_pool_poison_substitutes;
+          Alcotest.test_case "deadline cancels cooperatively" `Quick
+            test_pool_deadline_cancels;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "torn tail truncated" `Quick
+            test_journal_torn_tail_truncated;
+          Alcotest.test_case "meta mismatch refused" `Quick
+            test_journal_meta_mismatch;
+          Alcotest.test_case "duplicate id: last wins" `Quick
+            test_journal_duplicate_id_last_wins;
         ] );
       ( "cache",
         [
@@ -450,6 +807,14 @@ let () =
             test_cache_corrupt_entry_recomputes;
           Alcotest.test_case "concurrent dedup" `Quick
             test_cache_concurrent_dedup;
+          Alcotest.test_case "scrub quarantines and heals" `Quick
+            test_cache_scrub_quarantines_and_heals;
+          Alcotest.test_case "scrub drops stale formats" `Quick
+            test_cache_scrub_drops_stale;
+          Alcotest.test_case "orphan temps reclaimed on open" `Quick
+            test_cache_reclaims_orphan_tmps;
+          Alcotest.test_case "measures line codec" `Quick
+            test_measures_codec_roundtrip;
         ] );
       ( "sweep",
         [
@@ -457,6 +822,8 @@ let () =
             test_sweep_no_redundant_solves;
           Alcotest.test_case "warm run solver-silent" `Quick
             test_sweep_counts_observer_once_per_iteration;
+          Alcotest.test_case "resume is byte-identical" `Quick
+            test_sweep_resume_equivalence;
         ] );
       ( "figures",
         [

@@ -290,6 +290,119 @@ let test_des_degraded_service () =
     (r.Mms_des.measures.Measures.lambda > 0.)
 
 (* ------------------------------------------------------------------ *)
+(* Chaos injection plans *)
+
+let rejects f =
+  match f () with
+  | _ -> Alcotest.fail "invalid plan accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_chaos_plan_validation () =
+  rejects (fun () -> Chaos.plan ~fail_rate:1.5 ());
+  rejects (fun () -> Chaos.plan ~fail_rate:(-0.1) ());
+  rejects (fun () -> Chaos.plan ~fail_attempts:(-1) ());
+  rejects (fun () -> Chaos.plan ~delay:(-1.) ());
+  Alcotest.(check bool) "none is inert" false (Chaos.active Chaos.none);
+  Alcotest.(check bool) "a failure rate activates" true
+    (Chaos.active (Chaos.plan ~fail_rate:0.5 ()));
+  Alcotest.(check bool) "a delay alone activates" true
+    (Chaos.active (Chaos.plan ~delay:0.001 ()))
+
+let test_chaos_affected_deterministic () =
+  let tasks = List.init 200 (fun i -> Printf.sprintf "p_remote=%d" i) in
+  let hits plan = List.map (fun t -> Chaos.affected plan ~task:t) tasks in
+  let p = Chaos.plan ~fail_rate:0.5 ~seed:7 () in
+  Alcotest.(check (list bool))
+    "pure in (seed, task): same plan, same set" (hits p) (hits p);
+  let count l = List.length (List.filter Fun.id l) in
+  let n = count (hits p) in
+  Alcotest.(check bool) "rate 0.5 hits some" true (n > 0);
+  Alcotest.(check bool) "rate 0.5 spares some" true (n < 200);
+  Alcotest.(check bool) "a different seed picks a different set" true
+    (hits p <> hits (Chaos.plan ~fail_rate:0.5 ~seed:8 ()));
+  Alcotest.(check int) "rate 1 hits everything" 200
+    (count (hits (Chaos.plan ~fail_rate:1. ())));
+  Alcotest.(check int) "rate 0 hits nothing" 0 (count (hits Chaos.none))
+
+let test_chaos_inject_recovers () =
+  (* An affected task fails attempts 1..fail_attempts, then succeeds —
+     the contract that makes [retries > fail_attempts] always recover. *)
+  let p = Chaos.plan ~fail_rate:1. ~fail_attempts:2 () in
+  let faulted attempt =
+    match Chaos.inject p ~task:"t" ~attempt with
+    | () -> false
+    | exception Chaos.Injected_fault _ -> true
+  in
+  Alcotest.(check bool) "attempt 1 faults" true (faulted 1);
+  Alcotest.(check bool) "attempt 2 faults" true (faulted 2);
+  Alcotest.(check bool) "attempt 3 clears" false (faulted 3);
+  (* An unaffected task is never touched, whatever the attempt. *)
+  let spared = Chaos.plan ~fail_rate:0. ~fail_attempts:9 () in
+  Alcotest.(check bool) "inert plan injects nothing" false
+    (match Chaos.inject spared ~task:"t" ~attempt:1 with
+    | () -> false
+    | exception Chaos.Injected_fault _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Retry policies *)
+
+let test_retry_policy_validation () =
+  rejects (fun () -> Retry.policy ~max_attempts:0 ());
+  rejects (fun () -> Retry.policy ~base_delay:(-0.1) ());
+  rejects (fun () -> Retry.policy ~base_delay:0.5 ~max_delay:0.1 ());
+  rejects (fun () -> Retry.policy ~jitter:(-1.) ())
+
+let test_retry_delay_deterministic_and_bounded () =
+  let p = Retry.policy ~base_delay:0.05 ~max_delay:0.4 ~jitter:0.5 () in
+  let distinct = ref false in
+  for attempt = 1 to 8 do
+    let rung =
+      Float.min 0.4 (0.05 *. Float.pow 2. (float_of_int (attempt - 1)))
+    in
+    for salt = 0 to 15 do
+      let d = Retry.delay p ~attempt ~salt in
+      Alcotest.(check (float 0.))
+        "deterministic in (salt, attempt)" d
+        (Retry.delay p ~attempt ~salt);
+      Alcotest.(check bool) "at least the rung" true (d >= rung);
+      Alcotest.(check bool) "at most rung * (1 + jitter)" true
+        (d <= rung *. 1.5);
+      if salt > 0 && d <> Retry.delay p ~attempt ~salt:0 then distinct := true
+    done
+  done;
+  Alcotest.(check bool) "jitter desynchronizes salts" true !distinct;
+  (* jitter 0 collapses to the bare exponential rung, capped. *)
+  let bare = Retry.policy ~base_delay:0.05 ~max_delay:0.4 ~jitter:0. () in
+  Alcotest.(check (float 1e-12)) "first rung" 0.05
+    (Retry.delay bare ~attempt:1 ~salt:3);
+  Alcotest.(check (float 1e-12)) "doubling" 0.1
+    (Retry.delay bare ~attempt:2 ~salt:3);
+  Alcotest.(check (float 1e-12)) "capped" 0.4
+    (Retry.delay bare ~attempt:8 ~salt:3)
+
+let test_retry_classify_defaults () =
+  let t e = Retry.default_classify e = Retry.Transient in
+  Alcotest.(check bool) "injected fault transient" true
+    (t (Chaos.Injected_fault "x"));
+  Alcotest.(check bool) "deadline transient" true (t Retry.Deadline_exceeded);
+  Alcotest.(check bool) "flaky I/O transient" true (t (Sys_error "eio"));
+  Alcotest.(check bool) "unix error transient" true
+    (t (Unix.Unix_error (Unix.EIO, "read", "")));
+  Alcotest.(check bool) "Failure fatal" false (t (Failure "deterministic"));
+  Alcotest.(check bool) "Invalid_argument fatal" false
+    (t (Invalid_argument "bad"))
+
+let test_retry_deadline_expires () =
+  let d = Retry.start ~timeout:0.005 in
+  Alcotest.(check bool) "fresh deadline unexpired" false (Retry.expired d);
+  Retry.check d;
+  Retry.sleep 0.02;
+  Alcotest.(check bool) "expired after its timeout" true (Retry.expired d);
+  match Retry.check d with
+  | () -> Alcotest.fail "check passed an expired deadline"
+  | exception Retry.Deadline_exceeded -> ()
+
+(* ------------------------------------------------------------------ *)
 (* STPN quasi-static mirror *)
 
 let test_stpn_quasi_static_faults () =
@@ -334,6 +447,25 @@ let () =
             test_supervisor_all_rungs_fail;
           Alcotest.test_case "agrees with direct solve" `Quick
             test_supervisor_agrees_with_direct_solve;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "plan validation" `Quick test_chaos_plan_validation;
+          Alcotest.test_case "affected set deterministic" `Quick
+            test_chaos_affected_deterministic;
+          Alcotest.test_case "inject recovers past fail_attempts" `Quick
+            test_chaos_inject_recovers;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "policy validation" `Quick
+            test_retry_policy_validation;
+          Alcotest.test_case "delay deterministic and bounded" `Quick
+            test_retry_delay_deterministic_and_bounded;
+          Alcotest.test_case "default classification" `Quick
+            test_retry_classify_defaults;
+          Alcotest.test_case "deadline expires" `Quick
+            test_retry_deadline_expires;
         ] );
       ( "faults",
         [

@@ -196,6 +196,44 @@ let test_endpoints () =
     Exporter.stop t;
     Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path)
 
+let test_health_probe () =
+  (* /healthz consults the health probe on every scrape: ok while the
+     probe reports nothing, 503 with the reason once it does (the CLI
+     wires the cache's corruption counter in here), and a raising probe
+     reads as degraded rather than wedging the endpoint. *)
+  let state = ref None in
+  let health () =
+    match !state with Some "raise" -> failwith "probe blew up" | s -> s
+  in
+  let path = socket_path () in
+  match
+    Exporter.start ~health ~snapshot:(fun () -> []) (Exporter.Unix_path path)
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok t ->
+    Fun.protect
+      ~finally:(fun () -> Exporter.stop t)
+      (fun () ->
+        let h = scrape path "/healthz" in
+        Alcotest.(check string) "healthy status" "HTTP/1.0 200 OK"
+          (status_of h);
+        Alcotest.(check string) "healthy body" "ok\n" (body_of h);
+        state := Some "2 corrupt cache entries quarantined";
+        let d = scrape path "/healthz" in
+        Alcotest.(check string) "degraded status"
+          "HTTP/1.0 503 Service Unavailable" (status_of d);
+        Alcotest.(check string) "degraded body carries the reason"
+          "degraded: 2 corrupt cache entries quarantined\n" (body_of d);
+        state := Some "raise";
+        let r = scrape path "/healthz" in
+        Alcotest.(check string) "raising probe reads degraded"
+          "HTTP/1.0 503 Service Unavailable" (status_of r);
+        check_contains "names the exception" "probe blew up" (body_of r);
+        (* recovery is symmetric: the probe clearing restores ok *)
+        state := None;
+        Alcotest.(check string) "recovers" "ok\n"
+          (body_of (scrape path "/healthz")))
+
 (* Scraper body, top-level so the Domain.spawn closures below stay bare
    applications: returns (parse_failures, readings-in-order). *)
 let scraper_worker path k =
@@ -271,6 +309,7 @@ let () =
       ( "exporter",
         [
           Alcotest.test_case "endpoints" `Quick test_endpoints;
+          Alcotest.test_case "health probe" `Quick test_health_probe;
           Alcotest.test_case "scrapes under load" `Quick
             test_scrapes_under_load;
         ] );

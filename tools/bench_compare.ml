@@ -1,24 +1,48 @@
 (* Gate a BENCH_*.json document against a committed baseline.
 
-     bench_compare [--max-rel R] BASELINE CURRENT
+     bench_compare [--max-rel R] [--floor NAME=MIN]... [--warn-floors]
+                   BASELINE CURRENT
 
-   Exit 0 when every baseline metric is present in CURRENT and within R
-   (relative, default 0.5) of its baseline value; 1 on any drift beyond
-   the threshold or a missing metric; 2 on usage, I/O or parse errors.
-   Metrics only present in CURRENT are reported but never fail the gate,
-   so suites can grow without immediately breaking CI. *)
+   Exit 0 when every baseline metric is present in CURRENT, within R
+   (relative, default 0.5) of its baseline value, and every --floor holds;
+   1 on any drift beyond the threshold, a missing metric, or a broken
+   floor; 2 on usage, I/O or parse errors.  Metrics only present in
+   CURRENT are reported but never fail the gate, so suites can grow
+   without immediately breaking CI.
+
+   Floors are one-sided gates for metrics where only one direction is a
+   regression — a parallel speedup drifting UP is good news the symmetric
+   drift check cannot express.  `--floor exec/replicate/speedup_j2=1.1`
+   fails (or, under --warn-floors, warns) when the current value of that
+   metric is below 1.1; a floor naming a metric absent from CURRENT is a
+   failure too (a silently vanished speedup metric must not pass). *)
 
 module J = Lattol_bench.Bench_json
 
-let usage = "usage: bench_compare [--max-rel R] BASELINE CURRENT"
+let usage =
+  "usage: bench_compare [--max-rel R] [--floor NAME=MIN]... [--warn-floors] \
+   BASELINE CURRENT"
 
 let fail_usage msg =
   prerr_endline msg;
   prerr_endline usage;
   exit 2
 
+let parse_floor spec =
+  match String.index_opt spec '=' with
+  | Some i when i > 0 && i < String.length spec - 1 -> (
+    let name = String.sub spec 0 i in
+    let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match float_of_string_opt v with
+    | Some min when Float.is_finite min -> (name, min)
+    | Some _ | None -> fail_usage (Printf.sprintf "bad --floor value %S" v))
+  | Some _ | None ->
+    fail_usage (Printf.sprintf "bad --floor %S (expected NAME=MIN)" spec)
+
 let parse_args () =
   let max_rel = ref 0.5 in
+  let floors = ref [] in
+  let warn_floors = ref false in
   let files = ref [] in
   let rec go = function
     | [] -> ()
@@ -29,6 +53,13 @@ let parse_args () =
         go rest
       | Some _ | None -> fail_usage (Printf.sprintf "bad --max-rel %S" v))
     | [ "--max-rel" ] -> fail_usage "--max-rel needs a value"
+    | "--floor" :: spec :: rest ->
+      floors := parse_floor spec :: !floors;
+      go rest
+    | [ "--floor" ] -> fail_usage "--floor needs NAME=MIN"
+    | "--warn-floors" :: rest ->
+      warn_floors := true;
+      go rest
     | arg :: _ when String.length arg > 0 && Char.equal arg.[0] '-' ->
       fail_usage (Printf.sprintf "unknown option %s" arg)
     | file :: rest ->
@@ -37,7 +68,8 @@ let parse_args () =
   in
   go (List.tl (Array.to_list Sys.argv));
   match List.rev !files with
-  | [ base; current ] -> (!max_rel, base, current)
+  | [ base; current ] ->
+    (!max_rel, List.rev !floors, !warn_floors, base, current)
   | _ -> fail_usage "expected exactly two files"
 
 let load file =
@@ -49,8 +81,21 @@ let load file =
 
 let percent rel = 100. *. rel
 
+(* A floor either holds, is broken (value below the minimum), or dangles
+   (the metric is not in CURRENT at all). *)
+type floor_result = Holds | Broken of float | Absent
+
+let check_floor current (name, min) =
+  match
+    List.find_opt
+      (fun (m : J.metric) -> String.equal m.J.name name)
+      current.J.metrics
+  with
+  | None -> (name, min, Absent)
+  | Some m -> (name, min, if m.J.value >= min then Holds else Broken m.J.value)
+
 let () =
-  let max_rel, base_file, current_file = parse_args () in
+  let max_rel, floors, warn_floors, base_file, current_file = parse_args () in
   let base = load base_file in
   let current = load current_file in
   if not (String.equal base.J.suite current.J.suite) then begin
@@ -73,4 +118,21 @@ let () =
     c.J.regressions;
   List.iter (Printf.printf "  MISSING %s (was in the baseline)\n") c.J.missing;
   List.iter (Printf.printf "  new metric %s (not gated)\n") c.J.added;
-  if c.J.regressions <> [] || c.J.missing <> [] then exit 1
+  let floor_results = List.map (check_floor current) floors in
+  let severity = if warn_floors then "WARN" else "FLOOR" in
+  let broken_floors =
+    List.filter
+      (fun (name, min, r) ->
+        match r with
+        | Holds -> false
+        | Broken v ->
+          Printf.printf "  %s %s: %g < %g\n" severity name v min;
+          true
+        | Absent ->
+          Printf.printf "  %s %s: metric absent from %s\n" severity name
+            current_file;
+          true)
+      floor_results
+  in
+  let floors_fail = (not warn_floors) && broken_floors <> [] in
+  if c.J.regressions <> [] || c.J.missing <> [] || floors_fail then exit 1
