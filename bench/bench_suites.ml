@@ -30,6 +30,27 @@ let estimate raw instance =
   | Some (t :: _) -> t
   | Some [] | None -> nan
 
+(* One un-timed run bracketed by [Gc.quick_stat]: absolute word deltas
+   per subject.  Unlike the Bechamel per-run estimate these include major
+   and promoted words, so an allocation diet (ROADMAP item 3) can gate
+   all three directions of heap pressure, not just minor churn. *)
+let gc_deltas ~name f =
+  let s0 = Gc.quick_stat () in
+  f ();
+  let s1 = Gc.quick_stat () in
+  let m field value =
+    {
+      Bench_json.name = Printf.sprintf "solvers/%s/%s" name field;
+      units = "w";
+      value;
+    }
+  in
+  [
+    m "minor_words" (s1.Gc.minor_words -. s0.Gc.minor_words);
+    m "major_words" (s1.Gc.major_words -. s0.Gc.major_words);
+    m "promoted_words" (s1.Gc.promoted_words -. s0.Gc.promoted_words);
+  ]
+
 (* Per-run time and minor allocation for one thunk, as two metrics. *)
 let bench ~quick ~name f =
   let open Bechamel in
@@ -57,6 +78,7 @@ let bench ~quick ~name f =
         };
       ])
     (Test.elements test)
+  @ gc_deltas ~name f
 
 (* ------------------------------------------------------------------ *)
 (* suite: solvers *)

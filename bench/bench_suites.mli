@@ -9,7 +9,11 @@
 val solvers : quick:bool -> unit -> Bench_json.doc
 (** Micro-benchmarks of the four analytical solvers and both simulators:
     [solvers/<name>/time] (ns/run, Bechamel OLS estimate) and
-    [solvers/<name>/minor_alloc] (minor words/run) per subject. *)
+    [solvers/<name>/minor_alloc] (minor words/run) per subject, plus
+    absolute [Gc.quick_stat] word deltas over one un-timed run —
+    [solvers/<name>/minor_words], [.../major_words] and
+    [.../promoted_words] — so allocation drift gates alongside time
+    drift. *)
 
 val exec : quick:bool -> unit -> Bench_json.doc
 (** Execution-layer numbers: replication fan-out wall-clock and speedup

@@ -264,7 +264,7 @@ let serve_socket_arg =
 
 (* Run [k] with the exporter live, shutting it down afterwards.  Exit 124
    on a bind failure — nothing has been computed yet at that point. *)
-let with_exporter ?health ~serve ~serve_socket ~snapshot k =
+let with_exporter ?health ?runtime ~serve ~serve_socket ~snapshot k =
   let endpoint =
     match (serve, serve_socket) with
     | Some _, Some _ ->
@@ -277,7 +277,7 @@ let with_exporter ?health ~serve ~serve_socket ~snapshot k =
   match endpoint with
   | None -> k ()
   | Some endpoint -> (
-    match Serve.Exporter.start ?health ~snapshot endpoint with
+    match Serve.Exporter.start ?health ?runtime ~snapshot endpoint with
     | Error msg ->
       Printf.eprintf "mms: %s\n%!" msg;
       exit 124
@@ -291,6 +291,71 @@ let write_metrics_snapshot snap file =
       if Filename.check_suffix file ".csv" then
         Lattol_obs.Metrics.write_csv_snapshot snap oc
       else Lattol_obs.Metrics.write_json_snapshot snap oc)
+
+(* ------------------------------------------------------------------ *)
+(* runtime profiler (mms prof / --profile-runtime) *)
+
+module Rp = Lattol_obs.Runtime_profile
+
+let profile_runtime_arg =
+  Arg.(
+    value & flag
+    & info [ "profile-runtime" ]
+        ~doc:
+          "Run under the runtime profiler: a sampler domain consumes the \
+           OCaml runtime's tracing rings (GC pauses, allocation counters, \
+           pool task spans) and the per-domain bottleneck-attribution table \
+           is printed to stderr when the run completes.  With \
+           $(b,--serve), live $(b,runtime_*) counters join the scrape and \
+           $(b,/runtime.json) answers.")
+
+let start_runtime_profile enabled = if enabled then Some (Rp.start ()) else None
+
+let runtime_scrape session = Option.map (fun s () -> Rp.live_json s) session
+
+(* While profiling and serving, the live runtime counters join every
+   scrape as runtime_* families. *)
+let register_runtime_pulls progress session =
+  Option.iter
+    (fun s ->
+      List.iter
+        (fun (name, _) ->
+          let kind =
+            if Filename.check_suffix name "_total" then `Counter else `Gauge
+          in
+          Serve.Progress.register_pull progress ~kind name (fun () ->
+              match List.assoc_opt name (Rp.live_counters s) with
+              | Some v -> v
+              | None -> 0.))
+        (Rp.live_counters s))
+    session
+
+(* Stop the session and print the attribution table — to stderr by
+   default so commands whose stdout is golden CSV stay golden. *)
+let finish_runtime_profile ?(ppf = Format.err_formatter) session =
+  Option.map
+    (fun s ->
+      let p = Rp.stop s in
+      Format.fprintf ppf "%a@." Lattol_obs.Attribution.pp_report p.Rp.report;
+      if p.Rp.lost_events > 0 then
+        Format.fprintf ppf
+          "warning: %d runtime events were overwritten before the sampler \
+           read them — the attribution above undercounts@."
+          p.Rp.lost_events;
+      p)
+    session
+
+(* Bracket a non-pool workload (a single simulator run) in worker/task
+   marks so its main-domain time reads as compute, not spawn overhead.
+   No-ops when profiling is off. *)
+let profiled_section f =
+  Rp.worker_begin ();
+  Rp.task_begin ();
+  Fun.protect
+    ~finally:(fun () ->
+      Rp.task_end ();
+      Rp.worker_end ())
+    f
 
 (* The exporter polls the solve cache on every scrape. *)
 let register_cache_pulls progress cache =
@@ -686,7 +751,8 @@ let sweep_cmd =
   in
   let run params solver names froms tos stepss jobs cache_dir metrics_out
       trace_out serve serve_socket journal resume retries task_deadline
-      chaos_rate chaos_attempts chaos_delay chaos_seed kill_after =
+      chaos_rate chaos_attempts chaos_delay chaos_seed kill_after
+      profile_runtime =
     let n = List.length names in
     let stepss = stepss @ List.init (max 0 (n - List.length stepss)) (fun _ -> 11) in
     match
@@ -749,6 +815,8 @@ let sweep_cmd =
       let monitor =
         if serving then Some (Serve.Progress.pool_monitor progress) else None
       in
+      let prof = start_runtime_profile profile_runtime in
+      register_runtime_pulls progress prof;
       (match (telemetry, trace_out) with
       | Some tel, Some file ->
         flush_on_exit file (fun () -> write_solver_trace tel file)
@@ -757,8 +825,9 @@ let sweep_cmd =
       | Some reg, Some file ->
         flush_on_exit file (fun () -> write_metrics reg file)
       | _ -> ());
-      with_exporter ~health:(cache_health cache) ~serve ~serve_socket
-        ~snapshot (fun () ->
+      with_exporter ~health:(cache_health cache)
+        ?runtime:(runtime_scrape prof) ~serve ~serve_socket ~snapshot
+        (fun () ->
           Serve.Progress.start progress;
           let rows =
             Exec.Sweep.run ?solver ~cache ~jobs ?trace:telemetry ?monitor
@@ -823,6 +892,7 @@ let sweep_cmd =
             else write_metrics reg file;
             flushed file
           | _ -> ());
+      ignore (finish_runtime_profile prof);
       Option.iter Exec.Journal.close journal;
       `Ok ()
     end
@@ -842,7 +912,7 @@ let sweep_cmd =
        $ journal_arg sweep_journal_doc
        $ resume_arg $ retries_arg $ task_deadline_arg $ chaos_fail_rate_arg
        $ chaos_fail_attempts_arg $ chaos_delay_arg $ chaos_seed_arg
-       $ chaos_kill_after_arg))
+       $ chaos_kill_after_arg $ profile_runtime_arg))
 
 (* ------------------------------------------------------------------ *)
 (* figures *)
@@ -866,7 +936,7 @@ let figures_cmd =
   in
   let run params solver out jobs cache_dir no_cache only metrics_out serve
       serve_socket journal resume retries task_deadline chaos_rate
-      chaos_attempts chaos_delay chaos_seed kill_after =
+      chaos_attempts chaos_delay chaos_seed kill_after profile_runtime =
     (* The journal is always on for figures — the batch is long enough
        that crash-safety should not be opt-in. *)
     let journal_path =
@@ -937,8 +1007,11 @@ let figures_cmd =
           if serving then Some (Serve.Progress.pool_monitor progress)
           else None
         in
-        with_exporter ~health:(cache_health cache) ~serve ~serve_socket
-          ~snapshot (fun () ->
+        let prof = start_runtime_profile profile_runtime in
+        register_runtime_pulls progress prof;
+        with_exporter ~health:(cache_health cache)
+          ?runtime:(runtime_scrape prof) ~serve ~serve_socket ~snapshot
+          (fun () ->
             Serve.Progress.start progress;
             let written =
               Exec.Figures.write ?solver ~cache ~jobs ?monitor ?journal
@@ -956,6 +1029,7 @@ let figures_cmd =
             Option.iter
               (fun file -> write_metrics_snapshot (snapshot ()) file)
               metrics_out);
+        ignore (finish_runtime_profile prof);
         Option.iter Exec.Journal.close journal;
         `Ok ()
     end
@@ -980,7 +1054,7 @@ let figures_cmd =
             batch can $(b,--resume)."
        $ resume_arg $ retries_arg $ task_deadline_arg $ chaos_fail_rate_arg
        $ chaos_fail_attempts_arg $ chaos_delay_arg $ chaos_seed_arg
-       $ chaos_kill_after_arg))
+       $ chaos_kill_after_arg $ profile_runtime_arg))
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)
@@ -1128,7 +1202,7 @@ let simulate_cmd =
   in
   let run params engine horizon warmup seed mtbf mttr degrade target
       replications jobs metrics_out trace_out serve serve_socket journal_path
-      resume =
+      resume profile_runtime =
     let serving = serve <> None || serve_socket <> None in
     match fault_plan mtbf mttr degrade target with
     | Error msg -> `Error (false, msg)
@@ -1172,11 +1246,15 @@ let simulate_cmd =
           if serving then Some (Serve.Progress.pool_monitor progress)
           else None
         in
-        with_exporter ~serve ~serve_socket ~snapshot (fun () ->
+        let prof = start_runtime_profile profile_runtime in
+        register_runtime_pulls progress prof;
+        with_exporter ?runtime:(runtime_scrape prof) ~serve ~serve_socket
+          ~snapshot (fun () ->
             Serve.Progress.start progress;
             run_replicated params engine horizon warmup seed faults
               replications jobs monitor journal;
             Serve.Progress.finish progress);
+        ignore (finish_runtime_profile prof);
         Option.iter Exec.Journal.close journal;
         `Ok ()
       end
@@ -1185,6 +1263,7 @@ let simulate_cmd =
         if Lattol_robust.Fault_plan.active faults then
           Format.printf "fault plan: %a@." Lattol_robust.Fault_plan.pp faults;
         Format.printf "@.";
+        let prof = start_runtime_profile profile_runtime in
         (match engine with
         | `Des ->
           let trace =
@@ -1232,22 +1311,25 @@ let simulate_cmd =
           | Some reg, Some file ->
             flush_on_exit file (fun () -> write_metrics reg file)
           | _ -> ());
-          with_exporter ~serve ~serve_socket ~snapshot (fun () ->
+          register_runtime_pulls progress prof;
+          with_exporter ?runtime:(runtime_scrape prof) ~serve ~serve_socket
+            ~snapshot (fun () ->
               Serve.Progress.start progress;
               let r =
-                Lattol_sim.Mms_des.run
-                  ~config:
-                    {
-                      Lattol_sim.Mms_des.default_config with
-                      Lattol_sim.Mms_des.horizon;
-                      warmup;
-                      seed;
-                      faults;
-                      trace;
-                      metrics;
-                      on_batch;
-                    }
-                  params
+                profiled_section (fun () ->
+                    Lattol_sim.Mms_des.run
+                      ~config:
+                        {
+                          Lattol_sim.Mms_des.default_config with
+                          Lattol_sim.Mms_des.horizon;
+                          warmup;
+                          seed;
+                          faults;
+                          trace;
+                          metrics;
+                          on_batch;
+                        }
+                      params)
               in
               Format.printf "%a@." Measures.pp r.Lattol_sim.Mms_des.measures;
               let mean, half = r.Lattol_sim.Mms_des.u_p_ci in
@@ -1289,7 +1371,9 @@ let simulate_cmd =
               | _ -> ())
         | `Stpn ->
           let r =
-            Lattol_petri.Mms_stpn.run ~seed ~warmup ~horizon ~faults params
+            profiled_section (fun () ->
+                Lattol_petri.Mms_stpn.run ~seed ~warmup ~horizon ~faults
+                  params)
           in
           Format.printf "%a@." Measures.pp r.Lattol_petri.Mms_stpn.measures;
           if Lattol_robust.Fault_plan.active faults then
@@ -1302,6 +1386,7 @@ let simulate_cmd =
           Format.printf "%a, %d firings@." Lattol_petri.Petri.pp
             r.Lattol_petri.Mms_stpn.layout.Lattol_petri.Mms_stpn.net
             r.Lattol_petri.Mms_stpn.stats.Lattol_petri.Simulation.events);
+        ignore (finish_runtime_profile prof);
         `Ok ()
       end
   in
@@ -1322,7 +1407,7 @@ let simulate_cmd =
             $(b,--replications) > 1): each replication's measures are \
             appended as they land, so a killed run can $(b,--resume) \
             without re-simulating completed replications."
-       $ resume_arg))
+       $ resume_arg $ profile_runtime_arg))
 
 (* ------------------------------------------------------------------ *)
 (* cache maintenance *)
@@ -1576,6 +1661,176 @@ let profile_cmd =
       $ warmup_arg $ seed_arg $ metrics_out_arg $ trace_out_arg span_trace_doc)
 
 (* ------------------------------------------------------------------ *)
+(* prof: run a workload under the runtime profiler *)
+
+let prof_cmd =
+  let workload_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("replicate", `Replicate); ("sweep", `Sweep);
+               ("figures", `Figures);
+             ])
+          `Replicate
+      & info [ "workload" ] ~docv:"W"
+          ~doc:
+            "Workload to profile: $(b,replicate) (parallel simulator \
+             replications — the speedup_j2 regression's shape), \
+             $(b,sweep) (a p_remote solver sweep) or $(b,figures) (the \
+             full figure batch, written to a temporary directory).")
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("des", `Des); ("stpn", `Stpn) ]) `Des
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Simulator for $(b,--workload replicate).")
+  in
+  let replications_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "replications" ] ~docv:"N"
+          ~doc:"Replications for $(b,--workload replicate).")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt float 5_000.
+      & info [ "horizon" ] ~docv:"T"
+          ~doc:"Measured simulation time per replication.")
+  in
+  let warmup_arg =
+    Arg.(
+      value & opt float 500.
+      & info [ "warmup" ] ~docv:"T" ~doc:"Warm-up time per replication.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let steps_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "steps" ] ~docv:"N"
+          ~doc:"Grid points for $(b,--workload sweep).")
+  in
+  let prof_trace_doc =
+    "Write the merged runtime timeline (per-domain GC pauses interleaved \
+     with pool task spans) to $(docv) in Chrome trace-event JSON."
+  in
+  let run () params solver workload engine replications horizon warmup seed
+      steps jobs metrics_out trace_out serve serve_socket =
+    if jobs < 1 then `Error (false, "--jobs must be at least 1")
+    else if replications < 1 then
+      `Error (false, "--replications must be at least 1")
+    else if steps < 2 then `Error (false, "--steps must be at least 2")
+    else begin
+      let progress = Serve.Progress.create ~phase:"prof" () in
+      let session = Rp.start () in
+      let prof_session = Some session in
+      register_runtime_pulls progress prof_session;
+      let snapshot () = Serve.Progress.to_snapshot progress in
+      let monitor = Some (Serve.Progress.pool_monitor progress) in
+      with_exporter
+        ?runtime:(runtime_scrape prof_session)
+        ~serve ~serve_socket ~snapshot
+        (fun () ->
+          Serve.Progress.start progress;
+          (match workload with
+          | `Replicate ->
+            Format.printf "profiling replicate (%s): %d replications, jobs %d@."
+              (match engine with `Des -> "des" | `Stpn -> "stpn")
+              replications jobs;
+            Serve.Progress.set_total progress replications;
+            (match engine with
+            | `Des ->
+              let config =
+                {
+                  Lattol_sim.Mms_des.default_config with
+                  Lattol_sim.Mms_des.horizon;
+                  warmup;
+                  seed;
+                }
+              in
+              ignore
+                (Exec.Replicate.des_measures ~jobs ?monitor ~config
+                   ~replications params)
+            | `Stpn ->
+              ignore
+                (Exec.Replicate.stpn_measures ~jobs ?monitor ~seed ~warmup
+                   ~horizon ~replications params))
+          | `Sweep ->
+            Format.printf "profiling sweep (p_remote x %d): jobs %d@." steps
+              jobs;
+            Serve.Progress.set_total progress steps;
+            let axes =
+              [
+                {
+                  Exec.Sweep.param = Exec.Sweep.P_remote;
+                  values = Exec.Sweep.linspace ~lo:0. ~hi:0.9 ~steps;
+                };
+              ]
+            in
+            let cache = Exec.Cache.create () in
+            ignore
+              (Exec.Sweep.run ?solver ~cache ~jobs ?monitor ~base:params axes)
+          | `Figures ->
+            Format.printf "profiling figures: jobs %d@." jobs;
+            let out = Filename.temp_dir "mms_prof" "figures" in
+            let figures = Exec.Figures.all ~base:params () in
+            Serve.Progress.set_total progress
+              (List.fold_left
+                 (fun acc f ->
+                   acc + List.length (Exec.Sweep.points f.Exec.Figures.axes))
+                 0 figures);
+            let cache = Exec.Cache.create () in
+            ignore
+              (Exec.Figures.write ?solver ~cache ~jobs ?monitor ~dir:out
+                 figures));
+          Serve.Progress.finish progress);
+      match finish_runtime_profile ~ppf:Format.std_formatter prof_session with
+      | None -> `Ok ()
+      | Some p ->
+        (match trace_out with
+        | Some file ->
+          let ev = Rp.to_events p in
+          write_span_trace ev file;
+          Format.printf "trace: %d spans -> %s%s@." (Lattol_obs.Events.count ev)
+            file
+            (if p.Rp.dropped_spans = 0 then ""
+             else Printf.sprintf " (%d dropped)" p.Rp.dropped_spans)
+        | None -> ());
+        (match metrics_out with
+        | Some file ->
+          let reg = Lattol_obs.Metrics.create () in
+          Rp.register_metrics p reg;
+          write_metrics reg file;
+          Format.printf "metrics: %d series -> %s@."
+            (Lattol_obs.Metrics.size reg) file
+        | None -> ());
+        `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "prof"
+       ~doc:
+         "Run a workload under the runtime profiler and print the \
+          per-domain bottleneck-attribution table (compute / GC / \
+          queue-idle / spawn) with a verdict naming the dominant scaling \
+          limiter")
+    Term.(
+      ret
+        (const run $ verbose_term $ params_term $ solver_term $ workload_arg
+       $ engine_arg $ replications_arg $ horizon_arg $ warmup_arg $ seed_arg
+       $ steps_arg
+       $ jobs_arg
+           "Worker domains for the profiled workload.  Compare $(b,--jobs \
+            1) against $(b,--jobs 2) to see where the parallel speedup \
+            goes."
+       $ metrics_out_arg $ trace_out_arg prof_trace_doc $ serve_arg
+       $ serve_socket_arg))
+
+(* ------------------------------------------------------------------ *)
 (* partition *)
 
 let partition_cmd =
@@ -1683,8 +1938,8 @@ let main_cmd =
     (Cmd.info "mms_cli" ~version:"1.0.0" ~doc)
     [
       solve_cmd; tolerance_cmd; bottleneck_cmd; sweep_cmd; figures_cmd;
-      simulate_cmd; bench_cmd; profile_cmd; partition_cmd; sensitivity_cmd;
-      report_cmd; kernels_cmd; cache_cmd; chaos_cmd;
+      simulate_cmd; bench_cmd; profile_cmd; prof_cmd; partition_cmd;
+      sensitivity_cmd; report_cmd; kernels_cmd; cache_cmd; chaos_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -24,7 +24,15 @@ type monitor = {
   on_worker : worker:int -> busy:bool -> unit;
   on_claim : remaining:int -> unit;
   on_item : unit -> unit;
+  on_task : worker:int -> busy:bool -> unit;
 }
+
+(* Runtime-events instrumentation: every worker writes task/worker span
+   marks and queue depth into its own domain's ring buffer.  These are
+   no-ops unless a profiling session (Lattol_obs.Runtime_profile) has
+   started ring collection, so the pool stays clock-free and
+   byte-identical when not being profiled. *)
+module Rp = Lattol_obs.Runtime_profile
 
 type ctx = { attempt : int; should_stop : unit -> bool }
 
@@ -74,23 +82,41 @@ let map_ctx ?(chunk = 0) ?monitor ?retry ?deadline ?on_poison ~jobs f items =
   if jobs < 1 then invalid_arg "Pool.map: jobs must be at least 1";
   let failure = Atomic.make None in
   let run i x = run_one ?retry ?deadline ?on_poison ~failure f i x in
+  let run_traced w m i x =
+    (match m with Some m -> m.on_task ~worker:w ~busy:true | None -> ());
+    Rp.task_begin ();
+    let fin () =
+      Rp.task_end ();
+      match m with Some m -> m.on_task ~worker:w ~busy:false | None -> ()
+    in
+    match run i x with
+    | y ->
+      fin ();
+      y
+    | exception e ->
+      fin ();
+      raise e
+  in
   if n <= 1 || jobs = 1 then begin
-    match monitor with
-    | None -> Array.mapi run items
-    | Some m ->
-      m.on_start ~jobs:1 ~items:n;
-      m.on_worker ~worker:0 ~busy:true;
-      let results =
-        Array.mapi
-          (fun i x ->
-            m.on_claim ~remaining:(n - i - 1);
-            let y = run i x in
-            m.on_item ();
-            y)
-          items
-      in
-      m.on_worker ~worker:0 ~busy:false;
-      results
+    Rp.worker_begin ();
+    Fun.protect ~finally:Rp.worker_end (fun () ->
+        match monitor with
+        | None -> Array.mapi (run_traced 0 None) items
+        | Some m ->
+          m.on_start ~jobs:1 ~items:n;
+          m.on_worker ~worker:0 ~busy:true;
+          let results =
+            Array.mapi
+              (fun i x ->
+                m.on_claim ~remaining:(n - i - 1);
+                Rp.queue_depth (n - i - 1);
+                let y = run_traced 0 monitor i x in
+                m.on_item ();
+                y)
+              items
+          in
+          m.on_worker ~worker:0 ~busy:false;
+          results)
   end
   else begin
     let jobs = min jobs n in
@@ -102,18 +128,21 @@ let map_ctx ?(chunk = 0) ?monitor ?retry ?deadline ?on_poison ~jobs f items =
     let next = Atomic.make 0 in
     (match monitor with Some m -> m.on_start ~jobs ~items:n | None -> ());
     let worker w =
+      Rp.worker_begin ();
       (match monitor with
       | Some m -> m.on_worker ~worker:w ~busy:true
       | None -> ());
       let rec loop () =
         let lo = Atomic.fetch_and_add next chunk in
         if lo < n && Atomic.get failure = None then begin
+          let remaining = max 0 (n - lo - chunk) in
           (match monitor with
-          | Some m -> m.on_claim ~remaining:(max 0 (n - lo - chunk))
+          | Some m -> m.on_claim ~remaining
           | None -> ());
+          Rp.queue_depth remaining;
           (try
              for i = lo to min n (lo + chunk) - 1 do
-               results.(i) <- Some (run i items.(i));
+               results.(i) <- Some (run_traced w monitor i items.(i));
                match monitor with Some m -> m.on_item () | None -> ()
              done
            with e ->
@@ -123,9 +152,10 @@ let map_ctx ?(chunk = 0) ?monitor ?retry ?deadline ?on_poison ~jobs f items =
         end
       in
       loop ();
-      match monitor with
+      (match monitor with
       | Some m -> m.on_worker ~worker:w ~busy:false
-      | None -> ()
+      | None -> ());
+      Rp.worker_end ()
     in
     let domains =
       List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))

@@ -34,6 +34,11 @@ type monitor = {
   on_claim : remaining:int -> unit;
       (** a chunk was claimed; [remaining] items are still unclaimed *)
   on_item : unit -> unit;  (** one item finished *)
+  on_task : worker:int -> busy:bool -> unit;
+      (** worker [worker] starts ([true]) / finishes ([false]) executing
+          one task — the busy edge inside the loop, from which per-worker
+          busy/idle time accumulates (idle = in the loop, not in a task:
+          queue starvation) *)
 }
 (** Observation hooks for live progress reporting.  Callbacks fire
     concurrently from every pool domain: they must be domain-safe, cheap,

@@ -10,6 +10,7 @@ type t = {
   prefix : string;
   snapshot : unit -> Metrics.snapshot;
   health : unit -> string option;
+  runtime : (unit -> string) option;
   stopping : bool Atomic.t;
   scrape_count : int Atomic.t;
   mutable domain : unit Domain.t option;
@@ -79,6 +80,18 @@ let route t path =
   | "/metrics.json" ->
     response ~status:"200 OK" ~content_type:"application/json"
       (Metrics.json_of_snapshot (t.snapshot ()))
+  | "/runtime.json" -> (
+    match t.runtime with
+    | None ->
+      response ~status:"404 Not Found"
+        ~content_type:"application/json" "{\"profiling\":false}"
+    | Some f -> (
+      match f () with
+      | body -> response ~status:"200 OK" ~content_type:"application/json" body
+      | exception e ->
+        response ~status:"500 Internal Server Error"
+          ~content_type:"text/plain; charset=utf-8"
+          ("runtime probe raised " ^ Printexc.to_string e ^ "\n")))
   | "/healthz" -> (
     (* The health probe must answer even if the callback misbehaves: a
        raising probe reads as degraded, never as a wedged endpoint. *)
@@ -178,7 +191,8 @@ let bind_endpoint = function
         (Printf.sprintf "cannot bind socket %s: %s" path
            (Unix.error_message e)))
 
-let start ?(prefix = "lattol_") ?(health = fun () -> None) ~snapshot endpoint =
+let start ?(prefix = "lattol_") ?(health = fun () -> None) ?runtime ~snapshot
+    endpoint =
   match bind_endpoint endpoint with
   | Error _ as e -> e
   | Ok (fd, address, port, unlink) ->
@@ -194,6 +208,7 @@ let start ?(prefix = "lattol_") ?(health = fun () -> None) ~snapshot endpoint =
         prefix;
         snapshot;
         health;
+        runtime;
         stopping = Atomic.make false;
         scrape_count = Atomic.make 0;
         domain = None;

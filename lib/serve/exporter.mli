@@ -10,7 +10,11 @@
       [--metrics-out], so a final scrape equals the written file;
     - [GET /healthz]: ["ok\n"] (200) while the health callback reports
       nothing, ["degraded: <reason>\n"] (503) once it does — e.g. after
-      the solve cache has quarantined corrupt entries.
+      the solve cache has quarantined corrupt entries;
+    - [GET /runtime.json]: the live runtime-profiler counters when a
+      [runtime] callback was supplied (typically
+      [Lattol_obs.Runtime_profile.live_json]), or
+      [{"profiling":false}] (404) when profiling is off.
 
     Every request re-samples the snapshot callback, so scrapes observe the
     live run.  Connections are serial (scrape traffic, not serving
@@ -27,6 +31,7 @@ type t
 val start :
   ?prefix:string ->
   ?health:(unit -> string option) ->
+  ?runtime:(unit -> string) ->
   snapshot:(unit -> Lattol_obs.Metrics.snapshot) ->
   endpoint ->
   (t, string) result

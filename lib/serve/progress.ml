@@ -3,6 +3,18 @@ module Pool = Lattol_exec.Pool
 
 type kind = [ `Counter | `Gauge ]
 
+(* Per-worker busy/idle clock, advanced on every task edge the pool
+   reports.  [edge] is the stamp of the last transition; between a
+   worker-loop entry and the first task the elapsed time is idle, inside
+   a task it is busy. *)
+type worker_acct = {
+  mutable live : bool; (* inside the worker loop *)
+  mutable in_task : bool;
+  mutable edge : float;
+  mutable busy_s : float;
+  mutable idle_s : float;
+}
+
 type t = {
   phase_name : string;
   total_ : int Atomic.t;
@@ -16,6 +28,7 @@ type t = {
   (* both in first-registration order, so snapshots are stable *)
   mutable gauges : (string * float) list;
   mutable pulls : (string * kind * (unit -> float)) list;
+  accts : (int, worker_acct) Hashtbl.t; (* under [lock] *)
 }
 
 let create ?(phase = "run") () =
@@ -31,6 +44,7 @@ let create ?(phase = "run") () =
     lock = Mutex.create ();
     gauges = [];
     pulls = [];
+    accts = Hashtbl.create 8;
   }
 
 let phase t = t.phase_name
@@ -52,12 +66,62 @@ let busy_workers t = Atomic.get t.busy
 
 let set_queue_depth t n = Atomic.set t.queue_depth n
 
+let acct t w =
+  match Hashtbl.find_opt t.accts w with
+  | Some a -> a
+  | None ->
+    let a =
+      { live = false; in_task = false; edge = nan; busy_s = 0.; idle_s = 0. }
+    in
+    Hashtbl.replace t.accts w a;
+    a
+
+let worker_loop_edge t w busy =
+  let now = Unix.gettimeofday () in
+  Mutex.protect t.lock (fun () ->
+      let a = acct t w in
+      if busy then begin
+        a.live <- true;
+        a.edge <- now
+      end
+      else begin
+        if a.live && (not a.in_task) && not (Float.is_nan a.edge) then
+          a.idle_s <- a.idle_s +. Float.max 0. (now -. a.edge);
+        a.live <- false
+      end)
+
+let task_edge t w busy =
+  let now = Unix.gettimeofday () in
+  Mutex.protect t.lock (fun () ->
+      let a = acct t w in
+      if busy then begin
+        if a.live && not (Float.is_nan a.edge) then
+          a.idle_s <- a.idle_s +. Float.max 0. (now -. a.edge);
+        a.in_task <- true;
+        a.edge <- now
+      end
+      else begin
+        if a.in_task && not (Float.is_nan a.edge) then
+          a.busy_s <- a.busy_s +. Float.max 0. (now -. a.edge);
+        a.in_task <- false;
+        a.edge <- now
+      end)
+
+let worker_times t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold (fun w a acc -> (w, a.busy_s, a.idle_s) :: acc) t.accts []
+      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b))
+
 let pool_monitor t =
   {
     Pool.on_start = (fun ~jobs ~items:_ -> set_workers t jobs);
-    on_worker = (fun ~worker:_ ~busy -> worker_busy t busy);
+    on_worker =
+      (fun ~worker ~busy ->
+        worker_busy t busy;
+        worker_loop_edge t worker busy);
     on_claim = (fun ~remaining -> set_queue_depth t remaining);
     on_item = (fun () -> step t);
+    on_task = (fun ~worker ~busy -> task_edge t worker busy);
   }
 
 let set_gauge t name v =
@@ -117,6 +181,31 @@ let to_snapshot t =
         (Metrics.Gauge_v (float_of_int (Atomic.get t.busy)));
       series "pool_queue_depth" "work items not yet claimed by any domain"
         (Metrics.Gauge_v (float_of_int (Atomic.get t.queue_depth)));
+    ]
+  in
+  let ns s = int_of_float (s *. 1e9) in
+  let worker_series =
+    List.concat_map
+      (fun (w, busy_s, idle_s) ->
+        let labels = [ ("worker", string_of_int w) ] in
+        [
+          {
+            Metrics.s_name = "pool_worker_busy_ns";
+            s_labels = labels;
+            s_help = "cumulative time this worker spent executing tasks";
+            s_value = Metrics.Counter_v (ns busy_s);
+          };
+          {
+            Metrics.s_name = "pool_worker_idle_ns";
+            s_labels = labels;
+            s_help = "cumulative time this worker waited for work";
+            s_value = Metrics.Counter_v (ns idle_s);
+          };
+        ])
+      (worker_times t)
+  in
+  let tail_series =
+    [
       series "elapsed_seconds" "wall-clock time since the run started"
         (Metrics.Gauge_v (elapsed t));
       series "eta_seconds"
@@ -136,4 +225,4 @@ let to_snapshot t =
         | `Gauge -> series name "" (Metrics.Gauge_v v))
       pulls
   in
-  phase_series @ gauge_series @ pull_series
+  phase_series @ worker_series @ tail_series @ gauge_series @ pull_series

@@ -14,6 +14,9 @@
 
     - [<phase>_points_done] (counter), [<phase>_points_total] (gauge)
     - [pool_workers], [pool_busy_domains], [pool_queue_depth] (gauges)
+    - [pool_worker_busy_ns{worker=..}], [pool_worker_idle_ns{worker=..}]
+      (counters; cumulative per-worker task/starvation time, advanced on
+      the pool's task edges)
     - [elapsed_seconds], [eta_seconds] (gauges; ETA is linear
       extrapolation from the done/total ratio, [nan] until known)
     - one gauge or counter per {!set_gauge} / {!register_pull} series. *)
@@ -42,6 +45,12 @@ val worker_busy : t -> bool -> unit
 
 val busy_workers : t -> int
 val set_queue_depth : t -> int -> unit
+
+val worker_times : t -> (int * float * float) list
+(** [(worker, busy_seconds, idle_seconds)] per worker seen so far, sorted
+    by worker id.  Busy is time inside tasks, idle is time inside the
+    worker loop waiting between tasks; both advance on task edges, so a
+    task in flight contributes only once it ends. *)
 
 val pool_monitor : t -> Lattol_exec.Pool.monitor
 (** The {!Lattol_exec.Pool} hook bundle that keeps this heartbeat

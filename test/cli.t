@@ -280,7 +280,7 @@ The bench command writes schema-versioned perf-trajectory documents; the
 numbers are machine-local, so only the envelope is locked here:
 
   $ ../bin/mms_cli.exe bench --quick --suite solvers
-  wrote ./BENCH_solvers.json (12 metrics)
+  wrote ./BENCH_solvers.json (30 metrics)
   $ head -4 BENCH_solvers.json
   {
     "schema": "lattol-bench/1",
@@ -291,13 +291,13 @@ bench_compare gates a run against a baseline: a document is always
 within tolerance of itself,
 
   $ ../tools/bench_compare.exe BENCH_solvers.json BENCH_solvers.json
-  suite solvers: 12 metrics within 50%, 0 beyond, 0 missing, 0 added
+  suite solvers: 30 metrics within 50%, 0 beyond, 0 missing, 0 added
 
 a vanished metric fails the gate while an added one is only reported,
 
   $ sed 's,solvers/exact_2x2/time,solvers/exact_2x2/time_x,' BENCH_solvers.json > perturbed.json
   $ ../tools/bench_compare.exe BENCH_solvers.json perturbed.json
-  suite solvers: 11 metrics within 50%, 0 beyond, 1 missing, 1 added
+  suite solvers: 29 metrics within 50%, 0 beyond, 1 missing, 1 added
     MISSING solvers/exact_2x2/time (was in the baseline)
     new metric solvers/exact_2x2/time_x (not gated)
   [1]
@@ -358,3 +358,77 @@ and malformed floor specs are usage errors:
   bad --floor "demo/speedup_j2" (expected NAME=MIN)
   $ ../tools/bench_compare.exe --floor demo/speedup_j2=fast floor_base.json floor_base.json 2>&1 | head -1
   bad --floor value "fast"
+
+Ceilings are the mirror gate for metrics where drifting UP is the
+regression — allocation counts.  The solvers suite now carries
+per-subject minor/major/promoted word deltas, and CI fences the
+simulators' allocation warn-only until the ROADMAP item 3 diet lands:
+
+  $ ../tools/bench_compare.exe --ceiling demo/hit_rate=1.0 floor_base.json floor_base.json
+  suite demo: 2 metrics within 50%, 0 beyond, 0 missing, 0 added
+  $ ../tools/bench_compare.exe --ceiling demo/speedup_j2=1.5 floor_base.json floor_base.json
+  suite demo: 2 metrics within 50%, 0 beyond, 0 missing, 0 added
+    CEILING demo/speedup_j2: 1.8 > 1.5
+  [1]
+  $ ../tools/bench_compare.exe --warn-ceilings --ceiling demo/speedup_j2=1.5 floor_base.json floor_base.json
+  suite demo: 2 metrics within 50%, 0 beyond, 0 missing, 0 added
+    WARN demo/speedup_j2: 1.8 > 1.5
+  $ ../tools/bench_compare.exe --ceiling demo/gone=1 floor_base.json floor_base.json
+  suite demo: 2 metrics within 50%, 0 beyond, 0 missing, 0 added
+    CEILING demo/gone: metric absent from floor_base.json
+  [1]
+  $ ../tools/bench_compare.exe --ceiling demo/speedup_j2=fast floor_base.json floor_base.json 2>&1 | head -1
+  bad --ceiling value "fast"
+
+The runtime profiler: `mms prof` runs a workload under a Runtime_events
+consumer on a sampler domain and prints a bottleneck-attribution table —
+per-domain wall time split into compute / GC / queue-idle / spawn with a
+verdict naming the dominant scaling limiter.  The numbers are
+machine-local, so the cram locks the output shape and the partition
+invariant (the four buckets must cover each domain's wall time):
+
+  $ ../bin/mms_cli.exe prof --jobs 2 --replications 4 --horizon 1500 --trace-out prof_trace.json --metrics-out prof_metrics.json > prof.out; echo "exit: $?"
+  exit: 0
+  $ grep -c '^profiling replicate (des): 4 replications, jobs 2$' prof.out
+  1
+  $ grep -Ec '^runtime profile: [0-9]+ domains? over [0-9.]+ms$' prof.out
+  1
+  $ grep -E '^domain [0-9]+: wall' prof.out | awk '{s=$6+$8+$10+$12; print (s>99 && s<101) ? "partition covers the wall" : "broken: "$0}' | sort -u
+  partition covers the wall
+  $ grep -Ec '^executor tolerance: [01]\.[0-9]{3} \(compute fraction of total domain time\)$' prof.out
+  1
+  $ grep -Ec '^verdict: (gc-bound|queue-starved|spawn-bound|compute-bound) ' prof.out
+  1
+  $ grep -Ec '^trace: [0-9]+ spans -> prof_trace.json$' prof.out
+  1
+  $ grep -Ec '^metrics: [0-9]+ series -> prof_metrics.json$' prof.out
+  1
+
+The merged Chrome trace interleaves the runtime's GC spans with the
+pool's task and worker spans on per-domain tracks of one synthetic
+"ocaml-runtime" process, and the metrics document carries the runtime_*
+families the exporter also serves:
+
+  $ grep -c '"ocaml-runtime"' prof_trace.json
+  1
+  $ for c in gc task worker; do grep -q "\"cat\":\"$c\"" prof_trace.json && echo "$c spans present"; done
+  gc spans present
+  task spans present
+  worker spans present
+  $ for f in runtime_domain_wall_ns runtime_domain_gc_fraction runtime_gc_pause_ms runtime_minor_allocated_words_total runtime_tolerance runtime_verdict; do grep -q $f prof_metrics.json && echo "$f present"; done
+  runtime_domain_wall_ns present
+  runtime_domain_gc_fraction present
+  runtime_gc_pause_ms present
+  runtime_minor_allocated_words_total present
+  runtime_tolerance present
+  runtime_verdict present
+
+--profile-runtime piggybacks the same profiler onto a regular command;
+the attribution table lands on stderr so golden stdout (the CSV) stays
+byte-identical to an unprofiled run:
+
+  $ ../bin/mms_cli.exe sweep --param n_t --from 1 --to 3 --steps 3 -k 2 --jobs 2 --profile-runtime > profiled.csv 2> profiled.err
+  $ ../bin/mms_cli.exe sweep --param n_t --from 1 --to 3 --steps 3 -k 2 --jobs 2 > plain.csv
+  $ diff profiled.csv plain.csv
+  $ grep -Ec '^verdict: (gc-bound|queue-starved|spawn-bound|compute-bound) ' profiled.err
+  1

@@ -1,0 +1,11 @@
+(* Fixture: the same sampler pattern outside the scoped path must still
+   fire — det-wallclock on the clock read and dom-unsync-mutation on the
+   unprotected Hashtbl fold inside the sampler domain.  Profiling lives
+   in lib/obs; a copy drifting into lib/exec loses both exemptions. *)
+let pauses : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let sample () =
+  let t0 = Unix.gettimeofday () in
+  let sampler = Domain.spawn (fun () -> Hashtbl.replace pauses 0 1) in
+  Domain.join sampler;
+  t0

@@ -1,0 +1,16 @@
+(* Fixture: the runtime-profiler sampler pattern must be admitted in
+   lib/obs — a clock read (det-wallclock scope exemption) and a sampler
+   domain folding events into shared state under Mutex.protect
+   (dom-unsync-mutation exemption). *)
+let pauses : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let mu = Mutex.create ()
+
+let sample () =
+  let t0 = Unix.gettimeofday () in
+  let sampler =
+    Domain.spawn (fun () ->
+        Mutex.protect mu (fun () -> Hashtbl.replace pauses 0 1))
+  in
+  Domain.join sampler;
+  t0

@@ -1,0 +1,1 @@
+val sample : unit -> float

@@ -27,12 +27,17 @@ the sanctioned home of the generator:
   [1]
 
 det-wallclock fires on clock reads anywhere in lib/ outside the layers
-scoped to read real time — the telemetry sinks (lib/obs), the live
-exporter and its progress heartbeat (lib/serve), and the supervisor's
-wall-time budgets (lib/robust):
+scoped to read real time — the telemetry sinks (lib/obs, including the
+runtime profiler's sampler), the live exporter and its progress
+heartbeat (lib/serve), and the supervisor's wall-time budgets
+(lib/robust).  bad_profiler.ml is the profiler's own sampler pattern
+transplanted outside the scoped path — the exemption travels with the
+directory, not with the code shape:
 
   $ ../../bin/lattol_lint.exe --no-config --rules det-wallclock fixtures/lib
   fixtures/lib/core/bad_clock.ml:2:13: [det-wallclock] Unix.gettimeofday reads the wall clock
+      hint: solver results, cache keys and golden CSVs must not depend on time; read clocks only in the layers scoped for it (lib/obs, lib/serve, lib/robust) or in executables
+  fixtures/lib/exec/bad_profiler.ml:8:11: [det-wallclock] Unix.gettimeofday reads the wall clock
       hint: solver results, cache keys and golden CSVs must not depend on time; read clocks only in the layers scoped for it (lib/obs, lib/serve, lib/robust) or in executables
   fixtures/lib/sim/bad_clock.ml:3:15: [det-wallclock] Unix.time reads the wall clock
       hint: solver results, cache keys and golden CSVs must not depend on time; read clocks only in the layers scoped for it (lib/obs, lib/serve, lib/robust) or in executables
@@ -74,9 +79,12 @@ not on integer folds:
   [1]
 
 dom-unsync-mutation fires on bare shared mutation inside Domain.spawn,
-but not under Mutex.protect:
+but not under Mutex.protect — the out-of-scope profiler copy fires here
+too, on its unprotected Hashtbl fold:
 
   $ ../../bin/lattol_lint.exe --no-config --rules dom-unsync-mutation fixtures/lib/exec
+  fixtures/lib/exec/bad_profiler.ml:9:40: [dom-unsync-mutation] Hashtbl.replace mutates shared state inside a Domain.spawn closure
+      hint: wrap the mutation in Mutex.protect, use Atomic, or annotate with [@lattol.allow "dom-unsync-mutation"] naming the lock that is held
   fixtures/lib/exec/bad_spawn.ml:6:39: [dom-unsync-mutation] := mutates shared state inside a Domain.spawn closure
       hint: wrap the mutation in Mutex.protect, use Atomic, or annotate with [@lattol.allow "dom-unsync-mutation"] naming the lock that is held
   [1]
@@ -127,6 +135,8 @@ JSON output carries the same findings machine-readably:
 
 A clean subtree exits 0 with no output — fixtures/lib/robust is in the
 list because clock reads there (retry backoff, deadlines) are exempt
-from det-wallclock by scope, and this run pins that exemption:
+from det-wallclock by scope, and fixtures/lib/obs because the runtime
+profiler's sampler (good_profiler.ml: clock read + Mutex.protect'd fold
+in a spawned domain) is admitted there; this run pins both exemptions:
 
   $ ../../bin/lattol_lint.exe --no-config fixtures/lib/obs fixtures/lib/serve fixtures/lib/robust fixtures/bin

@@ -48,6 +48,68 @@ let test_pool_exception () =
       | exception Failure msg -> Alcotest.(check string) "message" "boom" msg)
     [ 1; 4 ]
 
+
+let test_pool_task_edges () =
+  (* The on_task hook fires one balanced busy/idle edge pair per item,
+     nested inside that worker's on_worker span — the contract the
+     Progress busy/idle accounting and the runtime profiler's queue
+     attribution both build on. *)
+  let n = 64 in
+  let items = Array.init n (fun i -> i) in
+  let mu = Mutex.create () in
+  let begins = ref 0
+  and ends = ref 0
+  and min_remaining = ref max_int
+  and depth = Hashtbl.create 8
+  and bad_nesting = ref 0 in
+  let monitor =
+    {
+      Pool.on_start = (fun ~jobs:_ ~items:_ -> ());
+      on_worker =
+        (fun ~worker ~busy ->
+          Mutex.protect mu (fun () ->
+              if busy then Hashtbl.replace depth worker 0
+              else if Hashtbl.find_opt depth worker <> Some 0 then
+                incr bad_nesting));
+      on_claim =
+        (fun ~remaining ->
+          Mutex.protect mu (fun () ->
+              if remaining < !min_remaining then min_remaining := remaining));
+      on_item = (fun () -> ());
+      on_task =
+        (fun ~worker ~busy ->
+          Mutex.protect mu (fun () ->
+              let d = Option.value ~default:0 (Hashtbl.find_opt depth worker) in
+              if busy then begin
+                incr begins;
+                if d <> 0 then incr bad_nesting;
+                Hashtbl.replace depth worker (d + 1)
+              end
+              else begin
+                incr ends;
+                if d <> 1 then incr bad_nesting;
+                Hashtbl.replace depth worker (d - 1)
+              end));
+    }
+  in
+  List.iter
+    (fun jobs ->
+      begins := 0;
+      ends := 0;
+      min_remaining := max_int;
+      Hashtbl.reset depth;
+      bad_nesting := 0;
+      let out = Pool.map ~jobs ~monitor (fun i -> i * i) items in
+      Alcotest.(check (array int))
+        "results untouched by the hooks"
+        (Array.init n (fun i -> i * i))
+        out;
+      Alcotest.(check int) "one begin per item" n !begins;
+      Alcotest.(check int) "one end per item" n !ends;
+      Alcotest.(check int) "edges properly nested" 0 !bad_nesting;
+      Alcotest.(check int) "queue drained to empty" 0 !min_remaining)
+    [ 1; 4 ]
+
 let test_pool_rejects_bad_jobs () =
   Alcotest.check_raises "jobs=0"
     (Invalid_argument "Pool.map: jobs must be at least 1") (fun () ->
@@ -777,6 +839,8 @@ let () =
           Alcotest.test_case "exception propagates" `Quick test_pool_exception;
           Alcotest.test_case "rejects jobs < 1" `Quick test_pool_rejects_bad_jobs;
           Alcotest.test_case "edge sizes" `Quick test_pool_empty_and_excess_jobs;
+          Alcotest.test_case "task edges via monitor" `Quick
+            test_pool_task_edges;
           Alcotest.test_case "retry recovers transient faults" `Quick
             test_pool_retry_recovers;
           Alcotest.test_case "fatal failures never retried" `Quick

@@ -545,6 +545,198 @@ let test_network_sim_trace () =
   Alcotest.(check bool) "cpu service spans" true (Hashtbl.mem names "cpu");
   Alcotest.(check bool) "delay spans" true (Hashtbl.mem names "think")
 
+
+(* ------------------------------------------------------------------ *)
+(* Attribution: the profiler's bucket fold over synthetic streams *)
+
+let ev ring at_ns kind = { Attribution.ring; at_ns; kind }
+
+let split_sum (s : Attribution.split) =
+  Int64.add s.Attribution.gc_ns
+    (Int64.add s.Attribution.compute_ns
+       (Int64.add s.Attribution.idle_ns s.Attribution.spawn_ns))
+
+let check_ns name expected (actual : int64) =
+  Alcotest.(check int64) name expected actual
+
+let test_attr_partition () =
+  (* One ring, window [0,1000]: worker [100,900], task [200,600], one GC
+     pause inside the task [300,400] and one between tasks [700,750].
+     Every bucket is hand-computable and the four must sum to wall. *)
+  let st = Attribution.create () in
+  Attribution.feed_list st
+    [
+      ev 0 100L Attribution.Worker_begin;
+      ev 0 200L Attribution.Task_begin;
+      ev 0 300L Attribution.Gc_begin;
+      ev 0 400L Attribution.Gc_end;
+      ev 0 600L Attribution.Task_end;
+      ev 0 700L Attribution.Gc_begin;
+      ev 0 750L Attribution.Gc_end;
+      ev 0 900L Attribution.Worker_end;
+    ];
+  let r = Attribution.finish st ~t0:0L ~t1:1000L in
+  match r.Attribution.domains with
+  | [ s ] ->
+    check_ns "wall" 1000L s.Attribution.wall_ns;
+    check_ns "gc" 150L s.Attribution.gc_ns;
+    check_ns "compute (task minus gc-in-task)" 300L s.Attribution.compute_ns;
+    check_ns "idle (worker minus task minus gc-between)" 350L
+      s.Attribution.idle_ns;
+    check_ns "spawn (remainder outside the worker loop)" 200L
+      s.Attribution.spawn_ns;
+    check_ns "partition is exact" s.Attribution.wall_ns (split_sum s);
+    Alcotest.(check int) "tasks" 1 s.Attribution.tasks;
+    Alcotest.(check int) "pauses" 2 s.Attribution.gc_pauses;
+    check_ns "max pause" 100L s.Attribution.max_gc_pause_ns
+  | ds -> Alcotest.failf "expected 1 domain, got %d" (List.length ds)
+
+let test_attr_open_spans () =
+  (* A stream cut mid-everything: worker, task and GC all still open at
+     the window end must be closed at t1, leaking no time. *)
+  let st = Attribution.create () in
+  Attribution.feed_list st
+    [
+      ev 0 100L Attribution.Worker_begin;
+      ev 0 200L Attribution.Task_begin;
+      ev 0 900L Attribution.Gc_begin;
+    ];
+  let r = Attribution.finish st ~t0:0L ~t1:1000L in
+  match r.Attribution.domains with
+  | [ s ] ->
+    check_ns "gc closed at window end" 100L s.Attribution.gc_ns;
+    check_ns "compute" 700L s.Attribution.compute_ns;
+    check_ns "idle" 100L s.Attribution.idle_ns;
+    check_ns "spawn" 100L s.Attribution.spawn_ns;
+    check_ns "partition survives the cut" s.Attribution.wall_ns (split_sum s);
+    Alcotest.(check int) "open task counted" 1 s.Attribution.tasks;
+    Alcotest.(check int) "open pause counted" 1 s.Attribution.gc_pauses
+  | ds -> Alcotest.failf "expected 1 domain, got %d" (List.length ds)
+
+let test_attr_nested_gc () =
+  (* Nested runtime phases (major slice containing a minor) must count
+     as one outermost pause, never double-count the overlap. *)
+  let st = Attribution.create () in
+  Attribution.feed_list st
+    [
+      ev 0 0L Attribution.Worker_begin;
+      ev 0 100L Attribution.Gc_begin;
+      ev 0 150L Attribution.Gc_begin;
+      ev 0 200L Attribution.Gc_end;
+      ev 0 300L Attribution.Gc_end;
+      ev 0 1000L Attribution.Worker_end;
+    ];
+  let r = Attribution.finish st ~t0:0L ~t1:1000L in
+  match r.Attribution.domains with
+  | [ s ] ->
+    check_ns "nested gc counted once" 200L s.Attribution.gc_ns;
+    Alcotest.(check int) "one outermost pause" 1 s.Attribution.gc_pauses;
+    check_ns "partition" s.Attribution.wall_ns (split_sum s)
+  | ds -> Alcotest.failf "expected 1 domain, got %d" (List.length ds)
+
+let test_attr_sampler_dropped () =
+  (* A ring that only ever GCs (the sampler/exporter domains) is noise:
+     the default report drops it, ~only_instrumented:false keeps it. *)
+  let stream =
+    [
+      ev 0 100L Attribution.Worker_begin;
+      ev 0 900L Attribution.Worker_end;
+      ev 7 200L Attribution.Gc_begin;
+      ev 7 300L Attribution.Gc_end;
+    ]
+  in
+  let st = Attribution.create () in
+  Attribution.feed_list st stream;
+  let r = Attribution.finish st ~t0:0L ~t1:1000L in
+  Alcotest.(check (list int))
+    "sampler ring dropped" [ 0 ]
+    (List.map (fun s -> s.Attribution.ring) r.Attribution.domains);
+  let st = Attribution.create () in
+  Attribution.feed_list st stream;
+  let r =
+    Attribution.finish ~only_instrumented:false st ~t0:0L ~t1:1000L
+  in
+  Alcotest.(check (list int))
+    "kept when asked" [ 0; 7 ]
+    (List.map (fun s -> s.Attribution.ring) r.Attribution.domains)
+
+let test_attr_verdict () =
+  (* GC-dominated stream names GC; a queue-starved one names the queue.
+     Tolerance is the compute share of total domain time. *)
+  let gc_heavy =
+    [
+      ev 0 0L Attribution.Worker_begin;
+      ev 0 0L Attribution.Task_begin;
+      ev 0 100L Attribution.Gc_begin;
+      ev 0 700L Attribution.Gc_end;
+      ev 0 1000L Attribution.Task_end;
+      ev 0 1000L Attribution.Worker_end;
+    ]
+  in
+  let st = Attribution.create () in
+  Attribution.feed_list st gc_heavy;
+  let r = Attribution.finish st ~t0:0L ~t1:1000L in
+  Alcotest.(check string)
+    "gc verdict" "gc-bound"
+    (Attribution.verdict_string r.Attribution.verdict);
+  check_float "tolerance = compute share" 0.4 r.Attribution.tolerance;
+  let starved =
+    [
+      ev 0 0L Attribution.Worker_begin;
+      ev 0 0L Attribution.Task_begin;
+      ev 0 200L Attribution.Task_end;
+      ev 0 1000L Attribution.Worker_end;
+    ]
+  in
+  let st = Attribution.create () in
+  Attribution.feed_list st starved;
+  let r = Attribution.finish st ~t0:0L ~t1:1000L in
+  Alcotest.(check string)
+    "starved verdict" "queue-starved"
+    (Attribution.verdict_string r.Attribution.verdict)
+
+(* Any stream at all — balanced or not, interleaved or not — must keep
+   the partition exact on every ring: gc + compute + idle + spawn =
+   wall.  This is the invariant the percentage table rests on. *)
+let attr_event_gen =
+  let open QCheck.Gen in
+  let kind =
+    oneofl
+      [
+        Attribution.Gc_begin;
+        Attribution.Gc_end;
+        Attribution.Task_begin;
+        Attribution.Task_end;
+        Attribution.Worker_begin;
+        Attribution.Worker_end;
+      ]
+  in
+  list_size (int_range 0 60)
+    (map2
+       (fun ring k -> (ring, k))
+       (int_range 0 2) kind)
+
+let attr_stream_of spec =
+  (* Timestamps strictly increasing so the per-ring ordering contract
+     holds regardless of ring interleaving. *)
+  List.mapi
+    (fun i (ring, kind) ->
+      { Attribution.ring; at_ns = Int64.of_int ((i + 1) * 10); kind })
+    spec
+
+let prop_attr_partition_exact =
+  QCheck.Test.make ~name:"attribution partitions wall exactly" ~count:500
+    (QCheck.make attr_event_gen)
+    (fun spec ->
+      let st = Attribution.create () in
+      Attribution.feed_list st (attr_stream_of spec);
+      let r =
+        Attribution.finish ~only_instrumented:false st ~t0:0L ~t1:2000L
+      in
+      List.for_all
+        (fun s -> Int64.equal (split_sum s) s.Attribution.wall_ns)
+        r.Attribution.domains)
+
 let () =
   Alcotest.run "lattol_obs"
     [
@@ -576,6 +768,17 @@ let () =
             test_solver_trace_escalation;
           Alcotest.test_case "direct api" `Quick test_solver_trace_direct_api;
         ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "exact partition" `Quick test_attr_partition;
+          Alcotest.test_case "open spans closed at window end" `Quick
+            test_attr_open_spans;
+          Alcotest.test_case "nested gc" `Quick test_attr_nested_gc;
+          Alcotest.test_case "sampler ring dropped" `Quick
+            test_attr_sampler_dropped;
+          Alcotest.test_case "verdict and tolerance" `Quick test_attr_verdict;
+        ]
+        @ qcheck [ prop_attr_partition_exact ] );
       ( "latency-profile",
         [
           Alcotest.test_case "summary math" `Quick test_profile_summary_math;

@@ -295,6 +295,81 @@ let test_scrapes_under_load () =
           true (monotone readings))
       results
 
+
+let test_worker_times () =
+  (* Busy/idle accounting advances on the pool's task edges: time
+     between worker-loop entry and the first task is idle, time inside a
+     task is busy, and both surface as per-worker counter series. *)
+  let p = Progress.create ~phase:"acct" () in
+  let m = Progress.pool_monitor p in
+  m.Lattol_exec.Pool.on_worker ~worker:0 ~busy:true;
+  m.Lattol_exec.Pool.on_worker ~worker:1 ~busy:true;
+  Unix.sleepf 0.02;
+  (* worker 0 runs one task; worker 1 never claims anything *)
+  m.Lattol_exec.Pool.on_task ~worker:0 ~busy:true;
+  Unix.sleepf 0.02;
+  m.Lattol_exec.Pool.on_task ~worker:0 ~busy:false;
+  m.Lattol_exec.Pool.on_worker ~worker:0 ~busy:false;
+  m.Lattol_exec.Pool.on_worker ~worker:1 ~busy:false;
+  (match Progress.worker_times p with
+  | [ (0, busy0, idle0); (1, busy1, idle1) ] ->
+    Alcotest.(check bool) "w0 accumulated busy time" true (busy0 > 0.);
+    Alcotest.(check bool) "w0 accumulated pre-task idle" true (idle0 > 0.);
+    Alcotest.(check (float 1e-9)) "w1 never busy" 0. busy1;
+    Alcotest.(check bool) "w1 idled the whole loop" true (idle1 > 0.)
+  | l -> Alcotest.failf "expected workers [0;1], got %d entries"
+           (List.length l));
+  let snap = Progress.to_snapshot p in
+  let labelled name w =
+    List.exists
+      (fun (sr : Metrics.series) ->
+        String.equal sr.Metrics.s_name name
+        && List.mem ("worker", string_of_int w) sr.Metrics.s_labels)
+      snap
+  in
+  Alcotest.(check bool) "busy series for w0" true
+    (labelled "pool_worker_busy_ns" 0);
+  Alcotest.(check bool) "idle series for w1" true
+    (labelled "pool_worker_idle_ns" 1)
+
+let test_runtime_route () =
+  (* /runtime.json: 404 {"profiling":false} without a probe, the live
+     body with one, 500 naming the exception when the probe raises. *)
+  let path = socket_path () in
+  (match Exporter.start ~snapshot:(fun () -> []) (Exporter.Unix_path path) with
+  | Error msg -> Alcotest.fail msg
+  | Ok t ->
+    Fun.protect
+      ~finally:(fun () -> Exporter.stop t)
+      (fun () ->
+        let r = scrape path "/runtime.json" in
+        Alcotest.(check string) "404 when profiling is off"
+          "HTTP/1.0 404 Not Found" (status_of r);
+        Alcotest.(check string) "body says so" "{\"profiling\":false}"
+          (body_of r)));
+  let state = ref "{\"profiling\":true,\"gc_pauses\":7}" in
+  let runtime () =
+    if String.equal !state "raise" then failwith "probe blew up" else !state
+  in
+  let path = socket_path () in
+  match
+    Exporter.start ~runtime ~snapshot:(fun () -> []) (Exporter.Unix_path path)
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok t ->
+    Fun.protect
+      ~finally:(fun () -> Exporter.stop t)
+      (fun () ->
+        let r = scrape path "/runtime.json" in
+        Alcotest.(check string) "200 with a probe" "HTTP/1.0 200 OK"
+          (status_of r);
+        Alcotest.(check string) "live body" !state (body_of r);
+        state := "raise";
+        let r = scrape path "/runtime.json" in
+        Alcotest.(check string) "raising probe is a 500"
+          "HTTP/1.0 500 Internal Server Error" (status_of r);
+        check_contains "names the exception" "probe blew up" (body_of r))
+
 let () =
   Alcotest.run "lattol_serve"
     [
@@ -305,12 +380,17 @@ let () =
             test_prom_families_grouped;
         ] );
       ( "progress",
-        [ Alcotest.test_case "snapshot" `Quick test_progress_snapshot ] );
+        [
+          Alcotest.test_case "snapshot" `Quick test_progress_snapshot;
+          Alcotest.test_case "worker busy/idle accounting" `Quick
+            test_worker_times;
+        ] );
       ( "exporter",
         [
           Alcotest.test_case "endpoints" `Quick test_endpoints;
           Alcotest.test_case "health probe" `Quick test_health_probe;
           Alcotest.test_case "scrapes under load" `Quick
             test_scrapes_under_load;
+          Alcotest.test_case "runtime route" `Quick test_runtime_route;
         ] );
     ]

@@ -1,48 +1,60 @@
 (* Gate a BENCH_*.json document against a committed baseline.
 
      bench_compare [--max-rel R] [--floor NAME=MIN]... [--warn-floors]
+                   [--ceiling NAME=MAX]... [--warn-ceilings]
                    BASELINE CURRENT
 
    Exit 0 when every baseline metric is present in CURRENT, within R
-   (relative, default 0.5) of its baseline value, and every --floor holds;
-   1 on any drift beyond the threshold, a missing metric, or a broken
-   floor; 2 on usage, I/O or parse errors.  Metrics only present in
-   CURRENT are reported but never fail the gate, so suites can grow
-   without immediately breaking CI.
+   (relative, default 0.5) of its baseline value, and every --floor and
+   --ceiling holds; 1 on any drift beyond the threshold, a missing
+   metric, or a broken floor/ceiling; 2 on usage, I/O or parse errors.
+   Metrics only present in CURRENT are reported but never fail the gate,
+   so suites can grow without immediately breaking CI.
 
-   Floors are one-sided gates for metrics where only one direction is a
-   regression — a parallel speedup drifting UP is good news the symmetric
-   drift check cannot express.  `--floor exec/replicate/speedup_j2=1.1`
+   Floors and ceilings are one-sided gates for metrics where only one
+   direction is a regression — a parallel speedup drifting UP is good
+   news, an allocation count drifting DOWN is, and the symmetric drift
+   check cannot express either.  `--floor exec/replicate/speedup_j2=1.1`
    fails (or, under --warn-floors, warns) when the current value of that
-   metric is below 1.1; a floor naming a metric absent from CURRENT is a
-   failure too (a silently vanished speedup metric must not pass). *)
+   metric is below 1.1; `--ceiling solvers/des_4x4/minor_words=1e7`
+   fails (or, under --warn-ceilings, warns) when it is above 1e7.  A
+   floor or ceiling naming a metric absent from CURRENT is a failure too
+   (a silently vanished speedup metric must not pass). *)
 
 module J = Lattol_bench.Bench_json
 
 let usage =
   "usage: bench_compare [--max-rel R] [--floor NAME=MIN]... [--warn-floors] \
-   BASELINE CURRENT"
+   [--ceiling NAME=MAX]... [--warn-ceilings] BASELINE CURRENT"
 
 let fail_usage msg =
   prerr_endline msg;
   prerr_endline usage;
   exit 2
 
-let parse_floor spec =
+(* Shared by --floor and --ceiling: NAME=BOUND with a finite bound. *)
+let parse_bound ~flag ~shape spec =
   match String.index_opt spec '=' with
   | Some i when i > 0 && i < String.length spec - 1 -> (
     let name = String.sub spec 0 i in
     let v = String.sub spec (i + 1) (String.length spec - i - 1) in
     match float_of_string_opt v with
-    | Some min when Float.is_finite min -> (name, min)
-    | Some _ | None -> fail_usage (Printf.sprintf "bad --floor value %S" v))
+    | Some bound when Float.is_finite bound -> (name, bound)
+    | Some _ | None ->
+      fail_usage (Printf.sprintf "bad %s value %S" flag v))
   | Some _ | None ->
-    fail_usage (Printf.sprintf "bad --floor %S (expected NAME=MIN)" spec)
+    fail_usage (Printf.sprintf "bad %s %S (expected %s)" flag spec shape)
+
+let parse_floor = parse_bound ~flag:"--floor" ~shape:"NAME=MIN"
+
+let parse_ceiling = parse_bound ~flag:"--ceiling" ~shape:"NAME=MAX"
 
 let parse_args () =
   let max_rel = ref 0.5 in
   let floors = ref [] in
   let warn_floors = ref false in
+  let ceilings = ref [] in
+  let warn_ceilings = ref false in
   let files = ref [] in
   let rec go = function
     | [] -> ()
@@ -60,6 +72,13 @@ let parse_args () =
     | "--warn-floors" :: rest ->
       warn_floors := true;
       go rest
+    | "--ceiling" :: spec :: rest ->
+      ceilings := parse_ceiling spec :: !ceilings;
+      go rest
+    | [ "--ceiling" ] -> fail_usage "--ceiling needs NAME=MAX"
+    | "--warn-ceilings" :: rest ->
+      warn_ceilings := true;
+      go rest
     | arg :: _ when String.length arg > 0 && Char.equal arg.[0] '-' ->
       fail_usage (Printf.sprintf "unknown option %s" arg)
     | file :: rest ->
@@ -69,7 +88,13 @@ let parse_args () =
   go (List.tl (Array.to_list Sys.argv));
   match List.rev !files with
   | [ base; current ] ->
-    (!max_rel, List.rev !floors, !warn_floors, base, current)
+    ( !max_rel,
+      List.rev !floors,
+      !warn_floors,
+      List.rev !ceilings,
+      !warn_ceilings,
+      base,
+      current )
   | _ -> fail_usage "expected exactly two files"
 
 let load file =
@@ -81,21 +106,34 @@ let load file =
 
 let percent rel = 100. *. rel
 
-(* A floor either holds, is broken (value below the minimum), or dangles
-   (the metric is not in CURRENT at all). *)
-type floor_result = Holds | Broken of float | Absent
+(* A floor/ceiling either holds, is broken (value past the bound), or
+   dangles (the metric is not in CURRENT at all). *)
+type bound_result = Holds | Broken of float | Absent
 
-let check_floor current (name, min) =
+let check_bound ~ok current (name, bound) =
   match
     List.find_opt
       (fun (m : J.metric) -> String.equal m.J.name name)
       current.J.metrics
   with
-  | None -> (name, min, Absent)
-  | Some m -> (name, min, if m.J.value >= min then Holds else Broken m.J.value)
+  | None -> (name, bound, Absent)
+  | Some m ->
+    (name, bound, if ok m.J.value bound then Holds else Broken m.J.value)
+
+let check_floor current = check_bound ~ok:( >= ) current
+
+let check_ceiling current = check_bound ~ok:( <= ) current
 
 let () =
-  let max_rel, floors, warn_floors, base_file, current_file = parse_args () in
+  let ( max_rel,
+        floors,
+        warn_floors,
+        ceilings,
+        warn_ceilings,
+        base_file,
+        current_file ) =
+    parse_args ()
+  in
   let base = load base_file in
   let current = load current_file in
   if not (String.equal base.J.suite current.J.suite) then begin
@@ -118,21 +156,33 @@ let () =
     c.J.regressions;
   List.iter (Printf.printf "  MISSING %s (was in the baseline)\n") c.J.missing;
   List.iter (Printf.printf "  new metric %s (not gated)\n") c.J.added;
-  let floor_results = List.map (check_floor current) floors in
-  let severity = if warn_floors then "WARN" else "FLOOR" in
-  let broken_floors =
+  let report_bounds ~severity ~rel results =
     List.filter
-      (fun (name, min, r) ->
+      (fun (name, bound, r) ->
         match r with
         | Holds -> false
         | Broken v ->
-          Printf.printf "  %s %s: %g < %g\n" severity name v min;
+          Printf.printf "  %s %s: %g %s %g\n" severity name v rel bound;
           true
         | Absent ->
           Printf.printf "  %s %s: metric absent from %s\n" severity name
             current_file;
           true)
-      floor_results
+      results
+  in
+  let broken_floors =
+    report_bounds
+      ~severity:(if warn_floors then "WARN" else "FLOOR")
+      ~rel:"<"
+      (List.map (check_floor current) floors)
+  in
+  let broken_ceilings =
+    report_bounds
+      ~severity:(if warn_ceilings then "WARN" else "CEILING")
+      ~rel:">"
+      (List.map (check_ceiling current) ceilings)
   in
   let floors_fail = (not warn_floors) && broken_floors <> [] in
-  if c.J.regressions <> [] || c.J.missing <> [] || floors_fail then exit 1
+  let ceilings_fail = (not warn_ceilings) && broken_ceilings <> [] in
+  if c.J.regressions <> [] || c.J.missing <> [] || floors_fail || ceilings_fail
+  then exit 1
