@@ -326,3 +326,28 @@ let compare_docs ~max_rel ~base ~current =
     missing = List.rev missing;
     added;
   }
+
+(* ------------------------------------------------------------------ *)
+(* one-sided bounds (floors and ceilings)
+
+   For metrics where only one direction is a regression — a parallel
+   speedup drifting UP is good news, an allocation count drifting DOWN
+   is — the symmetric drift gate is the wrong shape.  A floor fails when
+   the metric is below the bound, a ceiling when above; both fail when
+   the metric is absent (a silently vanished speedup must not pass).
+   NaN never satisfies a bound: a benchmark that failed to produce an
+   estimate is a broken bound, not a free pass. *)
+
+type bound_result = Holds | Broken of float | Absent
+
+let find_metric doc name =
+  List.find_opt (fun m -> String.equal m.name name) doc.metrics
+
+let check_bound ~ok doc (name, bound) =
+  match find_metric doc name with
+  | None -> (name, bound, Absent)
+  | Some m -> (name, bound, if ok m.value bound then Holds else Broken m.value)
+
+let check_floor doc = check_bound ~ok:( >= ) doc
+
+let check_ceiling doc = check_bound ~ok:( <= ) doc

@@ -47,3 +47,20 @@ val compare_docs : max_rel:float -> base:doc -> current:doc -> comparison
     ({!comparison.missing} entries are regressions too — the caller
     decides the exit code).  Metrics only present in [current] are
     reported as {!comparison.added}, never as failures. *)
+
+type bound_result =
+  | Holds
+  | Broken of float  (** the offending current value *)
+  | Absent           (** the metric is not in the document at all *)
+
+val find_metric : doc -> string -> metric option
+
+val check_floor : doc -> string * float -> string * float * bound_result
+(** [check_floor doc (name, min)] is {!Broken} when [name]'s value is
+    below [min] {e or is NaN} (a benchmark that failed to produce an
+    estimate must not pass a one-sided gate), {!Absent} when the metric
+    is missing, {!Holds} otherwise — a value exactly at the bound
+    holds. *)
+
+val check_ceiling : doc -> string * float -> string * float * bound_result
+(** Mirror image of {!check_floor}: {!Broken} above [max] or on NaN. *)

@@ -16,8 +16,20 @@ val solvers : quick:bool -> unit -> Bench_json.doc
     drift. *)
 
 val exec : quick:bool -> unit -> Bench_json.doc
-(** Execution-layer numbers: replication fan-out wall-clock and speedup
-    at [--jobs 2]/[--jobs 4] ([exec/replicate/*]), the warm-cache hit
-    rate of a repeated sweep (deterministically 1.0 —
-    [exec/cache/warm_hit_rate]) and the memo lookup cost on a resident
-    key ([exec/cache/lookup_time]). *)
+(** Execution-layer numbers, all walls median-of-three:
+
+    - [exec/scaling/cores]: {!Lattol_exec.Pool.available_cores} — the
+      context every other number in the file must be read in;
+    - [exec/replicate/wall_j1] and [exec/replicate/speedup_j{2,4,8}]:
+      CPU-bound replication fan-out.  On an N-core machine the pool caps
+      workers at N, so on a 1-core runner these sit near 1.0 by design
+      (not above it — that is what [exec/pool/*] is for);
+    - [exec/pool/speedup_j{2,4,8}]: pure dispatch scaling over tasks
+      that park (sleep) rather than compute, with [oversubscribe] and
+      [chunk:1].  Latency-bound tasks overlap on any core count, so
+      these are the portable floor-gated speedups (CI asserts j2 >= a
+      hard floor);
+    - [exec/figures/speedup_j2]: a figures-shaped two-axis analytical
+      grid, fresh cache per timing;
+    - [exec/cache/warm_hit_rate] (deterministically 1.0) and
+      [exec/cache/lookup_time] as before. *)

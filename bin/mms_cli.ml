@@ -571,7 +571,26 @@ let jobs_arg doc = Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let sweep_jobs_doc =
   "Worker domains.  Output is byte-identical for every value; $(b,--jobs 1) \
-   runs in the calling domain."
+   runs in the calling domain.  The pool never spawns more domains than \
+   the machine has cores (oversubscribed domains fight over the minor-GC \
+   barrier and run SLOWER than serial), so $(docv) is a ceiling, not a \
+   promise."
+
+let chunk_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chunk" ] ~docv:"N"
+        ~doc:
+          "Tasks claimed per queue operation.  Default: adaptive (guided \
+           self-scheduling — large chunks early, single tasks at the \
+           tail).  $(b,--chunk 1) maximizes balance for uneven work; \
+           larger chunks amortize scheduling for uniform grids.  Output \
+           is byte-identical for every value.")
+
+let check_chunk = function
+  | Some c when c < 1 -> Some "--chunk must be at least 1"
+  | _ -> None
 
 let cache_arg doc = Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
 
@@ -749,10 +768,10 @@ let sweep_cmd =
       value & opt_all int []
       & info [ "steps" ] ~docv:"N" ~doc:"Number of points (default 11).")
   in
-  let run params solver names froms tos stepss jobs cache_dir metrics_out
-      trace_out serve serve_socket journal resume retries task_deadline
-      chaos_rate chaos_attempts chaos_delay chaos_seed kill_after
-      profile_runtime =
+  let run params solver names froms tos stepss jobs chunk cache_dir
+      metrics_out trace_out serve serve_socket journal resume retries
+      task_deadline chaos_rate chaos_attempts chaos_delay chaos_seed
+      kill_after profile_runtime =
     let n = List.length names in
     let stepss = stepss @ List.init (max 0 (n - List.length stepss)) (fun _ -> 11) in
     match
@@ -768,10 +787,11 @@ let sweep_cmd =
     else if List.exists (fun s -> s < 2) stepss then
       `Error (false, "--steps must be at least 2")
     else if jobs < 1 then `Error (false, "--jobs must be at least 1")
-    else if jobs > 1 && (metrics_out <> None || trace_out <> None) then
-      (* Both sinks are single recorders; see Sweep.run on tracing. *)
-      `Error (false, "--metrics-out/--trace-out require --jobs 1")
-    else begin
+    else
+      match check_chunk chunk with
+      | Some msg -> `Error (false, msg)
+      | None ->
+      begin
       let axes =
         List.map2
           (fun param (lo, (hi, steps)) ->
@@ -830,8 +850,8 @@ let sweep_cmd =
         (fun () ->
           Serve.Progress.start progress;
           let rows =
-            Exec.Sweep.run ?solver ~cache ~jobs ?trace:telemetry ?monitor
-              ?journal ?retry:robust.retry ?deadline:robust.deadline
+            Exec.Sweep.run ?solver ~cache ~jobs ?chunk ?trace:telemetry
+              ?monitor ?journal ?retry:robust.retry ?deadline:robust.deadline
               ~chaos:robust.chaos ~base:params axes
           in
           let single = match axes with [ _ ] -> true | _ -> false in
@@ -904,6 +924,7 @@ let sweep_cmd =
         (const run $ params_term $ solver_term $ param_arg $ from_arg $ to_arg
        $ steps_arg
        $ jobs_arg sweep_jobs_doc
+       $ chunk_arg
        $ cache_arg
            "Content-addressed solve cache: re-runs over the same \
             configurations perform zero new solves."
@@ -934,8 +955,8 @@ let figures_cmd =
       & info [ "only" ] ~docv:"NAME"
           ~doc:"Produce only the named figure (repeatable).")
   in
-  let run params solver out jobs cache_dir no_cache only metrics_out serve
-      serve_socket journal resume retries task_deadline chaos_rate
+  let run params solver out jobs chunk cache_dir no_cache only metrics_out
+      serve serve_socket journal resume retries task_deadline chaos_rate
       chaos_attempts chaos_delay chaos_seed kill_after profile_runtime =
     (* The journal is always on for figures — the batch is long enough
        that crash-safety should not be opt-in. *)
@@ -952,7 +973,11 @@ let figures_cmd =
     | Error msg -> `Error (false, msg)
     | Ok robust ->
     if jobs < 1 then `Error (false, "--jobs must be at least 1")
-    else begin
+    else
+      match check_chunk chunk with
+      | Some msg -> `Error (false, msg)
+      | None ->
+      begin
       let figures = Exec.Figures.all ~base:params () in
       let unknown =
         List.filter
@@ -1014,8 +1039,8 @@ let figures_cmd =
           (fun () ->
             Serve.Progress.start progress;
             let written =
-              Exec.Figures.write ?solver ~cache ~jobs ?monitor ?journal
-                ?retry:robust.retry ?deadline:robust.deadline
+              Exec.Figures.write ?solver ~cache ~jobs ?chunk ?monitor
+                ?journal ?retry:robust.retry ?deadline:robust.deadline
                 ~chaos:robust.chaos ~dir:out figures
             in
             List.iter
@@ -1043,8 +1068,9 @@ let figures_cmd =
       ret
         (const run $ params_term $ solver_term $ out_arg
        $ jobs_arg
-           "Worker domains per figure sweep.  The CSVs are byte-identical \
-            for every value."
+           "Worker domains per figure sweep (capped at the machine's core \
+            count).  The CSVs are byte-identical for every value."
+       $ chunk_arg
        $ cache_arg "Cache directory (default $(docv) = OUT/cache)."
        $ no_cache_arg $ only_arg $ metrics_out_arg $ serve_arg
        $ serve_socket_arg
@@ -1137,8 +1163,8 @@ let simulate_cmd =
              intervals.  The result set is identical for every $(b,--jobs) \
              value.")
   in
-  let run_replicated params engine horizon warmup seed faults replications jobs
-      monitor journal =
+  let run_replicated params engine horizon warmup seed faults replications
+      jobs chunk monitor journal =
     Format.printf "%a@." Params.pp params;
     if Lattol_robust.Fault_plan.active faults then
       Format.printf "fault plan: %a@." Lattol_robust.Fault_plan.pp faults;
@@ -1162,11 +1188,11 @@ let simulate_cmd =
             faults;
           }
         in
-        Exec.Replicate.des_measures ~jobs ?monitor ?journal ~config
+        Exec.Replicate.des_measures ~jobs ?chunk ?monitor ?journal ~config
           ~replications params
       | `Stpn ->
-        Exec.Replicate.stpn_measures ~jobs ?monitor ?journal ~seed ~warmup
-          ~horizon ~faults ~replications params
+        Exec.Replicate.stpn_measures ~jobs ?chunk ?monitor ?journal ~seed
+          ~warmup ~horizon ~faults ~replications params
     in
     List.iteri
       (fun i m ->
@@ -1201,8 +1227,8 @@ let simulate_cmd =
             (Format.asprintf "%a" Lattol_robust.Fault_plan.pp faults)))
   in
   let run params engine horizon warmup seed mtbf mttr degrade target
-      replications jobs metrics_out trace_out serve serve_socket journal_path
-      resume profile_runtime =
+      replications jobs chunk metrics_out trace_out serve serve_socket
+      journal_path resume profile_runtime =
     let serving = serve <> None || serve_socket <> None in
     match fault_plan mtbf mttr degrade target with
     | Error msg -> `Error (false, msg)
@@ -1212,6 +1238,9 @@ let simulate_cmd =
       else if replications < 1 then
         `Error (false, "--replications must be at least 1")
       else if jobs < 1 then `Error (false, "--jobs must be at least 1")
+      else if (match check_chunk chunk with Some _ -> true | None -> false)
+      then
+        `Error (false, Option.get (check_chunk chunk))
       else if replications > 1 && (metrics_out <> None || trace_out <> None)
       then
         `Error (false, "--metrics-out/--trace-out require --replications 1")
@@ -1252,7 +1281,7 @@ let simulate_cmd =
           ~snapshot (fun () ->
             Serve.Progress.start progress;
             run_replicated params engine horizon warmup seed faults
-              replications jobs monitor journal;
+              replications jobs chunk monitor journal;
             Serve.Progress.finish progress);
         ignore (finish_runtime_profile prof);
         Option.iter Exec.Journal.close journal;
@@ -1399,7 +1428,8 @@ let simulate_cmd =
        $ fault_target_arg $ replications_arg
        $ jobs_arg
            "Worker domains for the replication fan-out (with \
-            $(b,--replications))."
+            $(b,--replications)); capped at the machine's core count."
+       $ chunk_arg
        $ metrics_out_arg $ trace_out_arg span_trace_doc $ serve_arg
        $ serve_socket_arg
        $ journal_arg

@@ -35,6 +35,8 @@ val write :
   ?solver:Mms.solver ->
   ?cache:Cache.t ->
   ?jobs:int ->
+  ?chunk:int ->
+  ?oversubscribe:bool ->
   ?monitor:Pool.monitor ->
   ?journal:Journal.t ->
   ?retry:Lattol_robust.Retry.policy ->

@@ -193,4 +193,34 @@ let append t ~id ~payload =
   (* Outside the lock: the hook may be a chaos kill switch. *)
   t.on_record nth
 
+let append_batch t records =
+  match records with
+  | [] -> ()
+  | _ ->
+    (* Validate and render everything before taking the lock, so a
+       malformed record cannot leave a half-written batch behind. *)
+    let lines =
+      List.map
+        (fun (id, payload) ->
+          check_id id;
+          single_line "payload" payload;
+          record_line ~id ~payload)
+        records
+    in
+    let text = String.concat "" lines in
+    let last =
+      Mutex.protect t.lock (fun () ->
+          write_all t.fd text;
+          Unix.fsync t.fd;
+          List.iter
+            (fun (id, payload) -> Hashtbl.replace t.index id payload)
+            records;
+          t.appended <- t.appended + List.length records;
+          t.appended)
+    in
+    (* Fire the hook once per record (the chaos kill switch counts
+       records, not batches), outside the lock. *)
+    let first = last - List.length records + 1 in
+    List.iteri (fun i _ -> t.on_record (first + i)) records
+
 let close t = try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()

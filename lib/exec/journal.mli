@@ -55,6 +55,17 @@ val append : t -> id:string -> payload:string -> unit
 (** Write and fsync one record, then fire [on_record].  Raises
     [Invalid_argument] on a malformed id/payload. *)
 
+val append_batch : t -> (string * string) list -> unit
+(** Write a list of [(id, payload)] records under one lock acquisition
+    and a {e single} [fsync], then fire [on_record] once per record.
+    This is the amortization point for fine-grained work (replications):
+    one disk barrier per pool chunk instead of one per task.  All
+    records are validated before anything is written, so a malformed
+    entry raises [Invalid_argument] without touching the file.  A crash
+    mid-batch leaves at most one torn record exactly as with {!append}
+    (the batch is one contiguous write; complete leading records within
+    it survive {!resume}'s verification). *)
+
 val path : t -> string
 
 val close : t -> unit

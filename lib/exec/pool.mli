@@ -1,11 +1,22 @@
-(** Fixed-size [Domain]-based work pool with deterministic result ordering
-    and per-task fault containment.
+(** Fixed-size [Domain]-based work pool with deterministic result ordering,
+    batched task submission, per-worker scratch state, and per-task fault
+    containment.
 
     [map ~jobs f items] evaluates [f] on every element of [items] using up
     to [jobs] domains (the calling domain included) and returns the results
     in input order — the scheduling of the workers never leaks into the
-    output.  Work is claimed from a shared chunked queue, so skewed task
-    costs still balance.
+    output.  Work is claimed from a shared batched queue with guided chunk
+    sizing (large claims early, single items at the tail), so one queue
+    operation is amortized over many tasks and skewed task costs still
+    balance.
+
+    The effective pool size is additionally capped at
+    {!available_cores}[ ()]: spawning more domains than cores cannot speed
+    up CPU-bound work and measurably slows it down (every minor GC is a
+    stop-the-world synchronization across all domains, and a descheduled
+    sibling turns each one into an OS scheduling round-trip).  Tasks that
+    {e park} rather than compute — sleeps, I/O waits — genuinely overlap
+    on any core count; pass [~oversubscribe:true] for those.
 
     [f] runs concurrently with itself: it must not touch shared mutable
     state unless that state synchronizes itself (the {!Cache} does).  If
@@ -23,7 +34,12 @@
 
 val available_cores : unit -> int
 (** [Domain.recommended_domain_count ()]: the pool size above which more
-    jobs cannot help. *)
+    jobs cannot help CPU-bound work. *)
+
+val effective_jobs : ?oversubscribe:bool -> jobs:int -> items:int -> unit -> int
+(** The pool size a map would actually use:
+    [min jobs items] capped at {!available_cores} unless [oversubscribe].
+    Raises [Invalid_argument] when [jobs < 1]. *)
 
 type monitor = {
   on_start : jobs:int -> items:int -> unit;
@@ -65,25 +81,50 @@ type poisoned = {
     sentinel) and the rest of the map proceeds. *)
 
 val map :
-  ?chunk:int -> ?monitor:monitor -> ?retry:Lattol_robust.Retry.policy ->
-  ?deadline:float -> ?on_poison:(poisoned -> 'b) -> jobs:int ->
-  ('a -> 'b) -> 'a array -> 'b array
-(** [chunk] overrides the queue's claim granularity (default: enough for
-    roughly four slices per worker).  [jobs < 1] is rejected; [jobs = 1]
-    runs in the calling domain with no queue at all (the [monitor] still
-    sees a one-worker pool).  [deadline] is per attempt; without
-    [on_poison], exhausted transient failures propagate like fatal
-    ones. *)
+  ?chunk:int -> ?oversubscribe:bool -> ?monitor:monitor ->
+  ?retry:Lattol_robust.Retry.policy -> ?deadline:float ->
+  ?on_poison:(poisoned -> 'b) -> jobs:int -> ('a -> 'b) -> 'a array ->
+  'b array
+(** [chunk > 0] forces a fixed claim granularity; otherwise claims are
+    guided (roughly [remaining / (2 * workers)] each, down to single
+    items at the tail).  [oversubscribe] lifts the {!available_cores}
+    cap — only useful for tasks that park rather than compute.
+    [jobs < 1] is rejected; an effective pool of 1 runs in the calling
+    domain with no queue at all (the [monitor] still sees a one-worker
+    pool).  [deadline] is per attempt; without [on_poison], exhausted
+    transient failures propagate like fatal ones. *)
 
 val map_ctx :
-  ?chunk:int -> ?monitor:monitor -> ?retry:Lattol_robust.Retry.policy ->
-  ?deadline:float -> ?on_poison:(poisoned -> 'b) -> jobs:int ->
-  (ctx -> 'a -> 'b) -> 'a array -> 'b array
+  ?chunk:int -> ?oversubscribe:bool -> ?monitor:monitor ->
+  ?retry:Lattol_robust.Retry.policy -> ?deadline:float ->
+  ?on_poison:(poisoned -> 'b) -> jobs:int -> (ctx -> 'a -> 'b) ->
+  'a array -> 'b array
 (** {!map} with the task's {!ctx} exposed, for tasks that poll
     [should_stop] or vary behavior by [attempt]. *)
 
+val map_local :
+  ?chunk:int -> ?oversubscribe:bool -> ?monitor:monitor ->
+  ?retry:Lattol_robust.Retry.policy -> ?deadline:float ->
+  ?on_poison:(poisoned -> 'b) -> jobs:int -> local:(int -> 'l) ->
+  ?flush:('l -> unit) -> ('l -> ctx -> 'a -> 'b) -> 'a array ->
+  'b array * 'l list
+(** {!map_ctx} with per-worker scratch state.  Each worker calls
+    [local w] exactly once, in its own domain, before claiming any work
+    (so the state lives in that domain's minor heap); every task on that
+    worker receives the same ['l].  [flush] runs at the end of every
+    successfully completed claimed chunk (and once after the serial
+    path) — the batching point for worker-side side effects such as
+    checkpoint appends; a raising [flush] is a pool failure.  Returns
+    the locals in worker order (index 0 = the calling domain), so the
+    caller can merge per-worker accumulators deterministically.
+
+    Determinism caveat: results must not depend on ['l] contents that
+    vary with scheduling — locals are for scratch buffers, batching and
+    statistics, not for data flow between tasks. *)
+
 val map_list :
-  ?chunk:int -> ?monitor:monitor -> ?retry:Lattol_robust.Retry.policy ->
-  ?deadline:float -> ?on_poison:(poisoned -> 'b) -> jobs:int ->
-  ('a -> 'b) -> 'a list -> 'b list
+  ?chunk:int -> ?oversubscribe:bool -> ?monitor:monitor ->
+  ?retry:Lattol_robust.Retry.policy -> ?deadline:float ->
+  ?on_poison:(poisoned -> 'b) -> jobs:int -> ('a -> 'b) -> 'a list ->
+  'b list
 (** List variant of {!map}. *)

@@ -28,8 +28,16 @@ let summarize results ~u_p ~lambda =
    ["rep<i>"], payload {!Cache.encode_measures_line}.  Inputs (streams or
    seeds) are always derived for the FULL replication set before the
    journal filters out completed indices — a resumed run must hand
-   replication [i] exactly the stream it would have had uninterrupted. *)
-let journaled_map ?journal ?monitor ~jobs run inputs =
+   replication [i] exactly the stream it would have had uninterrupted.
+
+   Checkpoints are batched per pool chunk: each worker collects its
+   chunk's (id, payload) records in a per-domain pending list and the
+   chunk-boundary [flush] writes them with {!Journal.append_batch} — one
+   lock acquisition and one fsync per chunk instead of one per
+   replication.  Replay is id-keyed, so batch order never affects a
+   resumed run; a crash loses at most the current unflushed chunk, which
+   is simply recomputed. *)
+let journaled_map ?journal ?monitor ?chunk ?oversubscribe ~jobs run inputs =
   let arr = Array.of_list inputs in
   let n = Array.length arr in
   let rep_id i = Printf.sprintf "rep%d" i in
@@ -46,15 +54,21 @@ let journaled_map ?journal ?monitor ~jobs run inputs =
     Array.of_list
       (List.filter (fun i -> rows.(i) = None) (List.init n (fun i -> i)))
   in
-  let computed =
-    Pool.map ?monitor ~jobs
-      (fun i ->
+  let computed, _locals =
+    Pool.map_local ?monitor ?chunk ?oversubscribe ~jobs
+      ~local:(fun _ -> ref [])
+      ~flush:(fun pending ->
+        match journal with
+        | Some j when !pending <> [] ->
+          Journal.append_batch j (List.rev !pending);
+          pending := []
+        | _ -> ())
+      (fun pending _ctx i ->
         let m = run arr.(i) in
         (match journal with
         | None -> ()
-        | Some j ->
-          Journal.append j ~id:(rep_id i)
-            ~payload:(Cache.encode_measures_line m));
+        | Some _ ->
+          pending := (rep_id i, Cache.encode_measures_line m) :: !pending);
         m)
       missing
   in
@@ -69,14 +83,14 @@ let summarize_measures results =
     ~u_p:(fun m -> m.Measures.u_p)
     ~lambda:(fun m -> m.Measures.lambda)
 
-let des_measures ?(jobs = 1) ?monitor ?journal
+let des_measures ?(jobs = 1) ?chunk ?oversubscribe ?monitor ?journal
     ?(config = Des.default_config) ~replications p =
   if replications < 1 then
     invalid_arg "Replicate.des_measures: replications must be at least 1";
   if config.Des.trace <> None || config.Des.metrics <> None then
     invalid_arg "Replicate.des_measures: trace/metrics sinks are per-run";
   summarize_measures
-    (journaled_map ?journal ?monitor ~jobs
+    (journaled_map ?journal ?monitor ?chunk ?oversubscribe ~jobs
        (fun rng ->
          (Des.run ~config:{ config with Des.rng = Some rng } p).Des.measures)
        (streams ~seed:config.Des.seed replications))
@@ -85,17 +99,18 @@ let stpn_seeds ~seed n =
   let root = Prng.create ~seed () in
   List.init n (fun _ -> Int64.to_int (Prng.bits64 root) land max_int)
 
-let stpn_measures ?(jobs = 1) ?monitor ?journal ?(seed = 1) ?warmup ?horizon
-    ?memory ?faults ~replications p =
+let stpn_measures ?(jobs = 1) ?chunk ?oversubscribe ?monitor ?journal
+    ?(seed = 1) ?warmup ?horizon ?memory ?faults ~replications p =
   if replications < 1 then
     invalid_arg "Replicate.stpn_measures: replications must be at least 1";
   summarize_measures
-    (journaled_map ?journal ?monitor ~jobs
+    (journaled_map ?journal ?monitor ?chunk ?oversubscribe ~jobs
        (fun s ->
          (Stpn.run ~seed:s ?warmup ?horizon ?memory ?faults p).Stpn.measures)
        (stpn_seeds ~seed replications))
 
-let des ?(jobs = 1) ?monitor ?(config = Des.default_config) ~replications p =
+let des ?(jobs = 1) ?chunk ?oversubscribe ?monitor
+    ?(config = Des.default_config) ~replications p =
   if replications < 1 then
     invalid_arg "Replicate.des: replications must be at least 1";
   if replications > 1 && (config.Des.trace <> None || config.Des.metrics <> None)
@@ -104,7 +119,7 @@ let des ?(jobs = 1) ?monitor ?(config = Des.default_config) ~replications p =
        collide on series names. *)
     invalid_arg "Replicate.des: trace/metrics sinks require replications = 1";
   let results =
-    Pool.map_list ?monitor ~jobs
+    Pool.map_list ?monitor ?chunk ?oversubscribe ~jobs
       (fun rng -> Des.run ~config:{ config with Des.rng = Some rng } p)
       (streams ~seed:config.Des.seed replications)
   in
@@ -112,13 +127,13 @@ let des ?(jobs = 1) ?monitor ?(config = Des.default_config) ~replications p =
     ~u_p:(fun r -> r.Des.measures.Measures.u_p)
     ~lambda:(fun r -> r.Des.measures.Measures.lambda)
 
-let stpn ?(jobs = 1) ?monitor ?(seed = 1) ?warmup ?horizon ?memory ?faults
-    ~replications p =
+let stpn ?(jobs = 1) ?chunk ?oversubscribe ?monitor ?(seed = 1) ?warmup
+    ?horizon ?memory ?faults ~replications p =
   if replications < 1 then
     invalid_arg "Replicate.stpn: replications must be at least 1";
   let seeds = stpn_seeds ~seed replications in
   let results =
-    Pool.map_list ?monitor ~jobs
+    Pool.map_list ?monitor ?chunk ?oversubscribe ~jobs
       (fun s -> Stpn.run ~seed:s ?warmup ?horizon ?memory ?faults p)
       seeds
   in

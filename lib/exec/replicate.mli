@@ -23,6 +23,8 @@ type 'a summary = {
 
 val des :
   ?jobs:int ->
+  ?chunk:int ->
+  ?oversubscribe:bool ->
   ?monitor:Pool.monitor ->
   ?config:Lattol_sim.Mms_des.config ->
   replications:int ->
@@ -36,6 +38,8 @@ val des :
 
 val stpn :
   ?jobs:int ->
+  ?chunk:int ->
+  ?oversubscribe:bool ->
   ?monitor:Pool.monitor ->
   ?seed:int ->
   ?warmup:float ->
@@ -49,6 +53,8 @@ val stpn :
 
 val des_measures :
   ?jobs:int ->
+  ?chunk:int ->
+  ?oversubscribe:bool ->
   ?monitor:Pool.monitor ->
   ?journal:Journal.t ->
   ?config:Lattol_sim.Mms_des.config ->
@@ -60,12 +66,16 @@ val des_measures :
     [i] is recorded under id ["rep<i>"] as it completes, and a resumed run
     replays completed replications instead of re-simulating them.  Streams
     for the full set are derived before the journal filter, so resumed and
-    uninterrupted runs are byte-identical.  [trace]/[metrics] sinks are
-    rejected at any replication count (a replayed run cannot reproduce
-    them). *)
+    uninterrupted runs are byte-identical.  Checkpoints are written in
+    per-chunk batches ({!Journal.append_batch}): one fsync per pool chunk,
+    so [chunk] trades checkpoint granularity against disk-barrier cost.
+    [trace]/[metrics] sinks are rejected at any replication count (a
+    replayed run cannot reproduce them). *)
 
 val stpn_measures :
   ?jobs:int ->
+  ?chunk:int ->
+  ?oversubscribe:bool ->
   ?monitor:Pool.monitor ->
   ?journal:Journal.t ->
   ?seed:int ->

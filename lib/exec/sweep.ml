@@ -134,30 +134,29 @@ let journal_meta ?solver ?(ideal_method = Tolerance.Zero_remote) ~base axes =
     axes;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
-let run ?solver ?cache ?(jobs = 1) ?(ideal_method = Tolerance.Zero_remote)
-    ?trace ?on_sweep ?monitor ?journal ?(journal_prefix = "") ?retry ?deadline
+let run ?solver ?cache ?(jobs = 1) ?chunk ?oversubscribe
+    ?(ideal_method = Tolerance.Zero_remote) ?trace ?on_sweep ?monitor ?journal
+    ?(journal_prefix = "") ?retry ?deadline
     ?(chaos = Lattol_robust.Chaos.none) ~base axes =
   if jobs < 1 then invalid_arg "Sweep.run: jobs must be at least 1";
   if axes = [] then invalid_arg "Sweep.run: at least one axis";
   List.iter
     (fun a -> if a.values = [] then invalid_arg "Sweep.run: empty axis")
     axes;
-  (match trace with
-  | Some _ when jobs > 1 ->
-    (* The trace is one chronological recording; interleaving attempts
-       from several domains would scramble it. *)
-    invalid_arg "Sweep.run: solver tracing requires jobs = 1"
-  | _ -> ());
   let cache = match cache with Some c -> c | None -> Cache.create () in
   (* [label] marks the real solve of a sweep point in the trace; ideal
-     solves are untraced support work, as in the pre-engine CLI.  [hook]
-     is the per-task on_sweep (the caller's, plus deadline polling). *)
-  let solve_point ?label ~hook params =
+     solves are untraced support work, as in the pre-engine CLI.  Each
+     point records into its own private buffer ([tel]) — created by the
+     task, touched by no other domain — and the buffers are absorbed into
+     the caller's recorder in point order once the pool has joined, so
+     the merged trace is byte-identical at any parallelism.  [hook] is
+     the per-task on_sweep (the caller's, plus deadline polling). *)
+  let solve_point ?label ?tel ~hook params =
     let resolved =
       match solver with Some s -> s | None -> Mms.default_solver params
     in
     let compute () =
-      match trace with
+      match tel with
       | Some tel when label <> None && params.Params.n_t > 0 ->
         Lattol_obs.Solver_trace.start_attempt tel ?label
           ~budget:Amva.default_options.Amva.max_iterations
@@ -176,12 +175,26 @@ let run ?solver ?cache ?(jobs = 1) ?(ideal_method = Tolerance.Zero_remote)
         Mms.measures_of_solution params solution
       | _ -> Mms.solve ~solver:resolved ?on_sweep:hook params
     in
-    Cache.find_or_compute cache
-      ~key:(Cache.key ~solver_id:(Mms.solver_label resolved) params)
-      compute
+    let traced =
+      match tel with
+      | Some _ -> label <> None && params.Params.n_t > 0
+      | None -> false
+    in
+    (* A traced real solve bypasses the memo: a cache hit would record no
+       attempt, and whether a point hits depends on scheduling whenever
+       its configuration collides with another point's (e.g. a p_remote=0
+       point vs. a zero-remote ideal).  Re-solving keeps the recording a
+       pure function of the grid — one attempt per valid point, every
+       [jobs].  Untraced solves (ideals, untraced runs) memoize as
+       always. *)
+    if traced then compute ()
+    else
+      Cache.find_or_compute cache
+        ~key:(Cache.key ~solver_id:(Mms.solver_label resolved) params)
+        compute
   in
   let contained = retry <> None || deadline <> None in
-  let eval (ctx : Pool.ctx) assigns =
+  let eval ~tel (ctx : Pool.ctx) assigns =
     Lattol_robust.Chaos.inject chaos ~task:(label assigns)
       ~attempt:ctx.Pool.attempt;
     let p =
@@ -205,7 +218,7 @@ let run ?solver ?cache ?(jobs = 1) ?(ideal_method = Tolerance.Zero_remote)
               | None -> Amva.Continue
               | Some f -> f ~iteration ~residual)
       in
-      let real = solve_point ~label:(label assigns) ~hook p in
+      let real = solve_point ~label:(label assigns) ?tel ~hook p in
       let ideal_net =
         solve_point ~hook
           (Tolerance.ideal_params Tolerance.Network_latency ideal_method p)
@@ -260,12 +273,31 @@ let run ?solver ?cache ?(jobs = 1) ?(ideal_method = Tolerance.Zero_remote)
                      p.Pool.attempts p.Pool.error);
             })
   in
+  (* Per-point private trace buffers, absorbed into the caller's recorder
+     in point order below.  Cache hits and journal-restored points record
+     nothing — the same holds sequentially, so the merged trace is
+     byte-identical across [jobs]. *)
+  let traces =
+    match trace with
+    | None -> [||]
+    | Some tel ->
+      Array.init n (fun _ ->
+          Lattol_obs.Solver_trace.create
+            ~sample_capacity:(Lattol_obs.Solver_trace.sample_capacity tel)
+            ())
+  in
   let computed =
-    Pool.map_ctx ?monitor ?retry ?deadline ?on_poison ~jobs
-      (fun ctx i -> record i (eval ctx pts.(i)))
+    Pool.map_ctx ?chunk ?oversubscribe ?monitor ?retry ?deadline ?on_poison
+      ~jobs
+      (fun ctx i ->
+        let tel = if trace = None then None else Some traces.(i) in
+        record i (eval ~tel ctx pts.(i)))
       missing
   in
   Array.iteri (fun slot i -> rows.(i) <- Some computed.(slot)) missing;
+  (match trace with
+  | None -> ()
+  | Some tel -> Lattol_obs.Solver_trace.absorb tel (Array.to_list traces));
   List.init n (fun i ->
       match rows.(i) with
       | Some row -> row

@@ -84,6 +84,8 @@ val run :
   ?solver:Mms.solver ->
   ?cache:Cache.t ->
   ?jobs:int ->
+  ?chunk:int ->
+  ?oversubscribe:bool ->
   ?ideal_method:Tolerance.ideal_method ->
   ?trace:Lattol_obs.Solver_trace.t ->
   ?on_sweep:(iteration:int -> residual:float -> Amva.progress) ->
@@ -98,12 +100,20 @@ val run :
   row list
 (** Solve the grid.  [ideal_method] shapes the network-tolerance ideal
     (default {!Tolerance.Zero_remote}); the memory ideal is always
-    {!Tolerance.Zero_delay}.  [trace] records one attempt per valid grid
-    point (labelled with {!label}) and requires [jobs = 1] — a single
-    chronological recording cannot interleave domains.  [on_sweep] observes
-    every AMVA iteration of every solve (real and ideal) that actually
-    runs; cache hits invoke neither.  [monitor] observes pool scheduling
-    (one {!Pool.monitor} item per grid point) without affecting results.
+    {!Tolerance.Zero_delay}.  [chunk]/[oversubscribe] tune the pool's
+    scheduling (see {!Pool.map_ctx}) without affecting results.  [trace]
+    records one attempt per valid grid point (labelled with {!label}) at
+    any [jobs]: each point records into a private per-point buffer and the
+    buffers are {!Lattol_obs.Solver_trace.absorb}ed in point order after
+    the pool joins, so the recording is byte-identical to a sequential
+    run's.  Traced real solves bypass the cache memo (a hit would record
+    no attempt, and hits depend on scheduling when configurations
+    collide), so the recording is one attempt per valid point whatever
+    the cache holds; journal-restored points skip evaluation entirely and
+    record nothing.  [on_sweep] observes every AMVA iteration of every solve (real
+    and ideal) that actually runs; cache hits invoke neither.  [monitor]
+    observes pool scheduling (one {!Pool.monitor} item per grid point)
+    without affecting results.
 
     [journal] checkpoints every completed row (append + fsync before the
     row is reported) and skips points already present when the journal was

@@ -102,6 +102,23 @@ let attempts t =
 
 let num_attempts t = List.length (attempts t)
 
+let sample_capacity t = t.sample_capacity
+
+(* Append the sources' attempts (in list order, chronological within each
+   source) to [t], renumbering so indices stay dense and 1-based.  The
+   parallel sweep records each grid point into its own private buffer and
+   absorbs them in point order afterwards — the merged recording is then
+   byte-identical to a sequential run's, whatever the scheduling was. *)
+let absorb t sources =
+  List.iter
+    (fun src ->
+      List.iter
+        (fun a ->
+          t.finished <- { a with index = t.next_index } :: t.finished;
+          t.next_index <- t.next_index + 1)
+        (attempts src))
+    sources
+
 (* ------------------------------------------------------------------ *)
 (* Sinks *)
 

@@ -45,6 +45,18 @@ val finish_attempt :
 
 val num_attempts : t -> int
 
+val sample_capacity : t -> int
+(** The per-attempt sample cap this recorder was created with. *)
+
+val absorb : t -> t list -> unit
+(** [absorb t sources] appends every attempt of every source (in list
+    order, chronological within each source) to [t], renumbering
+    {!attempt.index} so the merged recording stays dense and 1-based.
+    This is the deterministic merge point for per-worker / per-point
+    trace buffers: record each unit of work into its own private
+    recorder, then absorb them in a canonical order once the parallel
+    section has joined. *)
+
 val attempts : t -> attempt list
 (** Chronological; an attempt still open is reported as it stands. *)
 

@@ -48,6 +48,16 @@ and --jobs runs the sweep on several domains with byte-identical output:
   n_t,2,0.497778,0.497778,0.099556,2.927026,1.515684,0.746667,0.709251
   n_t,3,0.612947,0.612947,0.122589,3.173810,1.933872,0.817263,0.747068
 
+--chunk tunes how many grid points a worker claims per queue operation
+without affecting the bytes (the default is guided sizing); zero is
+rejected:
+
+  $ ../bin/mms_cli.exe sweep --param n_t --from 1 --to 3 --steps 3 -k 2 --jobs 2 --chunk 1 | tail -n 2
+  n_t,2,0.497778,0.497778,0.099556,2.927026,1.515684,0.746667,0.709251
+  n_t,3,0.612947,0.612947,0.122589,3.173810,1.933872,0.817263,0.747068
+  $ ../bin/mms_cli.exe sweep --param n_t --from 1 --to 3 --steps 3 -k 2 --jobs 2 --chunk 0 2>&1 | head -n 1
+  mms_cli: --chunk must be at least 1
+
 The simulator fans replications out over independent random streams split
 from the root seed; the report is identical for every --jobs value:
 
@@ -312,8 +322,8 @@ and comparing documents from different suites is a usage error:
 Floors gate one-sided: a metric may drift up freely but must not fall
 below its minimum (a parallel speedup halving is a regression the
 symmetric drift check cannot see).  Fixture documents keep the values
-deterministic here; CI runs the same gate warn-only on the live
-exec suite until the ROADMAP item 1 speedup fix lands:
+deterministic here; CI hard-gates the live exec suite's pool-dispatch
+speedup with exactly this flag:
 
   $ cat > floor_base.json <<'EOF'
   > {
@@ -379,6 +389,42 @@ simulators' allocation warn-only until the ROADMAP item 3 diet lands:
   [1]
   $ ../tools/bench_compare.exe --ceiling demo/speedup_j2=fast floor_base.json floor_base.json 2>&1 | head -1
   bad --ceiling value "fast"
+
+--warn-drift inverts the gate for wall-clock suites on noisy runners:
+symmetric drift (and vanished metrics) report as warnings and never
+fail — the exit code reflects only the hard floors and ceilings.  A
+wild swing in an absolute time:
+
+  $ sed 's/1\.8/5.0/' floor_base.json > drifted.json
+  $ ../tools/bench_compare.exe floor_base.json drifted.json
+  suite demo: 1 metrics within 50%, 1 beyond, 0 missing, 0 added
+    DRIFT demo/speedup_j2: 1.8 -> 5 (178% > 50%) [regressed]
+  [1]
+
+stops failing under --warn-drift,
+
+  $ ../tools/bench_compare.exe --warn-drift floor_base.json drifted.json
+  suite demo: 1 metrics within 50%, 1 beyond, 0 missing, 0 added
+    WARN demo/speedup_j2: 1.8 -> 5 (178% > 50%) [regressed]
+
+as does a renamed (vanished) metric,
+
+  $ sed 's,demo/speedup_j2,demo/speedup_2x,' floor_base.json > renamed.json
+  $ ../tools/bench_compare.exe --warn-drift floor_base.json renamed.json
+  suite demo: 1 metrics within 50%, 0 beyond, 1 missing, 1 added
+    WARN missing demo/speedup_j2 (was in the baseline)
+    new metric demo/speedup_2x (not gated)
+
+but a floor stays hard — this combination (drift advisory, speedup
+floor binding) is the exec gate CI runs on every push:
+
+  $ ../tools/bench_compare.exe --warn-drift --floor demo/speedup_j2=1.5 floor_base.json drifted.json
+  suite demo: 1 metrics within 50%, 1 beyond, 0 missing, 0 added
+    WARN demo/speedup_j2: 1.8 -> 5 (178% > 50%) [regressed]
+  $ ../tools/bench_compare.exe --warn-drift --floor demo/speedup_j2=1.5 floor_base.json floor_slow.json
+  suite demo: 2 metrics within 50%, 0 beyond, 0 missing, 0 added
+    FLOOR demo/speedup_j2: 0.9 < 1.5
+  [1]
 
 The runtime profiler: `mms prof` runs a workload under a Runtime_events
 consumer on a sampler domain and prints a bottleneck-attribution table —

@@ -1,0 +1,121 @@
+(* Gate arithmetic for the perf-trajectory harness (Bench_json): the
+   floor/ceiling bounds CI hard-gates on, and the relative-drift
+   comparison around them.  These are edge-case tests — the happy path is
+   cram-covered through tools/bench_compare in cli.t. *)
+
+open Lattol_bench
+
+let doc metrics =
+  {
+    Bench_json.suite = "t";
+    quick = true;
+    metrics =
+      List.map
+        (fun (name, value) -> { Bench_json.name; units = "x"; value })
+        metrics;
+  }
+
+let result =
+  let pp fmt = function
+    | Bench_json.Holds -> Format.fprintf fmt "Holds"
+    | Bench_json.Broken v -> Format.fprintf fmt "Broken %h" v
+    | Bench_json.Absent -> Format.fprintf fmt "Absent"
+  in
+  let eq a b =
+    match (a, b) with
+    | Bench_json.Holds, Bench_json.Holds | Bench_json.Absent, Bench_json.Absent
+      ->
+      true
+    (* bitwise, so Broken nan = Broken nan *)
+    | Bench_json.Broken x, Bench_json.Broken y ->
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+    | _ -> false
+  in
+  Alcotest.testable pp eq
+
+let third (_, _, r) = r
+
+let check_floor d bound = third (Bench_json.check_floor d bound)
+let check_ceiling d bound = third (Bench_json.check_ceiling d bound)
+
+let test_floor_edges () =
+  let d = doc [ ("s", 1.7); ("z", 0.); ("n", nan) ] in
+  Alcotest.check result "above the floor holds" Bench_json.Holds
+    (check_floor d ("s", 1.5));
+  Alcotest.check result "exactly at the floor holds" Bench_json.Holds
+    (check_floor d ("s", 1.7));
+  Alcotest.check result "below the floor breaks" (Bench_json.Broken 1.7)
+    (check_floor d ("s", 1.8));
+  Alcotest.check result "zero against a positive floor breaks"
+    (Bench_json.Broken 0.) (check_floor d ("z", 0.1));
+  Alcotest.check result "zero floor met by zero" Bench_json.Holds
+    (check_floor d ("z", 0.));
+  (* A benchmark that failed to produce an estimate must never pass a
+     one-sided gate. *)
+  Alcotest.check result "NaN never satisfies a floor" (Bench_json.Broken nan)
+    (check_floor d ("n", 0.));
+  Alcotest.check result "missing metric is Absent, not a pass"
+    Bench_json.Absent
+    (check_floor d ("ghost", 1.))
+
+let test_ceiling_edges () =
+  let d = doc [ ("t", 120.); ("n", nan) ] in
+  Alcotest.check result "below the ceiling holds" Bench_json.Holds
+    (check_ceiling d ("t", 150.));
+  Alcotest.check result "exactly at the ceiling holds" Bench_json.Holds
+    (check_ceiling d ("t", 120.));
+  Alcotest.check result "above the ceiling breaks" (Bench_json.Broken 120.)
+    (check_ceiling d ("t", 100.));
+  Alcotest.check result "NaN never satisfies a ceiling" (Bench_json.Broken nan)
+    (check_ceiling d ("n", 1e9));
+  Alcotest.check result "missing metric is Absent" Bench_json.Absent
+    (check_ceiling d ("ghost", 1.))
+
+let names ds = List.map (fun d -> d.Bench_json.metric) ds
+
+let test_compare_drift_edges () =
+  let base = doc [ ("a", 100.); ("zero", 0.); ("gone", 1.) ] in
+  let current = doc [ ("a", 109.); ("zero", 0.); ("new", 5.) ] in
+  let c = Bench_json.compare_docs ~max_rel:0.10 ~base ~current in
+  Alcotest.(check (list string)) "9% on a 10% gate is within"
+    [ "a"; "zero" ] (List.sort compare (names c.Bench_json.within));
+  Alcotest.(check (list string)) "no regressions" [] (names c.Bench_json.regressions);
+  Alcotest.(check (list string)) "disappearance is reported" [ "gone" ]
+    c.Bench_json.missing;
+  Alcotest.(check (list string)) "additions are informational" [ "new" ]
+    c.Bench_json.added;
+  (* Zero baseline: any movement is infinite relative drift — it must
+     regress, not divide by zero into a pass. *)
+  let c2 =
+    Bench_json.compare_docs ~max_rel:0.5
+      ~base:(doc [ ("zero", 0.) ])
+      ~current:(doc [ ("zero", 0.001) ])
+  in
+  Alcotest.(check (list string)) "movement off a zero baseline regresses"
+    [ "zero" ] (names c2.Bench_json.regressions);
+  (* A value decaying into NaN is infinite drift; NaN on both sides is a
+     benchmark that never produced estimates — stable, not a regression
+     (the one-sided bounds are what refuse NaN). *)
+  let c3 =
+    Bench_json.compare_docs ~max_rel:0.5
+      ~base:(doc [ ("n", 1.); ("m", nan) ])
+      ~current:(doc [ ("n", nan); ("m", nan) ])
+  in
+  Alcotest.(check (list string)) "decay into NaN regresses" [ "n" ]
+    (names c3.Bench_json.regressions);
+  Alcotest.(check (list string)) "NaN on both sides is stable" [ "m" ]
+    (names c3.Bench_json.within)
+
+let () =
+  Alcotest.run "lattol_bench"
+    [
+      ( "bounds",
+        [
+          Alcotest.test_case "floor edges" `Quick test_floor_edges;
+          Alcotest.test_case "ceiling edges" `Quick test_ceiling_edges;
+        ] );
+      ( "compare",
+        [
+          Alcotest.test_case "drift edges" `Quick test_compare_drift_edges;
+        ] );
+    ]

@@ -222,6 +222,188 @@ let test_pool_deadline_cancels () =
   Alcotest.(check (array int)) "slow task poisoned, rest unharmed"
     [| 0; -1; 20 |] out
 
+let test_pool_effective_jobs () =
+  let cores = Pool.available_cores () in
+  Alcotest.(check int) "capped at the core count" (min 8 cores)
+    (Pool.effective_jobs ~jobs:8 ~items:100 ());
+  Alcotest.(check int) "oversubscribe lifts the core cap" 8
+    (Pool.effective_jobs ~oversubscribe:true ~jobs:8 ~items:100 ());
+  Alcotest.(check int) "never more workers than items" 3
+    (Pool.effective_jobs ~oversubscribe:true ~jobs:8 ~items:3 ());
+  Alcotest.(check int) "empty input still sizes to one" 1
+    (Pool.effective_jobs ~oversubscribe:true ~jobs:4 ~items:0 ());
+  Alcotest.(check int) "jobs=1 is always 1" 1
+    (Pool.effective_jobs ~jobs:1 ~items:100 ());
+  Alcotest.check_raises "jobs=0 rejected"
+    (Invalid_argument "Pool.map: jobs must be at least 1") (fun () ->
+      ignore (Pool.effective_jobs ~jobs:0 ~items:1 ()))
+
+(* A monitor that records only the pool size reported by on_start. *)
+let size_monitor seen =
+  {
+    Pool.on_start = (fun ~jobs ~items:_ -> seen := jobs);
+    on_worker = (fun ~worker:_ ~busy:_ -> ());
+    on_claim = (fun ~remaining:_ -> ());
+    on_item = (fun () -> ());
+    on_task = (fun ~worker:_ ~busy:_ -> ());
+  }
+
+let test_pool_reports_effective_size () =
+  (* on_start must see the pool that actually runs — after the core
+     clamp, the item clamp and any oversubscription are applied. *)
+  let observe ?oversubscribe jobs items =
+    let seen = ref (-1) in
+    ignore
+      (Pool.map ?oversubscribe ~monitor:(size_monitor seen) ~jobs Fun.id
+         (Array.init items Fun.id));
+    !seen
+  in
+  Alcotest.(check int) "clamped pool observed"
+    (Pool.effective_jobs ~jobs:8 ~items:32 ())
+    (observe 8 32);
+  Alcotest.(check int) "oversubscribed pool observed" 8
+    (observe ~oversubscribe:true 8 32);
+  Alcotest.(check int) "serial path reports one worker" 1 (observe 1 32)
+
+let test_pool_map_local_per_worker_state () =
+  List.iter
+    (fun jobs ->
+      let n = 48 in
+      let results, locals =
+        Pool.map_local ~oversubscribe:true ~jobs
+          ~local:(fun w -> (w, ref 0))
+          (fun (_, count) _ctx i ->
+            incr count;
+            i * 3)
+          (Array.init n Fun.id)
+      in
+      Alcotest.(check (array int))
+        "results in input order"
+        (Array.init n (fun i -> i * 3))
+        results;
+      let workers = Pool.effective_jobs ~oversubscribe:true ~jobs ~items:n () in
+      Alcotest.(check int) "one local per worker" workers (List.length locals);
+      List.iteri
+        (fun i (w, _) -> Alcotest.(check int) "locals in worker order" i w)
+        locals;
+      Alcotest.(check int) "every item counted exactly once" n
+        (List.fold_left (fun acc (_, c) -> acc + !c) 0 locals))
+    [ 1; 2; 4; 8 ]
+
+let test_pool_flush_batches () =
+  (* Serial path: one flush, after everything.  Parallel path with a
+     forced chunk: flush fires once per claimed chunk, each batch is a
+     contiguous run of at most [chunk] items, and the batches partition
+     the input. *)
+  let n = 30 and chunk = 7 in
+  let collect jobs =
+    let mu = Mutex.create () in
+    let batches = ref [] in
+    let _, _ =
+      Pool.map_local ~oversubscribe:true ~jobs ~chunk
+        ~local:(fun _ -> ref [])
+        ~flush:(fun pending ->
+          let b = List.rev !pending in
+          pending := [];
+          Mutex.protect mu (fun () -> batches := b :: !batches))
+        (fun pending _ctx i ->
+          pending := i :: !pending;
+          i)
+        (Array.init n Fun.id)
+    in
+    List.rev !batches
+  in
+  Alcotest.(check (list (list int)))
+    "serial path flushes once, at the end"
+    [ List.init n Fun.id ] (collect 1);
+  let batches = collect 4 in
+  Alcotest.(check int) "one flush per claimed chunk"
+    ((n + chunk - 1) / chunk)
+    (List.length batches);
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "batch within the chunk bound" true
+        (List.length b <= chunk && b <> []);
+      (* contiguity: each batch is exactly the claimed range *)
+      match b with
+      | first :: _ ->
+        Alcotest.(check (list int)) "batch is one contiguous claim"
+          (List.init (List.length b) (fun i -> first + i))
+          b
+      | [] -> ())
+    batches;
+  Alcotest.(check (list int)) "batches partition the input"
+    (List.init n Fun.id)
+    (List.sort compare (List.concat batches))
+
+let test_pool_flush_failure_propagates () =
+  List.iter
+    (fun jobs ->
+      match
+        Pool.map_local ~oversubscribe:true ~jobs
+          ~local:(fun _ -> ())
+          ~flush:(fun () -> failwith "flush-boom")
+          (fun () _ctx i -> i)
+          (Array.init 8 Fun.id)
+      with
+      | _ -> Alcotest.fail "flush failure swallowed"
+      | exception Failure msg ->
+        Alcotest.(check string) "flush exception reaches the caller"
+          "flush-boom" msg)
+    [ 1; 2 ]
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let test_pool_dispatch_scaling_floor () =
+  (* The speedup-floor gate, tier-1-safe: synthetic tasks of known
+     duration that PARK (sleep) rather than compute.  Parked latency
+     overlaps on any core count — the paper's latency-tolerance premise
+     applied to the pool itself — so two workers must beat serial by a
+     conservative floor even on a single-core runner.  Eight 15 ms naps:
+     serial ~120 ms, two workers ~60 ms; the 1.4x floor leaves over 40%
+     headroom for scheduling noise. *)
+  let tasks = Array.init 8 Fun.id in
+  let nap = 0.015 in
+  let run jobs =
+    ignore
+      (Pool.map ~jobs ~oversubscribe:true ~chunk:1
+         (fun _ -> Unix.sleepf nap)
+         tasks)
+  in
+  run 2 (* warm the domain-spawn path before timing *);
+  let t1 = wall (fun () -> run 1) in
+  let t2 = wall (fun () -> run 2) in
+  let s = t1 /. Float.max t2 1e-9 in
+  if s < 1.4 then
+    Alcotest.failf "2-worker dispatch speedup %.2fx below the 1.4x floor" s
+
+let test_pool_cpu_scaling_floor () =
+  (* CPU-bound counterpart — only meaningful with two real cores.  On a
+     single-core runner compute cannot parallelize and the pool rightly
+     refuses to pretend (test_pool_reports_effective_size covers the
+     clamp), so skip rather than assert the impossible. *)
+  if Pool.available_cores () < 2 then Alcotest.skip ()
+  else begin
+    let work _ =
+      let acc = ref 0. in
+      for i = 1 to 2_000_000 do
+        acc := !acc +. (1. /. float_of_int i)
+      done;
+      !acc
+    in
+    let tasks = Array.init 8 Fun.id in
+    let run jobs = ignore (Pool.map ~jobs ~chunk:1 work tasks) in
+    run 2;
+    let t1 = wall (fun () -> run 1) in
+    let t2 = wall (fun () -> run 2) in
+    let s = t1 /. Float.max t2 1e-9 in
+    if s < 1.3 then
+      Alcotest.failf "2-core CPU speedup %.2fx below the 1.3x floor" s
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Journal *)
 
@@ -312,6 +494,52 @@ let test_journal_duplicate_id_last_wins () =
   | Ok j2 ->
     Alcotest.(check (option string))
       "later record wins" (Some "second") (Journal.find j2 "x");
+    Journal.close j2
+
+let test_journal_append_batch () =
+  let dir = tmp_dir "lattol_journal" in
+  let path = Filename.concat dir "j.ltj" in
+  let fired = ref [] in
+  let j =
+    Journal.create ~on_record:(fun n -> fired := n :: !fired) ~path
+      ~meta:"cafe" ()
+  in
+  Journal.append j ~id:"a" ~payload:"one";
+  Journal.append_batch j [ ("b", "two"); ("c", "three words") ];
+  Journal.append_batch j [];
+  Alcotest.(check int) "appends counted per record" 3 (Journal.appended j);
+  Alcotest.(check (list int))
+    "hook fired once per record, in order" [ 1; 2; 3 ]
+    (List.rev !fired);
+  Alcotest.(check (option string))
+    "batched record resident in the live index" (Some "three words")
+    (Journal.find j "c");
+  Journal.close j;
+  match Journal.resume ~path ~meta:"cafe" () with
+  | Error e -> Alcotest.failf "resume failed: %s" e
+  | Ok j2 ->
+    Alcotest.(check (list (pair string string)))
+      "batch records replay in batch order"
+      [ ("a", "one"); ("b", "two"); ("c", "three words") ]
+      (Journal.entries j2);
+    Journal.close j2
+
+let test_journal_append_batch_validates_first () =
+  (* A malformed entry anywhere in the batch must leave the file
+     untouched — validation is all-or-nothing, before the single write. *)
+  let dir = tmp_dir "lattol_journal" in
+  let path = Filename.concat dir "j.ltj" in
+  let j = Journal.create ~path ~meta:"cafe" () in
+  (match Journal.append_batch j [ ("ok", "fine"); ("bad id", "p") ] with
+  | () -> Alcotest.fail "malformed id accepted"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check int) "nothing appended" 0 (Journal.appended j);
+  Journal.close j;
+  match Journal.resume ~path ~meta:"cafe" () with
+  | Error e -> Alcotest.failf "resume failed: %s" e
+  | Ok j2 ->
+    Alcotest.(check int) "file untouched by the rejected batch" 0
+      (Journal.replayed j2);
     Journal.close j2
 
 (* ------------------------------------------------------------------ *)
@@ -657,6 +885,42 @@ let test_sweep_resume_equivalence () =
     Alcotest.(check string) "rows byte-identical to the uninterrupted run"
       (render full) (render resumed)
 
+let test_sweep_trace_parallel_identical () =
+  (* The lifted jobs=1 restriction: each point records into a private
+     buffer, absorbed in point order after the pool joins, so the merged
+     trace is a pure function of the grid — byte-identical at any jobs,
+     chunking or oversubscription. *)
+  let axes =
+    [
+      {
+        Sweep.param = Sweep.P_remote;
+        values = Sweep.linspace ~lo:0.1 ~hi:0.7 ~steps:4;
+      };
+    ]
+  in
+  let record ?chunk ?oversubscribe jobs =
+    let tel = Lattol_obs.Solver_trace.create () in
+    ignore
+      (Sweep.run ?chunk ?oversubscribe ~jobs ~trace:tel ~base:Params.default
+         axes);
+    let file = Filename.temp_file "lattol_trace" ".csv" in
+    Out_channel.with_open_bin file (fun oc ->
+        Lattol_obs.Solver_trace.write_csv tel oc);
+    let text = In_channel.with_open_bin file In_channel.input_all in
+    Sys.remove file;
+    text
+  in
+  let sequential = record 1 in
+  Alcotest.(check bool) "trace has one attempt per point" true
+    (List.length (String.split_on_char '\n' sequential) > 4);
+  List.iter
+    (fun (jobs, chunk) ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d trace byte-identical" jobs)
+        sequential
+        (record ?chunk ~oversubscribe:true jobs))
+    [ (2, None); (4, Some 1); (8, Some 3) ]
+
 let axes_gen =
   let open QCheck.Gen in
   let axis =
@@ -752,6 +1016,76 @@ let prop_cache_stress_single_key =
       && s.Cache.memo_hits = total - 1
       && Array.for_all (fun m -> m = results.(0)) results)
 
+(* Randomized scheduling shape — the batched-submission axes: worker
+   count, claim granularity (0 stands for guided chunking) and
+   oversubscription.  Every byte-identity property below quantifies over
+   these alongside its own input space. *)
+let sched_gen =
+  QCheck.Gen.(triple (int_range 2 8) (oneofl [ 0; 1; 2; 3; 7; 64 ]) bool)
+
+let sched_print (jobs, chunk, over) =
+  Printf.sprintf "jobs=%d chunk=%s oversubscribe=%b" jobs
+    (if chunk = 0 then "guided" else string_of_int chunk)
+    over
+
+let chunk_opt c = if c = 0 then None else Some c
+
+let prop_batched_sweep_identical =
+  QCheck.Test.make
+    ~name:"sweep byte-identical under randomized batching" ~count:12
+    (QCheck.make
+       ~print:(fun (axes, sched) -> axes_print axes ^ " / " ^ sched_print sched)
+       QCheck.Gen.(pair axes_gen sched_gen))
+    (fun (axes, (jobs, chunk, over)) ->
+      let sequential = render (Sweep.run ~jobs:1 ~base:Params.default axes) in
+      render
+        (Sweep.run ?chunk:(chunk_opt chunk) ~oversubscribe:over ~jobs
+           ~base:Params.default axes)
+      = sequential)
+
+let prop_batched_replicate_identical =
+  QCheck.Test.make
+    ~name:"replication fan-out byte-identical under randomized batching"
+    ~count:8
+    (QCheck.make ~print:sched_print sched_gen)
+    (fun (jobs, chunk, over) ->
+      let p = { Params.default with Params.k = 2; n_t = 2 } in
+      let config =
+        {
+          Lattol_sim.Mms_des.default_config with
+          Lattol_sim.Mms_des.horizon = 300.;
+        }
+      in
+      let run ?chunk ?oversubscribe jobs =
+        List.map
+          (fun r -> r.Lattol_sim.Mms_des.measures)
+          (Replicate.des ?chunk ?oversubscribe ~jobs ~config ~replications:5 p)
+            .Replicate.results
+      in
+      run ?chunk:(chunk_opt chunk) ~oversubscribe:over jobs = run 1)
+
+let prop_batched_figures_identical =
+  QCheck.Test.make
+    ~name:"figures CSV byte-identical under randomized batching" ~count:6
+    (QCheck.make
+       ~print:(fun (axes, sched) -> axes_print axes ^ " / " ^ sched_print sched)
+       QCheck.Gen.(pair axes_gen sched_gen))
+    (fun (axes, (jobs, chunk, over)) ->
+      let figure =
+        {
+          Figures.name = "qc";
+          title = "qc";
+          base = Params.default;
+          axes;
+        }
+      in
+      let write ?chunk ?oversubscribe jobs =
+        let dir = tmp_dir "lattol_qcfig" in
+        let w = Figures.write ?chunk ?oversubscribe ~jobs ~dir [ figure ] in
+        In_channel.with_open_bin (List.hd w).Figures.path In_channel.input_all
+      in
+      write ?chunk:(chunk_opt chunk) ~oversubscribe:over jobs = write 1)
+
 (* ------------------------------------------------------------------ *)
 (* Figures and replication fan-out *)
 
@@ -828,6 +1162,46 @@ let test_replicate_rejects_sinks () =
        "Replicate.des: trace/metrics sinks require replications = 1")
     (fun () -> ignore (Replicate.des ~config ~replications:2 p))
 
+let test_replicate_journal_batched () =
+  (* Batched checkpointing (one fsync per pool chunk) must change neither
+     the results nor the journal's contents: one record per replication,
+     whatever the chunking, and a resumed run replays instead of
+     re-simulating. *)
+  let p = { Params.default with Params.k = 2; n_t = 2 } in
+  let config =
+    { Lattol_sim.Mms_des.default_config with Lattol_sim.Mms_des.horizon = 400. }
+  in
+  let reps = 6 in
+  let run ?journal ?chunk ?oversubscribe jobs =
+    (Replicate.des_measures ?journal ?chunk ?oversubscribe ~jobs ~config
+       ~replications:reps p)
+      .Replicate.results
+  in
+  let baseline = run 1 in
+  let dir = tmp_dir "lattol_repjournal" in
+  let path = Filename.concat dir "rep.ltj" in
+  let j = Journal.create ~path ~meta:"reps" () in
+  let batched = run ~journal:j ~chunk:2 ~oversubscribe:true 4 in
+  Alcotest.(check int) "one append per replication" reps (Journal.appended j);
+  Journal.close j;
+  Alcotest.(check bool) "results identical under batched checkpointing" true
+    (batched = baseline);
+  match Journal.resume ~path ~meta:"reps" () with
+  | Error e -> Alcotest.failf "resume failed: %s" e
+  | Ok j2 ->
+    Alcotest.(check int) "one record per replication" reps
+      (Journal.replayed j2);
+    Alcotest.(check (list string))
+      "every replication checkpointed"
+      (List.sort compare (List.init reps (Printf.sprintf "rep%d")))
+      (List.sort compare (List.map fst (Journal.entries j2)));
+    let replayed = run ~journal:j2 ~chunk:3 2 in
+    Alcotest.(check int) "resumed run re-simulates nothing" 0
+      (Journal.appended j2);
+    Journal.close j2;
+    Alcotest.(check bool) "replayed results bit-identical" true
+      (replayed = baseline)
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -849,6 +1223,20 @@ let () =
             test_pool_poison_substitutes;
           Alcotest.test_case "deadline cancels cooperatively" `Quick
             test_pool_deadline_cancels;
+          Alcotest.test_case "effective pool size" `Quick
+            test_pool_effective_jobs;
+          Alcotest.test_case "monitor sees the clamped pool" `Quick
+            test_pool_reports_effective_size;
+          Alcotest.test_case "per-worker locals merge in worker order" `Quick
+            test_pool_map_local_per_worker_state;
+          Alcotest.test_case "flush batches per claimed chunk" `Quick
+            test_pool_flush_batches;
+          Alcotest.test_case "flush failure propagates" `Quick
+            test_pool_flush_failure_propagates;
+          Alcotest.test_case "dispatch speedup floor (parked tasks)" `Quick
+            test_pool_dispatch_scaling_floor;
+          Alcotest.test_case "CPU speedup floor (2+ cores)" `Quick
+            test_pool_cpu_scaling_floor;
         ] );
       ( "journal",
         [
@@ -859,6 +1247,10 @@ let () =
             test_journal_meta_mismatch;
           Alcotest.test_case "duplicate id: last wins" `Quick
             test_journal_duplicate_id_last_wins;
+          Alcotest.test_case "append_batch: one barrier, per-record replay"
+            `Quick test_journal_append_batch;
+          Alcotest.test_case "append_batch validates before writing" `Quick
+            test_journal_append_batch_validates_first;
         ] );
       ( "cache",
         [
@@ -888,6 +1280,8 @@ let () =
             test_sweep_counts_observer_once_per_iteration;
           Alcotest.test_case "resume is byte-identical" `Quick
             test_sweep_resume_equivalence;
+          Alcotest.test_case "parallel trace is byte-identical" `Quick
+            test_sweep_trace_parallel_identical;
         ] );
       ( "figures",
         [
@@ -900,6 +1294,8 @@ let () =
             test_replicate_des_deterministic;
           Alcotest.test_case "confidence interval" `Quick test_replicate_des_ci;
           Alcotest.test_case "rejects sinks" `Quick test_replicate_rejects_sinks;
+          Alcotest.test_case "journal batches per chunk" `Quick
+            test_replicate_journal_batched;
         ] );
       ( "properties",
         qcheck
@@ -907,5 +1303,8 @@ let () =
             prop_parallel_equals_sequential;
             prop_warm_cache_equals_cold;
             prop_cache_stress_single_key;
+            prop_batched_sweep_identical;
+            prop_batched_replicate_identical;
+            prop_batched_figures_identical;
           ] );
     ]

@@ -134,6 +134,38 @@ let test_prng_split_uncorrelated () =
       Alcotest.failf "sibling streams correlate: r = %g" r
   | _ -> assert false
 
+let test_prng_split_order_independent () =
+  (* The foundation of the pool's byte-identity guarantee: streams derived
+     up-front are fully determined at derivation time, so the order in
+     which workers later CONSUME them — any interleaving, any schedule —
+     cannot change what each stream produces. *)
+  let draws = 256 in
+  let consume order streams =
+    let out = Array.make (List.length streams) [] in
+    List.iter
+      (fun id ->
+        let rng = List.nth streams id in
+        out.(id) <- Prng.bits64 rng :: out.(id))
+      order;
+    Array.map List.rev out
+  in
+  (* Each stream appears [draws] times in both orders; only the
+     interleaving differs (round-robin vs. reversed blocks). *)
+  let ids = [ 0; 1; 2; 3 ] in
+  let round_robin =
+    List.concat (List.init draws (fun _ -> ids))
+  in
+  let blocks =
+    List.concat_map (fun id -> List.init draws (fun _ -> id)) (List.rev ids)
+  in
+  let a = consume round_robin (split_streams ~seed:97 4) in
+  let b = consume blocks (split_streams ~seed:97 4) in
+  Array.iteri
+    (fun id xs ->
+      if xs <> b.(id) then
+        Alcotest.failf "stream %d depends on consumption order" id)
+    a
+
 let test_prng_copy () =
   let a = Prng.create ~seed:9 () in
   ignore (Prng.bits64 a);
@@ -568,6 +600,8 @@ let () =
             test_prng_split_nonoverlapping;
           Alcotest.test_case "split uncorrelated" `Slow
             test_prng_split_uncorrelated;
+          Alcotest.test_case "split order-independent" `Quick
+            test_prng_split_order_independent;
           Alcotest.test_case "copy" `Quick test_prng_copy;
         ] );
       ( "variate",
