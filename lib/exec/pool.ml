@@ -100,8 +100,12 @@ let run_one ?retry ?deadline ?on_poison ~failure f i x =
 
 (* Claim the next batch of indices: [lo, hi).  A forced chunk uses one
    fetch-and-add; guided sizing needs a CAS loop because the claim size
-   depends on how much is left. *)
-let claim ~next ~n ~workers ~chunk =
+   depends on how much is left.
+
+   hot-alloc is allowed here: the returned pair (and the guided-path
+   loop closure) is one allocation per claimed CHUNK, amortized over
+   every task in the chunk — not per task. *)
+let[@lattol.allow "hot-alloc"] claim ~next ~n ~workers ~chunk =
   match chunk with
   | Some c ->
     let lo = Atomic.fetch_and_add next c in
@@ -173,7 +177,10 @@ let map_local ?chunk ?oversubscribe ?monitor ?retry ?deadline ?on_poison ~jobs
     let locals = Array.make jobs None in
     let next = Atomic.make 0 in
     (match monitor with Some m -> m.on_start ~jobs ~items:n | None -> ());
-    let worker w =
+    (* Hot: every task in every parallel map runs through this claim
+       loop, so per-iteration allocation here is multiplied by the whole
+       workload. *)
+    let[@lattol.hot] worker w =
       Rp.worker_begin ();
       (* The local is created in the worker's own domain, so its state
          lives in that domain's minor heap. *)

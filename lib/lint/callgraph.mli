@@ -1,0 +1,64 @@
+(** Phase 1 of the whole-program analysis: per-compilation-unit function
+    summaries over the {!Parsetree}, keyed by resolved value paths.
+
+    Every toplevel (and nested-module) value binding becomes a node
+    ["Unit.path"].  References are resolved syntactically: [Stdlib.] and
+    library-wrapper prefixes ([Lattol_*]) are stripped, and unit-level
+    [module Alias = ...] aliases are applied, so [Des.run],
+    [Lattol_sim.Mms_des.run] and (from inside the unit) [run] all name
+    the node ["Mms_des.run"].  Resolution is an over-approximation: a
+    path that names nothing simply produces no edge.
+
+    Closures handed to a spawn point — [Domain.spawn] or the
+    [Pool.map]/[map_ctx]/[map_local]/[map_list]/[run] family — are
+    collected as synthetic {e parallel-root} nodes ([par_root = true])
+    hanging off the enclosing function; phase 2 starts its reachability
+    sweep there.  Function bodies also record the domain-safety and
+    allocation {!event}s that the phase-2 rules consume. *)
+
+type pos = { line : int; col : int; offset : int }
+
+val pos_of : Location.t -> pos
+
+type event =
+  | Mutate of { target : string; under_lock : bool }
+      (** mutation of the value at resolved path [target]
+          ([x := ], [Hashtbl.replace x], [x.f <- ], ...); [under_lock]
+          when syntactically inside [Mutex.protect] *)
+  | Read of { target : string; under_lock : bool }
+      (** read of the value at [target] ([!x], [Hashtbl.find x], field
+          access, ...) *)
+  | Prng_draw of { op : string; target : string option }
+      (** [Prng.op target]: a draw that advances the stream *)
+  | Alloc of { what : string; in_loop : bool }
+      (** heap allocation ([what] names the shape); [in_loop] when inside
+          a [for]/[while] body or a closure handed to an iterator *)
+  | Partial of { callee : string; given : int }
+      (** application of [callee] with [given] positional arguments,
+          recorded inside loops; phase 2 compares against the callee's
+          arity *)
+
+type fn = {
+  id : string;            (** ["Unit.path"], or ["Unit.!par.L.C"] roots *)
+  unit_name : string;
+  file : string;
+  pos : pos;
+  arity : int;            (** leading [fun] parameters; 0 = not a function *)
+  keyword_args : bool;    (** has labelled/optional params (arity unreliable) *)
+  hot : bool;             (** carries [[@lattol.hot]] *)
+  par_root : bool;        (** synthetic spawn-point closure *)
+  calls : (string * pos) list;   (** resolved reference paths, in order *)
+  events : (event * pos) list;
+}
+
+type t = {
+  unit_name : string;
+  file : string;
+  fns : fn list;
+}
+
+val unit_name_of_file : string -> string
+(** Capitalized basename without extension. *)
+
+val summarize : file:string -> Parsetree.structure -> t
+(** Deterministic: depends only on [file] and the structure. *)

@@ -1,9 +1,10 @@
 type t = {
   disabled : string list;
   excludes : string list;
+  mli_exempt : string list;
 }
 
-let empty = { disabled = []; excludes = [] }
+let empty = { disabled = []; excludes = []; mli_exempt = [] }
 
 let normalize path =
   (* Windows-proof and prefix-proof: '/'-separated, no leading "./". *)
@@ -29,6 +30,21 @@ let excluded t path =
 
 let enabled t rule = not (List.mem rule t.disabled)
 
+let mli_exempt t path =
+  (* Exemptions are exact normalized paths, or a trailing-suffix match so
+     the same policy file works when the tree is linted from a sandbox
+     prefix (dune cram, --root). *)
+  let path = normalize path in
+  List.exists
+    (fun e ->
+      let e = normalize e in
+      e = path
+      || (String.length path > String.length e
+          && String.sub path (String.length path - String.length e - 1)
+               (String.length e + 1)
+             = "/" ^ e))
+    t.mli_exempt
+
 let strip s = String.trim s
 
 let load ~file =
@@ -52,6 +68,8 @@ let load ~file =
               go { acc with disabled = List.filter (( <> ) arg) acc.disabled }
                 (lineno + 1) rest
             | "exclude" -> go { acc with excludes = arg :: acc.excludes } (lineno + 1) rest
+            | "mli-exempt" ->
+              go { acc with mli_exempt = arg :: acc.mli_exempt } (lineno + 1) rest
             | d -> Error (Printf.sprintf "%s:%d: unknown directive %S" file lineno d)))
     in
     go empty 1 (String.split_on_char '\n' text)

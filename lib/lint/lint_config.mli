@@ -1,11 +1,15 @@
 (** Per-run rule policy: which rules are enabled and which paths are
     skipped.  Sourced from a [.lattol-lint] file (one directive per line:
-    [disable <rule-id>], [enable <rule-id>], [exclude <path>], [#]
-    comments) and refined by the [--rules] command-line spec. *)
+    [disable <rule-id>], [enable <rule-id>], [exclude <path>],
+    [mli-exempt <path>], [#] comments) and refined by the [--rules]
+    command-line spec. *)
 
 type t = {
-  disabled : string list;  (** rule ids that do not run *)
-  excludes : string list;  (** path fragments whose files are skipped *)
+  disabled : string list;    (** rule ids that do not run *)
+  excludes : string list;    (** path fragments whose files are skipped *)
+  mli_exempt : string list;
+      (** files deliberately without an interface: [hyg-mli-missing] skips
+          them by policy instead of by accident *)
 }
 
 val empty : t
@@ -22,5 +26,9 @@ val enabled : t -> string -> bool
 val excluded : t -> string -> bool
 (** Does any [exclude] fragment match the ('/'-normalized) path as a
     whole-segment subpath? *)
+
+val mli_exempt : t -> string -> bool
+(** Is the path (or its trailing suffix, so sandbox prefixes don't defeat
+    the policy) listed under an [mli-exempt] directive? *)
 
 val normalize : string -> string

@@ -1,0 +1,164 @@
+open Parsetree
+
+type kind =
+  | Ref
+  | Table
+  | Buffer
+  | Queue
+  | Stack
+  | Array_
+  | Mutable_record
+  | Prng
+  | Atomic
+  | Dls
+  | Lock
+
+let kind_name = function
+  | Ref -> "ref"
+  | Table -> "Hashtbl"
+  | Buffer -> "Buffer"
+  | Queue -> "Queue"
+  | Stack -> "Stack"
+  | Array_ -> "array"
+  | Mutable_record -> "mutable record"
+  | Prng -> "Prng stream"
+  | Atomic -> "Atomic"
+  | Dls -> "Domain.DLS key"
+  | Lock -> "Mutex"
+
+(* Atomic and DLS carry their own synchronization; a Mutex is the lock,
+   not the hazard. *)
+let kind_protected = function
+  | Atomic | Dls | Lock -> true
+  | Ref | Table | Buffer | Queue | Stack | Array_ | Mutable_record | Prng ->
+    false
+
+type global = {
+  id : string;
+  unit_name : string;
+  name : string;
+  kind : kind;
+  protected : bool;
+  file : string;
+  pos : Callgraph.pos;
+}
+
+let rec flatten = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten l @ [ s ]
+  | Longident.Lapply _ -> []
+
+let strip_wrapper = function
+  | ("Stdlib" | "Pervasives") :: (_ :: _ as rest) -> rest
+  | w :: (_ :: _ as rest)
+    when String.length w > 7 && String.sub w 0 7 = "Lattol_" ->
+    rest
+  | l -> l
+
+let maker_kind = function
+  | [ "ref" ] -> Some Ref
+  | [ "Hashtbl"; "create" ] -> Some Table
+  | [ "Buffer"; "create" ] -> Some Buffer
+  | [ "Queue"; "create" ] -> Some Queue
+  | [ "Stack"; "create" ] -> Some Stack
+  | [ "Array"; ("make" | "init" | "make_matrix" | "copy" | "of_list"
+               | "create_float" | "append") ]
+  | [ "Bytes"; ("create" | "make") ] ->
+    Some Array_
+  | [ "Prng"; ("create" | "split" | "copy") ] -> Some Prng
+  | [ "Atomic"; "make" ] -> Some Atomic
+  | [ "Domain"; "DLS"; "new_key" ] | [ "DLS"; "new_key" ] -> Some Dls
+  | [ "Mutex"; "create" ] -> Some Lock
+  | _ -> None
+
+(* [let x = <maker> ...] possibly under type constraints; a [fun] on the
+   right means [x] is a function, not state. *)
+let rec classify_rhs mutable_fields e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) ->
+    classify_rhs mutable_fields e
+  | Pexp_apply (fn, _) -> (
+    match fn.pexp_desc with
+    | Pexp_ident { txt; _ } -> maker_kind (strip_wrapper (flatten txt))
+    | _ -> None)
+  | Pexp_array _ -> Some Array_
+  | Pexp_record (fields, _) ->
+    if
+      List.exists
+        (fun (({ Location.txt; _ } : Longident.t Location.loc), _) ->
+          match List.rev (flatten txt) with
+          | f :: _ -> List.mem f mutable_fields
+          | [] -> false)
+        fields
+    then Some Mutable_record
+    else None
+  | _ -> None
+
+let declared_mutable_fields items =
+  List.concat_map
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_type (_, decls) ->
+        List.concat_map
+          (fun d ->
+            match d.ptype_kind with
+            | Ptype_record labels ->
+              List.filter_map
+                (fun l ->
+                  match l.pld_mutable with
+                  | Asttypes.Mutable -> Some l.pld_name.txt
+                  | Asttypes.Immutable -> None)
+                labels
+            | _ -> [])
+          decls
+      | _ -> [])
+    items
+
+let binding_name vb =
+  let rec of_pat p =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } -> Some txt
+    | Ppat_constraint (p, _) -> of_pat p
+    | _ -> None
+  in
+  of_pat vb.pvb_pat
+
+let scan ~file str =
+  let unit_name = Callgraph.unit_name_of_file file in
+  let acc = ref [] in
+  let rec go prefix items =
+    let mutable_fields = declared_mutable_fields items in
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              match binding_name vb with
+              | None -> ()
+              | Some name -> (
+                match classify_rhs mutable_fields vb.pvb_expr with
+                | None -> ()
+                | Some kind ->
+                  acc :=
+                    {
+                      id = unit_name ^ "." ^ prefix ^ name;
+                      unit_name;
+                      name = prefix ^ name;
+                      kind;
+                      protected = kind_protected kind;
+                      file;
+                      pos = Callgraph.pos_of vb.pvb_loc;
+                    }
+                    :: !acc))
+            vbs
+        | Pstr_module mb -> (
+          match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+          | Some mname, Pmod_structure items ->
+            go (prefix ^ mname ^ ".") items
+          | _ -> ())
+        | _ -> ())
+      items
+  in
+  go "" str;
+  List.rev !acc

@@ -1,0 +1,41 @@
+(** Phase 2: the whole-program half of the analysis.
+
+    [build] merges the per-unit {!Callgraph} summaries and the
+    {!Mutstate} inventory into one program; the {e parallel region} is
+    everything reachable from a spawn-point closure
+    ({!Callgraph.fn.par_root}), the {e hot region} everything reachable
+    from a [[@lattol.hot]] annotation.  [analyze] evaluates the
+    whole-program rules over those regions:
+
+    - [dom-shared-mutation] — unprotected module-level mutable state
+      mutated from the parallel region;
+    - [dom-unprotected-read-write] — unprotected module-level mutable
+      state read in the parallel region while mutated anywhere;
+    - [det-prng-unsplit] — a shared toplevel [Prng] stream advanced from
+      the parallel region (split streams per task instead);
+    - [hot-alloc] — per-iteration allocation (closure, tuple, record,
+      list, array, partial application) in the hot region. *)
+
+type program
+
+val build : Callgraph.t list -> Mutstate.global list -> program
+
+val closure : edges:(string * string list) list -> roots:string list -> string list
+(** Pure reachability over an explicit adjacency list; returns the
+    sorted set of nodes reachable from [roots] (roots included).
+    Exposed for the determinism/monotonicity property tests. *)
+
+val parallel_roots : program -> string list
+val hot_roots : program -> string list
+
+val parallel_region : program -> Set.Make(String).t
+val hot_region : program -> Set.Make(String).t
+
+type reporter =
+  rule:string ->
+  file:string ->
+  pos:Callgraph.pos ->
+  message:string ->
+  unit
+
+val analyze : program -> enabled:(string -> bool) -> report:reporter -> unit

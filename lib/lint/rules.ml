@@ -95,7 +95,54 @@ let metas =
       id = "hyg-mli-missing";
       family = "domain-safety";
       summary = "library module without an interface file";
-      hint = "add a sibling .mli so the module's contract is explicit";
+      hint =
+        "add a sibling .mli so the module's contract is explicit, or list \
+         the file under an 'mli-exempt' directive in .lattol-lint stating \
+         why it is a bare executable";
+    };
+    {
+      id = "dom-shared-mutation";
+      family = "domain-safety";
+      summary =
+        "module-level mutable state mutated from the parallel region \
+         (transitively from a Pool/Domain.spawn closure) without \
+         synchronization";
+      hint =
+        "wrap the access in Mutex.protect or Atomic, carry the state \
+         per-worker via Pool.map_local, or have workers return values and \
+         merge on the caller";
+    };
+    {
+      id = "dom-unprotected-read-write";
+      family = "domain-safety";
+      summary =
+        "module-level mutable state read in the parallel region while \
+         also mutated elsewhere (torn-read race)";
+      hint =
+        "take the same lock on both sides (Mutex.protect), publish through \
+         Atomic, or snapshot the state into an immutable value before the \
+         fan-out";
+    };
+    {
+      id = "det-prng-unsplit";
+      family = "determinism";
+      summary =
+        "shared toplevel Prng stream advanced from the parallel region";
+      hint =
+        "derive one stream per task with Prng.split before the fan-out \
+         (see Replicate.streams): draw order on a shared stream depends on \
+         scheduling, so results stop being replayable from the seed";
+    };
+    {
+      id = "hot-alloc";
+      family = "hot-path";
+      summary =
+        "per-iteration heap allocation in a [@lattol.hot] region \
+         (closure/tuple/record/list/array or partial application)";
+      hint =
+        "hoist the allocation out of the loop, reuse preallocated \
+         Float.Array/Bigarray scratch, and apply functions fully: flat \
+         inner loops are what unlock multicore scaling (ROADMAP item 3)";
     };
   ]
 

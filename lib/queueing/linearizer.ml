@@ -12,12 +12,15 @@ type core_result = {
 (* One Bard-Schweitzer-style fixed point for population vector [pops],
    where the queue seen by an arriving class-[c] customer is estimated as
    q_{j,m}(N - e_c) ~= (N_j - d_jc) (q_{j,m}/N_j + F.(c).(j).(m)). *)
-let core network ~pops ~f ~(options : Amva.options) =
+let[@lattol.hot] core network ~pops ~f ~(options : Amva.options) =
   let num_cls = Network.num_classes network in
   let num_st = Network.num_stations network in
   let queue = Array.make_matrix num_cls num_st 0. in
+  (* Loop-carried accumulators are hoisted and reset instead of being
+     fresh ref cells per iteration (hot-alloc diet, ROADMAP item 3). *)
+  let visited = ref 0 in
   for c = 0 to num_cls - 1 do
-    let visited = ref 0 in
+    visited := 0;
     for m = 0 to num_st - 1 do
       if Network.visit network ~cls:c ~station:m > 0. then incr visited
     done;
@@ -38,47 +41,57 @@ let core network ~pops ~f ~(options : Amva.options) =
   let active c =
     pops.(c) > 0 && Network.total_demand network ~cls:c > 0.
   in
+  (* Sweep scratch, allocated once for all fixed-point iterations
+     (hot-alloc diet, ROADMAP item 3).  [new_queue] rows for inactive
+     classes are never written and keep their initial zeros, matching
+     the fresh-matrix-per-sweep semantics this replaces; active rows are
+     fully overwritten each sweep.  The queue seen by an arriving
+     customer ([seen] below) is inlined into the backlog sum with the
+     station kind's scale factor, so the innermost loop allocates
+     neither closures nor accumulator cells. *)
+  let max_delta = ref 0. in
+  let new_queue = Array.make_matrix num_cls num_st 0. in
+  let cycle = ref 0. in
+  let backlog = ref 0. in
+  let backlog_sum ~c ~m ~scale =
+    backlog := 0.;
+    for j = 0 to num_cls - 1 do
+      let seen =
+        if pops.(j) = 0 then 0.
+        else begin
+          let n_j = float_of_int pops.(j) in
+          let reduced = if j = c then n_j -. 1. else n_j in
+          Float.max 0.
+            (reduced *. ((queue.(j).(m) /. n_j) +. f.(c).(j).(m)))
+        end
+      in
+      backlog :=
+        !backlog
+        +. (Network.service_time network ~cls:j ~station:m *. scale *. seen)
+    done;
+    !backlog
+  in
   while
     (not !converged) && (not !stopped)
     && !iterations < options.Amva.max_iterations
   do
     incr iterations;
-    let max_delta = ref 0. in
-    let new_queue = Array.make_matrix num_cls num_st 0. in
+    max_delta := 0.;
     for c = 0 to num_cls - 1 do
       if active c then begin
-        let cycle = ref 0. in
+        cycle := 0.;
         for m = 0 to num_st - 1 do
           let v = Network.visit network ~cls:c ~station:m in
           if v > 0. then begin
             let s = Network.service_time network ~cls:c ~station:m in
-            let seen j =
-              if pops.(j) = 0 then 0.
-              else begin
-                let n_j = float_of_int pops.(j) in
-                let reduced = if j = c then n_j -. 1. else n_j in
-                Float.max 0.
-                  (reduced *. ((queue.(j).(m) /. n_j) +. f.(c).(j).(m)))
-              end
-            in
-            let backlog scale =
-              let acc = ref 0. in
-              for j = 0 to num_cls - 1 do
-                acc :=
-                  !acc
-                  +. (Network.service_time network ~cls:j ~station:m
-                      *. scale *. seen j)
-              done;
-              !acc
-            in
             let w =
               match Network.station_kind network m with
               | Network.Delay -> s
-              | Network.Queueing -> s +. backlog 1.
+              | Network.Queueing -> s +. backlog_sum ~c ~m ~scale:1.
               | Network.Multi_server servers ->
                 let cf = float_of_int servers in
                 let excess =
-                  Float.max 0. (backlog (1. /. s) -. (cf -. 1.))
+                  Float.max 0. (backlog_sum ~c ~m ~scale:(1. /. s) -. (cf -. 1.))
                 in
                 s +. (s /. cf *. excess)
             in

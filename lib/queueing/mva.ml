@@ -1,10 +1,15 @@
-let num_states network =
+(* Called once per solve, never per state vector: the fold closure and
+   the defensive populations copy are amortized over the whole run. *)
+let[@lattol.allow "hot-alloc"] num_states network =
   Array.fold_left
     (fun acc n -> acc * (n + 1))
     1
     (Network.populations network)
 
-let solve ?(max_states = 2_000_000) network =
+(* The exact-MVA recursion is the hottest solver loop in the repo
+   (ROADMAP item 3): the lint's hot-alloc rule audits it — and everything
+   it calls — for per-iteration allocation. *)
+let[@lattol.hot] solve ?(max_states = 2_000_000) network =
   let num_cls = Network.num_classes network in
   let num_st = Network.num_stations network in
   let pops = Network.populations network in
@@ -24,47 +29,65 @@ let solve ?(max_states = 2_000_000) network =
   let queues = Array.make nvec [||] in
   let throughput = Array.make num_cls 0. in
   let residence = Array.make_matrix num_cls num_st 0. in
-  let decode idx =
-    Array.init num_cls (fun c -> idx / strides.(c) mod (pops.(c) + 1))
-  in
+  (* Per-vector scratch is allocated once and reused across all [nvec]
+     iterations (hot-alloc diet, ROADMAP item 3).  Reuse without
+     clearing is sound: every cell read below was written in the same
+     iteration, or is a (c, m) slot with zero visits / zero population
+     that no iteration ever writes, so it keeps its initial 0. *)
+  let n = Array.make num_cls 0 in
+  let res = Array.make_matrix num_cls num_st 0. in
+  let lambda = Array.make num_cls 0. in
+  let cycle = ref 0. in
+  let backlog = ref 0. in
   for idx = 0 to nvec - 1 do
-    let n = decode idx in
+    for c = 0 to num_cls - 1 do
+      n.(c) <- idx / strides.(c) mod (pops.(c) + 1)
+    done;
+    (* [q] escapes into the state table, so it really is one fresh array
+       per population vector; grandfathered in .lattol-baseline until the
+       table is flattened into a single preallocated slab. *)
     let q = Array.make (num_cls * num_st) 0. in
-    let res = Array.make_matrix num_cls num_st 0. in
-    let lambda = Array.make num_cls 0. in
     for c = 0 to num_cls - 1 do
       if n.(c) > 0 then begin
         let q_minus = queues.(idx - strides.(c)) in
         (* Residence times by the arrival theorem. *)
-        let cycle = ref 0. in
+        cycle := 0.;
         for m = 0 to num_st - 1 do
           let v = Network.visit network ~cls:c ~station:m in
           if v > 0. then begin
             let s = Network.service_time network ~cls:c ~station:m in
             (* Arrival-theorem waiting time; Multi_server stations use
                the Seidmann decomposition (queueing part with service s/c
-               plus a fixed delay s (c-1)/c). *)
-            let backlog scale =
-              let acc = ref 0. in
-              for j = 0 to num_cls - 1 do
-                acc :=
-                  !acc
-                  +. Network.service_time network ~cls:j ~station:m
-                     *. scale
-                     *. q_minus.((j * num_st) + m)
-              done;
-              !acc
-            in
+               plus a fixed delay s (c-1)/c).  The backlog sum is inlined
+               per station kind with its scale factor so the inner loop
+               allocates neither a closure nor an accumulator. *)
             let w =
               match Network.station_kind network m with
               | Network.Delay -> s
-              | Network.Queueing -> s +. backlog 1.
+              | Network.Queueing ->
+                backlog := 0.;
+                for j = 0 to num_cls - 1 do
+                  backlog :=
+                    !backlog
+                    +. Network.service_time network ~cls:j ~station:m
+                       *. q_minus.((j * num_st) + m)
+                done;
+                s +. !backlog
               | Network.Multi_server servers ->
                 (* An arrival occupies a free server immediately unless all
                    [c] are busy; the queueing excess beyond [c - 1] waiting
                    customers is served at the pooled rate [c / s]. *)
+                let scale = 1. /. s in
+                backlog := 0.;
+                for j = 0 to num_cls - 1 do
+                  backlog :=
+                    !backlog
+                    +. Network.service_time network ~cls:j ~station:m
+                       *. scale
+                       *. q_minus.((j * num_st) + m)
+                done;
                 let cf = float_of_int servers in
-                let excess = Float.max 0. (backlog (1. /. s) -. (cf -. 1.)) in
+                let excess = Float.max 0. (!backlog -. (cf -. 1.)) in
                 s +. (s /. cf *. excess)
             in
             res.(c).(m) <- v *. w;
@@ -86,7 +109,9 @@ let solve ?(max_states = 2_000_000) network =
     end
   done;
   let final_q = queues.(nvec - 1) in
-  let queue =
+  (* Result assembly, once per solve: the per-class rows here are the
+     returned solution, not per-state scratch. *)
+  let[@lattol.allow "hot-alloc"] queue =
     Array.init num_cls (fun c ->
         Array.init num_st (fun m -> final_q.((c * num_st) + m)))
   in

@@ -80,7 +80,10 @@ let class_name t c = t.classes.(c).class_name
 
 let population t c = t.classes.(c).population
 
-let populations t = Array.map (fun c -> c.population) t.classes
+(* Defensive copy by design; solvers call it once per solve, outside
+   their per-state loops. *)
+let[@lattol.allow "hot-alloc"] populations t =
+  Array.map (fun c -> c.population) t.classes
 
 let total_population t =
   Array.fold_left (fun acc c -> acc + c.population) 0 t.classes

@@ -50,16 +50,20 @@ let rec sift_up t i =
     end
   end
 
+(* Runs once per drained event (from the [@lattol.hot] loop in [run]),
+   so the candidate index threads through plain int bindings instead of a
+   ref cell that would be a per-event minor allocation. *)
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && precedes t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && precedes t.heap.(r) t.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
+  let smallest = if l < t.size && precedes t.heap.(l) t.heap.(i) then l else i in
+  let smallest =
+    if r < t.size && precedes t.heap.(r) t.heap.(smallest) then r else smallest
+  in
+  if smallest <> i then begin
     let tmp = t.heap.(i) in
-    t.heap.(i) <- t.heap.(!smallest);
-    t.heap.(!smallest) <- tmp;
-    sift_down t !smallest
+    t.heap.(i) <- t.heap.(smallest);
+    t.heap.(smallest) <- tmp;
+    sift_down t smallest
   end
 
 let push t ev =
@@ -102,42 +106,44 @@ let cancel t ev =
     t.cancelled_pending <- t.cancelled_pending + 1
   end
 
-let step t =
-  let rec go () =
-    if t.size = 0 then false
-    else begin
-      let ev = pop t in
-      if ev.cancelled then begin
-        t.cancelled_pending <- t.cancelled_pending - 1;
-        go ()
-      end
-      else begin
-        t.clock <- ev.time;
-        t.processed <- t.processed + 1;
-        ev.action ();
-        true
-      end
+(* Tail-recursive directly (not via an inner closure, which would be
+   allocated on every call from the hot event loop). *)
+let rec step t =
+  if t.size = 0 then false
+  else begin
+    let ev = pop t in
+    if ev.cancelled then begin
+      t.cancelled_pending <- t.cancelled_pending - 1;
+      step t
     end
-  in
-  go ()
+    else begin
+      t.clock <- ev.time;
+      t.processed <- t.processed + 1;
+      ev.action ();
+      true
+    end
+  end
 
-let run ?until t =
+(* The event loop is the DES hot path; [@lattol.hot] keeps it (and the
+   heap operations it reaches) allocation-flat under lattol-lint. *)
+let[@lattol.hot] run ?until t =
   match until with
   | None -> while step t do () done
   | Some horizon ->
+    (* Peek past cancelled events.  Defined outside the drain loop: a
+       closure literal inside [while] would be allocated per event. *)
+    let rec peek () =
+      if t.size = 0 then None
+      else if t.heap.(0).cancelled then begin
+        let ev = pop t in
+        ignore ev;
+        t.cancelled_pending <- t.cancelled_pending - 1;
+        peek ()
+      end
+      else Some t.heap.(0).time
+    in
     let continue = ref true in
     while !continue do
-      (* Peek past cancelled events. *)
-      let rec peek () =
-        if t.size = 0 then None
-        else if t.heap.(0).cancelled then begin
-          let ev = pop t in
-          ignore ev;
-          t.cancelled_pending <- t.cancelled_pending - 1;
-          peek ()
-        end
-        else Some t.heap.(0).time
-      in
       match peek () with
       | None -> continue := false
       | Some next_time ->

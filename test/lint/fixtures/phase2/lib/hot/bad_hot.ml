@@ -1,0 +1,16 @@
+(* Per-iteration boxing in a [@lattol.hot] region: allocation in the
+   annotated loop itself, allocation in a transitive callee, and a
+   partial application that closes over its first argument each pass. *)
+
+let scale k x = k *. x
+
+let weight w x = (w, x)
+
+let[@lattol.hot] solve n =
+  let acc = ref 0. in
+  for i = 1 to n do
+    let boxed = ref (float_of_int i) in
+    let f = scale 2. in
+    acc := !acc +. f !boxed +. snd (weight 1. 0.)
+  done;
+  !acc

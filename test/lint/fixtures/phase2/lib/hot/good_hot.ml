@@ -1,0 +1,12 @@
+(* The allocation-flat version: scratch hoisted ahead of the loop (a
+   root's own out-of-loop allocations are amortized set-up, not
+   per-iteration cost) and every call fully applied. *)
+
+let scale k x = k *. x
+
+let[@lattol.hot] solve n =
+  let acc = ref 0. in
+  for i = 1 to n do
+    acc := !acc +. scale 2. (float_of_int i)
+  done;
+  !acc

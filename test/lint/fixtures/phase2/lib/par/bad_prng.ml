@@ -1,0 +1,5 @@
+(* Every worker advances the same toplevel stream: the draw order, and
+   with it the whole experiment, now depends on domain scheduling. *)
+
+let sample xs =
+  Pool.map ~jobs:4 (fun _ -> Prng.float Tally.stream) xs

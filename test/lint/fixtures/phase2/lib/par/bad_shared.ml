@@ -1,0 +1,13 @@
+(* Mutating and reading unprotected module-level state from a parallel
+   region — directly in the task closure and transitively through the
+   call graph. *)
+
+let bump x = Tally.total := !Tally.total + x
+
+let work xs =
+  Pool.map ~jobs:4
+    (fun x ->
+      bump x;
+      Hashtbl.replace Tally.cache x x;
+      x)
+    xs

@@ -1,0 +1,10 @@
+(* Deterministic parallel draws: each task owns a stream split off the
+   master before any drawing happens, so no shared stream is advanced
+   inside the region. *)
+
+let sample xs =
+  Pool.map ~jobs:4
+    (fun i ->
+      let local = Prng.split Tally.stream ~index:i in
+      Prng.float local)
+    xs

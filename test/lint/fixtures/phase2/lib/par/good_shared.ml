@@ -1,0 +1,11 @@
+(* The same shapes, protected: Atomic state, mutation under
+   Mutex.protect, and per-domain scratch through Domain.DLS. *)
+
+let work xs =
+  Pool.map ~jobs:4
+    (fun x ->
+      Atomic.incr Tally.hits;
+      Mutex.protect Tally.lock (fun () -> Tally.total := !Tally.total + x);
+      Buffer.add_char (Domain.DLS.get Tally.scratch) 'x';
+      x)
+    xs

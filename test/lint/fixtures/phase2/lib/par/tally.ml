@@ -1,0 +1,15 @@
+(* Module-level state inventory for the phase-2 corpus: the unprotected
+   bindings are the hazards the dom-* rules must spot when reached from
+   a parallel region; the Atomic/Mutex/DLS ones must stay silent. *)
+
+let total = ref 0
+
+let cache : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let stream = Prng.create 42
+
+let hits = Atomic.make 0
+
+let lock = Mutex.create ()
+
+let scratch = Domain.DLS.new_key (fun () -> Buffer.create 64)

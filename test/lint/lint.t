@@ -7,16 +7,20 @@ the repo's own .lattol-lint policy out of the sandbox.
 The rule pack itself:
 
   $ ../../bin/lattol_lint.exe --list-rules
-  det-random             determinism   ambient Random use outside lib/stats/prng.ml
-  det-wallclock          determinism   wall-clock read in deterministic model/experiment code (lib/ outside the telemetry and supervision layers)
-  det-stdout             determinism   direct stdout write in library code (lib/serve excepted)
-  float-polycompare      float-safety  polymorphic =/<>/compare/Hashtbl.hash on a float-bearing value
-  float-div-unguarded    float-safety  float division by a difference with no dominating nonzero guard
-  float-sum-naive        float-safety  naive float accumulation via fold_left in lib/stats
-  dom-unsync-mutation    domain-safety shared-state mutation inside a Domain.spawn closure without Mutex.protect/Atomic
-  hyg-obj-magic          domain-safety Obj.magic defeats the type system
-  hyg-catchall           domain-safety catch-all exception handler
-  hyg-mli-missing        domain-safety library module without an interface file
+  det-random                 determinism   ambient Random use outside lib/stats/prng.ml
+  det-wallclock              determinism   wall-clock read in deterministic model/experiment code (lib/ outside the telemetry and supervision layers)
+  det-stdout                 determinism   direct stdout write in library code (lib/serve excepted)
+  float-polycompare          float-safety  polymorphic =/<>/compare/Hashtbl.hash on a float-bearing value
+  float-div-unguarded        float-safety  float division by a difference with no dominating nonzero guard
+  float-sum-naive            float-safety  naive float accumulation via fold_left in lib/stats
+  dom-unsync-mutation        domain-safety shared-state mutation inside a Domain.spawn closure without Mutex.protect/Atomic
+  hyg-obj-magic              domain-safety Obj.magic defeats the type system
+  hyg-catchall               domain-safety catch-all exception handler
+  hyg-mli-missing            domain-safety library module without an interface file
+  dom-shared-mutation        domain-safety module-level mutable state mutated from the parallel region (transitively from a Pool/Domain.spawn closure) without synchronization
+  dom-unprotected-read-write domain-safety module-level mutable state read in the parallel region while also mutated elsewhere (torn-read race)
+  det-prng-unsplit           determinism   shared toplevel Prng stream advanced from the parallel region
+  hot-alloc                  hot-path      per-iteration heap allocation in a [@lattol.hot] region (closure/tuple/record/list/array or partial application)
 
 det-random fires on ambient Random use, but not in lib/stats/prng.ml,
 the sanctioned home of the generator:
@@ -111,7 +115,7 @@ not when the sibling .mli exists:
 
   $ ../../bin/lattol_lint.exe --no-config --rules hyg-mli-missing fixtures/mli
   fixtures/mli/lib/nomli/bad_nomli.ml:1:0: [hyg-mli-missing] module has no interface file
-      hint: add a sibling .mli so the module's contract is explicit
+      hint: add a sibling .mli so the module's contract is explicit, or list the file under an 'mli-exempt' directive in .lattol-lint stating why it is a bare executable
   [1]
 
 An expression-level [@lattol.allow "rule"] suppresses exactly that
@@ -140,3 +144,84 @@ profiler's sampler (good_profiler.ml: clock read + Mutex.protect'd fold
 in a spawned domain) is admitted there; this run pins both exemptions:
 
   $ ../../bin/lattol_lint.exe --no-config fixtures/lib/obs fixtures/lib/serve fixtures/lib/robust fixtures/bin
+
+Phase 2 sees the whole program at once: per-unit summaries are joined
+into a cross-module call graph plus an inventory of module-level
+mutable state, parallel roots (closures handed to Pool.* or
+Domain.spawn) are marked, and the dom-*/det-prng rules judge everything
+reachable from them.  The fixture project keeps its hazards in
+tally.ml and reaches them from other units.
+
+dom-shared-mutation fires on unprotected module-level mutation reached
+from a parallel region — directly or through the call graph (note the
+"via Bad_shared.bump" edge) — but not under Atomic, Mutex.protect, or
+Domain.DLS:
+
+  $ ../../bin/lattol_lint.exe --no-config --rules dom-shared-mutation fixtures/phase2
+  fixtures/phase2/lib/par/bad_shared.ml:5:13: [dom-shared-mutation] toplevel ref Tally.total is mutated from the parallel region (via Bad_shared.bump) without Atomic/Mutex.protect
+      hint: wrap the access in Mutex.protect or Atomic, carry the state per-worker via Pool.map_local, or have workers return values and merge on the caller
+  fixtures/phase2/lib/par/bad_shared.ml:11:6: [dom-shared-mutation] toplevel Hashtbl Tally.cache is mutated from the parallel region (via Bad_shared) without Atomic/Mutex.protect
+      hint: wrap the access in Mutex.protect or Atomic, carry the state per-worker via Pool.map_local, or have workers return values and merge on the caller
+  [1]
+
+dom-unprotected-read-write fires when the region reads state that is
+mutated anywhere else in the program (a torn read races with the
+writer), but not when the read is under the same lock:
+
+  $ ../../bin/lattol_lint.exe --no-config --rules dom-unprotected-read-write fixtures/phase2
+  fixtures/phase2/lib/par/bad_shared.ml:5:28: [dom-unprotected-read-write] toplevel ref Tally.total is read in the parallel region (via Bad_shared.bump) while also being mutated elsewhere
+      hint: take the same lock on both sides (Mutex.protect), publish through Atomic, or snapshot the state into an immutable value before the fan-out
+  [1]
+
+det-prng-unsplit fires when workers advance one shared toplevel Prng
+stream (draw order now depends on scheduling), but not when each task
+draws from its own split:
+
+  $ ../../bin/lattol_lint.exe --no-config --rules det-prng-unsplit fixtures/phase2
+  fixtures/phase2/lib/par/bad_prng.ml:5:29: [det-prng-unsplit] Prng.float draws from the shared toplevel stream Tally.stream inside the parallel region
+      hint: derive one stream per task with Prng.split before the fan-out (see Replicate.streams): draw order on a shared stream depends on scheduling, so results stop being replayable from the seed
+  [1]
+
+hot-alloc fires inside [@lattol.hot] regions on per-iteration boxing:
+allocation in the annotated loop, allocation in a transitive callee
+(weight allocates on every call, and every call is one loop pass), and
+partial application; the hoisted-and-fully-applied version is silent:
+
+  $ ../../bin/lattol_lint.exe --no-config --rules hot-alloc fixtures/phase2
+  fixtures/phase2/lib/hot/bad_hot.ml:7:17: [hot-alloc] tuple allocated per call in the hot region (Bad_hot.weight)
+      hint: hoist the allocation out of the loop, reuse preallocated Float.Array/Bigarray scratch, and apply functions fully: flat inner loops are what unlock multicore scaling (ROADMAP item 3)
+  fixtures/phase2/lib/hot/bad_hot.ml:12:16: [hot-alloc] ref cell allocated per iteration in the hot region (Bad_hot.solve)
+      hint: hoist the allocation out of the loop, reuse preallocated Float.Array/Bigarray scratch, and apply functions fully: flat inner loops are what unlock multicore scaling (ROADMAP item 3)
+  fixtures/phase2/lib/hot/bad_hot.ml:13:12: [hot-alloc] partial application of Bad_hot.scale (1 of 2 arguments) allocates a closure per iteration
+      hint: hoist the allocation out of the loop, reuse preallocated Float.Array/Bigarray scratch, and apply functions fully: flat inner loops are what unlock multicore scaling (ROADMAP item 3)
+  [1]
+
+A committed baseline accepts known findings by "rule path" pairs
+without silencing the rule elsewhere; --stats accounts for the
+demotion:
+
+  $ cat > baseline.txt <<'DONE'
+  > hot-alloc fixtures/phase2/lib/hot/bad_hot.ml
+  > DONE
+  $ ../../bin/lattol_lint.exe --no-config --rules hot-alloc --baseline baseline.txt --stats fixtures/phase2
+  files scanned: 7
+  findings: 0 (suppressed: 0)
+  baselined: 3
+
+A baseline entry whose finding no longer fires is itself an error, so
+the debt list can only shrink in step with the tree:
+
+  $ cat > stale.txt <<'DONE'
+  > hot-alloc fixtures/phase2/lib/hot/good_hot.ml
+  > DONE
+  $ ../../bin/lattol_lint.exe --no-config --rules hot-alloc --baseline stale.txt fixtures/phase2/lib/hot/good_hot.ml
+  stale.txt:1:0: [baseline-stale] baseline entry 'hot-alloc fixtures/phase2/lib/hot/good_hot.ml' matched no finding
+      hint: the grandfathered finding is gone: delete this line so the fix is locked in
+  [1]
+
+SARIF output (for GitHub code scanning) carries the full rule pack and
+the same findings:
+
+  $ ../../bin/lattol_lint.exe --no-config --rules det-prng-unsplit --format sarif fixtures/phase2/lib/par/bad_prng.ml fixtures/phase2/lib/par/tally.ml
+  {"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"lattol-lint","informationUri":"https://github.com/lattol/lattol","rules":[{"id":"det-random","shortDescription":{"text":"ambient Random use outside lib/stats/prng.ml"},"help":{"text":"draw from a Lattol_stats.Prng stream threaded from the experiment seed; the ambient Random is invisible to replay and to the solve cache"},"properties":{"family":"determinism"}},{"id":"det-wallclock","shortDescription":{"text":"wall-clock read in deterministic model/experiment code (lib/ outside the telemetry and supervision layers)"},"help":{"text":"solver results, cache keys and golden CSVs must not depend on time; read clocks only in the layers scoped for it (lib/obs, lib/serve, lib/robust) or in executables"},"properties":{"family":"determinism"}},{"id":"det-stdout","shortDescription":{"text":"direct stdout write in library code (lib/serve excepted)"},"help":{"text":"emit through a Format.formatter or a Report/Metrics sink chosen by the caller; library stdout interleaves nondeterministically under --jobs"},"properties":{"family":"determinism"}},{"id":"float-polycompare","shortDescription":{"text":"polymorphic =/<>/compare/Hashtbl.hash on a float-bearing value"},"help":{"text":"use Float.equal / Float.compare (or a keyed comparison): polymorphic compare diverges on nan and boxes every float, and Hashtbl.hash folds nan/-0. unpredictably into cache keys"},"properties":{"family":"float-safety"}},{"id":"float-div-unguarded","shortDescription":{"text":"float division by a difference with no dominating nonzero guard"},"help":{"text":"guard the branch so the divisor is provably nonzero, or annotate with [@lattol.allow \"float-div-unguarded\"] stating the invariant that keeps it away from zero"},"properties":{"family":"float-safety"}},{"id":"float-sum-naive","shortDescription":{"text":"naive float accumulation via fold_left in lib/stats"},"help":{"text":"use Lattol_stats.Moments (Welford) or Kahan compensation for long sums; annotate when the operand count is small and bounded"},"properties":{"family":"float-safety"}},{"id":"dom-unsync-mutation","shortDescription":{"text":"shared-state mutation inside a Domain.spawn closure without Mutex.protect/Atomic"},"help":{"text":"wrap the mutation in Mutex.protect, use Atomic, or annotate with [@lattol.allow \"dom-unsync-mutation\"] naming the lock that is held"},"properties":{"family":"domain-safety"}},{"id":"hyg-obj-magic","shortDescription":{"text":"Obj.magic defeats the type system"},"help":{"text":"restructure with a GADT, a variant, or a first-class module"},"properties":{"family":"domain-safety"}},{"id":"hyg-catchall","shortDescription":{"text":"catch-all exception handler"},"help":{"text":"match the specific exceptions: a catch-all absorbs the supervisor's escalation exceptions (and Stack_overflow) and turns faults into silent wrong answers"},"properties":{"family":"domain-safety"}},{"id":"hyg-mli-missing","shortDescription":{"text":"library module without an interface file"},"help":{"text":"add a sibling .mli so the module's contract is explicit, or list the file under an 'mli-exempt' directive in .lattol-lint stating why it is a bare executable"},"properties":{"family":"domain-safety"}},{"id":"dom-shared-mutation","shortDescription":{"text":"module-level mutable state mutated from the parallel region (transitively from a Pool/Domain.spawn closure) without synchronization"},"help":{"text":"wrap the access in Mutex.protect or Atomic, carry the state per-worker via Pool.map_local, or have workers return values and merge on the caller"},"properties":{"family":"domain-safety"}},{"id":"dom-unprotected-read-write","shortDescription":{"text":"module-level mutable state read in the parallel region while also mutated elsewhere (torn-read race)"},"help":{"text":"take the same lock on both sides (Mutex.protect), publish through Atomic, or snapshot the state into an immutable value before the fan-out"},"properties":{"family":"domain-safety"}},{"id":"det-prng-unsplit","shortDescription":{"text":"shared toplevel Prng stream advanced from the parallel region"},"help":{"text":"derive one stream per task with Prng.split before the fan-out (see Replicate.streams): draw order on a shared stream depends on scheduling, so results stop being replayable from the seed"},"properties":{"family":"determinism"}},{"id":"hot-alloc","shortDescription":{"text":"per-iteration heap allocation in a [@lattol.hot] region (closure/tuple/record/list/array or partial application)"},"help":{"text":"hoist the allocation out of the loop, reuse preallocated Float.Array/Bigarray scratch, and apply functions fully: flat inner loops are what unlock multicore scaling (ROADMAP item 3)"},"properties":{"family":"hot-path"}}]}},"results":[{"ruleId":"det-prng-unsplit","level":"error","message":{"text":"Prng.float draws from the shared toplevel stream Tally.stream inside the parallel region; hint: derive one stream per task with Prng.split before the fan-out (see Replicate.streams): draw order on a shared stream depends on scheduling, so results stop being replayable from the seed"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"fixtures/phase2/lib/par/bad_prng.ml"},"region":{"startLine":5,"startColumn":30}}}]}]}]}
+  [1]
