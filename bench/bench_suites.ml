@@ -197,6 +197,20 @@ let exec ~quick () =
   figures_grid 1;
   let f1 = wall3 (fun () -> figures_grid 1) in
   let f2 = wall3 (fun () -> figures_grid 2) in
+  (* Causal-tracing overhead: the same grid with a live recorder attached.
+     A wall ratio, so it is machine-independent; the CI ceiling on it pins
+     the standing "tracing stays cheap" promise. *)
+  let traced_grid () =
+    let cache = Lattol_exec.Cache.create () in
+    let recorder = Lattol_obs.Trace_ctx.create ~root:"bench" () in
+    ignore
+      (Lattol_exec.Sweep.run ~cache ~jobs:1
+         ~causal:(Lattol_obs.Trace_ctx.root_ctx recorder)
+         ~base:default fig_axes)
+  in
+  traced_grid ();
+  let ft = wall3 traced_grid in
+  let trace_overhead = ft /. Float.max f1 1e-9 in
   (* Warm-cache behaviour: the second identical sweep must be served
      entirely from the memo. *)
   let cache = Lattol_exec.Cache.create () in
@@ -267,6 +281,7 @@ let exec ~quick () =
       m "exec/pool/speedup_j4" "x" (speedup ~serial:d1 d4);
       m "exec/pool/speedup_j8" "x" (speedup ~serial:d1 d8);
       m "exec/figures/speedup_j2" "x" (speedup ~serial:f1 f2);
+      m "obs/trace/overhead" "x" trace_overhead;
       m "exec/cache/warm_hit_rate" "ratio" warm_hit_rate;
     ]
     @ lookup_timing

@@ -21,11 +21,15 @@
 open Cmdliner
 open Lattol_core
 
-(* Verbosity: -v enables solver diagnostics on stderr. *)
+(* Verbosity: -v enables solver diagnostics on stderr — both the legacy
+   Logs reporter (core solvers) and the structured JSONL logger
+   (supervisor and friends), whose lines carry causal-trace ids. *)
 let setup_logs verbose =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning));
+  Lattol_obs.Log.set_level
+    (Some (if verbose then Lattol_obs.Log.Debug else Lattol_obs.Log.Warn))
 
 let verbose_term =
   let arg =
@@ -264,7 +268,7 @@ let serve_socket_arg =
 
 (* Run [k] with the exporter live, shutting it down afterwards.  Exit 124
    on a bind failure — nothing has been computed yet at that point. *)
-let with_exporter ?health ?runtime ~serve ~serve_socket ~snapshot k =
+let with_exporter ?health ?runtime ?trace ~serve ~serve_socket ~snapshot k =
   let endpoint =
     match (serve, serve_socket) with
     | Some _, Some _ ->
@@ -277,7 +281,7 @@ let with_exporter ?health ?runtime ~serve ~serve_socket ~snapshot k =
   match endpoint with
   | None -> k ()
   | Some endpoint -> (
-    match Serve.Exporter.start ?health ?runtime ~snapshot endpoint with
+    match Serve.Exporter.start ?health ?runtime ?trace ~snapshot endpoint with
     | Error msg ->
       Printf.eprintf "mms: %s\n%!" msg;
       exit 124
@@ -291,6 +295,68 @@ let write_metrics_snapshot snap file =
       if Filename.check_suffix file ".csv" then
         Lattol_obs.Metrics.write_csv_snapshot snap oc
       else Lattol_obs.Metrics.write_json_snapshot snap oc)
+
+(* ------------------------------------------------------------------ *)
+(* causal tracing (--causal-trace / mms trace) *)
+
+module Tc = Lattol_obs.Trace_ctx
+module Trace_report = Lattol_obs.Trace_report
+
+let causal_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "causal-trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a causal trace of the run — per-point span trees through \
+           the pool, cache, solver and journal — and write the \
+           critical-path report to $(docv) as JSON.  Stdout is untouched: \
+           the CSV stays byte-identical to an untraced run at any \
+           $(b,--jobs).")
+
+let causal_chrome_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "causal-chrome" ] ~docv:"FILE"
+        ~doc:
+          "Also write the causal trace's merged span timeline (one track \
+           per grid point) to $(docv) in Chrome trace-event JSON (open in \
+           Perfetto or chrome://tracing).  Implies causal tracing even \
+           without $(b,--causal-trace).")
+
+(* The /trace.json live probe: analyze the running trace on demand.
+   analyze does not seal, so scrapes never freeze the root span. *)
+let trace_probe recorder () =
+  let b = Buffer.create 4096 in
+  Trace_report.to_json b (Trace_report.analyze recorder);
+  Buffer.contents b
+
+let write_causal_report report file =
+  with_out file (fun oc ->
+      let b = Buffer.create 8192 in
+      Trace_report.to_json b report;
+      Buffer.add_char b '\n';
+      output_string oc (Buffer.contents b))
+
+let write_causal_chrome recorder file =
+  with_out file (fun oc ->
+      Lattol_obs.Events.write_chrome (Trace_report.to_events recorder) oc)
+
+(* Exemplar-linked metrics: the per-point wall-time distribution, each
+   bucket remembering the trace id of the last point that landed in it,
+   so a fat histogram tail links straight to a concrete traced point. *)
+let register_point_walls reg report =
+  let h =
+    Lattol_obs.Metrics.histogram reg ~hi:1000. ~bins:20
+      ~help:"causal-traced point wall time (ms), buckets carry exemplars"
+      "trace_point_wall_ms"
+  in
+  List.iter
+    (fun p ->
+      Lattol_obs.Metrics.record ~exemplar:p.Trace_report.p_trace_id h
+        p.Trace_report.wall_ms)
+    report.Trace_report.r_points
 
 (* ------------------------------------------------------------------ *)
 (* runtime profiler (mms prof / --profile-runtime) *)
@@ -769,9 +835,9 @@ let sweep_cmd =
       & info [ "steps" ] ~docv:"N" ~doc:"Number of points (default 11).")
   in
   let run params solver names froms tos stepss jobs chunk cache_dir
-      metrics_out trace_out serve serve_socket journal resume retries
-      task_deadline chaos_rate chaos_attempts chaos_delay chaos_seed
-      kill_after profile_runtime =
+      metrics_out trace_out causal_out causal_chrome serve serve_socket
+      journal resume retries task_deadline chaos_rate chaos_attempts
+      chaos_delay chaos_seed kill_after profile_runtime =
     let n = List.length names in
     let stepss = stepss @ List.init (max 0 (n - List.length stepss)) (fun _ -> 11) in
     match
@@ -816,6 +882,11 @@ let sweep_cmd =
       let telemetry =
         Option.map (fun _ -> Lattol_obs.Solver_trace.create ()) trace_out
       in
+      let causal =
+        if causal_out <> None || causal_chrome <> None then
+          Some (Tc.create ~root:"sweep" ())
+        else None
+      in
       let registry =
         if metrics_out <> None || serving then
           Some (Lattol_obs.Metrics.create ())
@@ -846,12 +917,15 @@ let sweep_cmd =
         flush_on_exit file (fun () -> write_metrics reg file)
       | _ -> ());
       with_exporter ~health:(cache_health cache)
-        ?runtime:(runtime_scrape prof) ~serve ~serve_socket ~snapshot
+        ?runtime:(runtime_scrape prof)
+        ?trace:(Option.map trace_probe causal)
+        ~serve ~serve_socket ~snapshot
         (fun () ->
           Serve.Progress.start progress;
           let rows =
             Exec.Sweep.run ?solver ~cache ~jobs ?chunk ?trace:telemetry
-              ?monitor ?journal ?retry:robust.retry ?deadline:robust.deadline
+              ?causal:(Option.map Tc.root_ctx causal) ?monitor ?journal
+              ?retry:robust.retry ?deadline:robust.deadline
               ~chaos:robust.chaos ~base:params axes
           in
           let single = match axes with [ _ ] -> true | _ -> false in
@@ -899,6 +973,14 @@ let sweep_cmd =
                   s.Exec.Sweep.tol_memory.Tolerance.tol)
             rows;
           Serve.Progress.finish progress;
+          (match causal with
+          | Some recorder ->
+            Tc.seal recorder;
+            let report = Trace_report.analyze recorder in
+            Option.iter (fun reg -> register_point_walls reg report) registry;
+            Option.iter (write_causal_report report) causal_out;
+            Option.iter (write_causal_chrome recorder) causal_chrome
+          | None -> ());
           (match (telemetry, trace_out) with
           | Some tel, Some file ->
             write_solver_trace tel file;
@@ -928,8 +1010,8 @@ let sweep_cmd =
        $ cache_arg
            "Content-addressed solve cache: re-runs over the same \
             configurations perform zero new solves."
-       $ metrics_out_arg $ trace_out_arg solver_trace_doc $ serve_arg
-       $ serve_socket_arg
+       $ metrics_out_arg $ trace_out_arg solver_trace_doc $ causal_trace_arg
+       $ causal_chrome_arg $ serve_arg $ serve_socket_arg
        $ journal_arg sweep_journal_doc
        $ resume_arg $ retries_arg $ task_deadline_arg $ chaos_fail_rate_arg
        $ chaos_fail_attempts_arg $ chaos_delay_arg $ chaos_seed_arg
@@ -1081,6 +1163,129 @@ let figures_cmd =
        $ resume_arg $ retries_arg $ task_deadline_arg $ chaos_fail_rate_arg
        $ chaos_fail_attempts_arg $ chaos_delay_arg $ chaos_seed_arg
        $ chaos_kill_after_arg $ profile_runtime_arg))
+
+(* ------------------------------------------------------------------ *)
+(* trace: causal-trace a figure grid and explain where the time went *)
+
+let trace_cmd =
+  let figure_arg =
+    Arg.(
+      value & opt string "fig04_grid"
+      & info [ "figure" ] ~docv:"NAME"
+          ~doc:
+            "Figure grid to trace (the same names $(b,mms figures --only) \
+             accepts); default is the paper's Fig. 4 grid.")
+  in
+  let slowest_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "slowest" ] ~docv:"K"
+          ~doc:
+            "Exemplar digest size: after the table, print the $(docv) \
+             slowest points with their critical paths and trace ids \
+             (0 disables the digest).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the critical-path report (the $(b,lattol-trace/1) \
+             document /trace.json serves live) to $(docv).")
+  in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write the merged span timeline (one track per grid point) to \
+             $(docv) in Chrome trace-event JSON.")
+  in
+  let run () solver figure jobs chunk cache_dir slowest json_out chrome_out
+      serve serve_socket =
+    if jobs < 1 then `Error (false, "--jobs must be at least 1")
+    else if slowest < 0 then `Error (false, "--slowest must be non-negative")
+    else
+      match check_chunk chunk with
+      | Some msg -> `Error (false, msg)
+      | None -> (
+        match Exec.Figures.find figure with
+        | None ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown figure %s (available: %s)" figure
+                (String.concat ", "
+                   (List.map
+                      (fun f -> f.Exec.Figures.name)
+                      (Exec.Figures.all ()))) )
+        | Some fig ->
+          let recorder = Tc.create ~root:("trace-" ^ fig.Exec.Figures.name) () in
+          let cache = Exec.Cache.create ?dir:cache_dir () in
+          let progress = Serve.Progress.create ~phase:"trace" () in
+          Serve.Progress.set_total progress
+            (List.length (Exec.Sweep.points fig.Exec.Figures.axes));
+          register_cache_pulls progress cache;
+          let snapshot () = Serve.Progress.to_snapshot progress in
+          let serving = serve <> None || serve_socket <> None in
+          let monitor =
+            if serving then Some (Serve.Progress.pool_monitor progress)
+            else None
+          in
+          with_exporter ~health:(cache_health cache)
+            ~trace:(trace_probe recorder) ~serve ~serve_socket ~snapshot
+            (fun () ->
+              Serve.Progress.start progress;
+              let rows =
+                Exec.Sweep.run ?solver ~cache ~jobs ?chunk ?monitor
+                  ~causal:(Tc.root_ctx recorder)
+                  ~journal_prefix:(fig.Exec.Figures.name ^ "/")
+                  ~base:fig.Exec.Figures.base fig.Exec.Figures.axes
+              in
+              Serve.Progress.finish progress;
+              Tc.seal recorder;
+              let report = Trace_report.analyze recorder in
+              let b = Buffer.create 8192 in
+              Trace_report.pp_table b report;
+              if slowest > 0 && report.Trace_report.r_points <> [] then begin
+                Buffer.add_string b "\nslowest points:\n";
+                Trace_report.pp_digest b ~k:slowest report
+              end;
+              print_string (Buffer.contents b);
+              Format.printf "cache: %a@." Exec.Cache.pp_stats
+                (Exec.Cache.stats cache);
+              let failed =
+                List.length
+                  (List.filter
+                     (fun r -> Result.is_error r.Exec.Sweep.result)
+                     rows)
+              in
+              if failed > 0 then
+                Format.printf "note: %d grid points failed validation@."
+                  failed;
+              Option.iter (write_causal_report report) json_out;
+              Option.iter (write_causal_chrome recorder) chrome_out);
+          `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Causal-trace a figure grid: per-point span trees through the \
+          pool, cache, solver and journal, rendered as a critical-path \
+          waterfall with a bottleneck verdict per point")
+    Term.(
+      ret
+        (const run $ verbose_term $ solver_term $ figure_arg
+       $ jobs_arg
+           "Worker domains for the traced sweep.  The trace explains where \
+            the time goes at any $(docv); the solved rows are identical \
+            for every value."
+       $ chunk_arg
+       $ cache_arg
+           "Content-addressed solve cache: trace a warm re-run to see \
+            cache-wait spans replace solve spans."
+       $ slowest_arg $ json_arg $ chrome_arg $ serve_arg $ serve_socket_arg))
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)
@@ -1968,8 +2173,9 @@ let main_cmd =
     (Cmd.info "mms_cli" ~version:"1.0.0" ~doc)
     [
       solve_cmd; tolerance_cmd; bottleneck_cmd; sweep_cmd; figures_cmd;
-      simulate_cmd; bench_cmd; profile_cmd; prof_cmd; partition_cmd;
-      sensitivity_cmd; report_cmd; kernels_cmd; cache_cmd; chaos_cmd;
+      trace_cmd; simulate_cmd; bench_cmd; profile_cmd; prof_cmd;
+      partition_cmd; sensitivity_cmd; report_cmd; kernels_cmd; cache_cmd;
+      chaos_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -413,16 +413,40 @@ let disk_store t k m =
 
 (* ------------------------------------------------------------------ *)
 
-let find_or_compute t ~key:k f =
+module Tc = Lattol_obs.Trace_ctx
+
+let find_or_compute ?(trace = Tc.disabled) t ~key:k f =
+  (* Trace spans (all cat "cache-wait"): "memo-hit" an in-run hit,
+     "park" the time spent parked on another requester's in-flight solve
+     of the same key, "disk-read" the store probe, "store" the
+     write-back.  The recorder lock is a leaf lock, so recording while
+     holding [t.lock] is ordering-safe. *)
   let rec claim () =
     match Hashtbl.find_opt t.memo k with
     | Some (Done m) ->
       t.memo_hits <- t.memo_hits + 1;
       Mutex.unlock t.lock;
+      if Tc.enabled trace then
+        Tc.record_interval ~cat:"cache-wait" ~name:"memo-hit"
+          ~t0_ns:(Tc.now_ns ()) trace;
       `Hit m
     | Some Running ->
-      Condition.wait t.cond t.lock;
-      claim ()
+      if Tc.enabled trace then begin
+        let t0 = Tc.now_ns () in
+        let rec wait () =
+          Condition.wait t.cond t.lock;
+          match Hashtbl.find_opt t.memo k with
+          | Some Running -> wait ()
+          | _ -> ()
+        in
+        wait ();
+        Tc.record_interval ~cat:"cache-wait" ~name:"park" ~t0_ns:t0 trace;
+        claim ()
+      end
+      else begin
+        Condition.wait t.cond t.lock;
+        claim ()
+      end
     | None ->
       Hashtbl.replace t.memo k Running;
       Mutex.unlock t.lock;
@@ -440,12 +464,26 @@ let find_or_compute t ~key:k f =
       Mutex.unlock t.lock;
       m
     in
+    let probe_t0 = if Tc.enabled trace then Tc.now_ns () else 0L in
     match disk_find t k with
-    | Some m -> finish (fun () -> t.disk_hits <- t.disk_hits + 1) m
+    | Some m ->
+      if Tc.enabled trace then
+        Tc.record_interval ~cat:"cache-wait" ~name:"disk-read"
+          ~meta:[ ("outcome", "hit") ]
+          ~t0_ns:probe_t0 trace;
+      finish (fun () -> t.disk_hits <- t.disk_hits + 1) m
     | None -> (
+      if Tc.enabled trace && t.dir <> None then
+        Tc.record_interval ~cat:"cache-wait" ~name:"disk-read"
+          ~meta:[ ("outcome", "miss") ]
+          ~t0_ns:probe_t0 trace;
       match f () with
       | m ->
+        let store_t0 = if Tc.enabled trace then Tc.now_ns () else 0L in
         let stored = disk_store t k m in
+        if Tc.enabled trace && stored then
+          Tc.record_interval ~cat:"cache-wait" ~name:"store" ~t0_ns:store_t0
+            trace;
         finish
           (fun () ->
             t.misses <- t.misses + 1;

@@ -43,11 +43,19 @@ val key : solver_id:string -> Params.t -> string
     (use {!Mms.solver_label} of the {e resolved} solver, so an explicit
     ["symmetric"] and a defaulted one share entries). *)
 
-val find_or_compute : t -> key:string -> (unit -> Measures.t) -> Measures.t
+val find_or_compute :
+  ?trace:Lattol_obs.Trace_ctx.ctx ->
+  t -> key:string -> (unit -> Measures.t) -> Measures.t
 (** Memo hit, else disk hit, else run the thunk, store, and wake any
     concurrent requesters of the same key.  Safe to call from multiple
     domains.  If the thunk raises, the claim is released (parked
-    requesters retry) and the exception propagates. *)
+    requesters retry) and the exception propagates.
+
+    With an enabled [trace] context, the lookup records "cache-wait"
+    spans under it: [memo-hit], [park] (time parked on another
+    requester's in-flight solve of the same key), [disk-read] (with a
+    hit/miss outcome) and [store].  Disabled (the default) records
+    nothing and reads no clock. *)
 
 type stats = {
   memo_hits : int;  (** served by the in-run memo (shared configurations) *)

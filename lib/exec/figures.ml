@@ -103,14 +103,15 @@ let journal_meta ?solver figures =
     figures;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
-let write ?solver ?cache ?jobs ?chunk ?oversubscribe ?monitor ?journal ?retry
-    ?deadline ?chaos ~dir figures =
+let write ?solver ?cache ?jobs ?chunk ?oversubscribe ?causal ?monitor ?journal
+    ?retry ?deadline ?chaos ~dir figures =
   mkdir_p dir;
   let cache = match cache with Some c -> c | None -> Cache.create () in
   List.map
     (fun figure ->
       let rows =
-        Sweep.run ?solver ~cache ?jobs ?chunk ?oversubscribe ?monitor ?journal
+        Sweep.run ?solver ~cache ?jobs ?chunk ?oversubscribe ?causal ?monitor
+          ?journal
           ~journal_prefix:(figure.name ^ "/") ?retry ?deadline ?chaos
           ~base:figure.base figure.axes
       in

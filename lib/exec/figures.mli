@@ -37,6 +37,7 @@ val write :
   ?jobs:int ->
   ?chunk:int ->
   ?oversubscribe:bool ->
+  ?causal:Lattol_obs.Trace_ctx.ctx ->
   ?monitor:Pool.monitor ->
   ?journal:Journal.t ->
   ?retry:Lattol_robust.Retry.policy ->

@@ -55,14 +55,25 @@ type monitor = {
    byte-identical when not being profiled. *)
 module Rp = Lattol_obs.Runtime_profile
 
-type ctx = { attempt : int; should_stop : unit -> bool }
+(* Causal tracing: when the caller supplies [trace] (a per-item context
+   lookup), each task records its queue wait — submission to first
+   execution — and each claimed chunk records one claim span.  With no
+   [trace] the pool never reads a clock, keeping the untraced path
+   byte-identical AND cost-identical. *)
+module Tc = Lattol_obs.Trace_ctx
+
+type ctx = {
+  attempt : int;
+  should_stop : unit -> bool;
+  trace : Tc.ctx;
+}
 
 type poisoned = { index : int; attempts : int; error : string }
 
 (* One item, through the full attempt loop.  [failure] is the pool's
    first-exception slot: a set slot makes [should_stop] true (cooperative
    cancellation of siblings) and suppresses further retries. *)
-let run_one ?retry ?deadline ?on_poison ~failure f i x =
+let run_one ?retry ?deadline ?on_poison ~failure ~trace f i x =
   let max_attempts =
     match retry with Some p -> p.Retry.max_attempts | None -> 1
   in
@@ -77,7 +88,7 @@ let run_one ?retry ?deadline ?on_poison ~failure f i x =
       Atomic.get failure <> None
       || (match dl with Some d -> Retry.expired d | None -> false)
     in
-    match f { attempt; should_stop } x with
+    match f { attempt; should_stop; trace } x with
     | y -> y
     | exception e -> (
       match classify e with
@@ -124,13 +135,24 @@ let[@lattol.allow "hot-alloc"] claim ~next ~n ~workers ~chunk =
 
 let no_flush _ = ()
 
-let map_local ?chunk ?oversubscribe ?monitor ?retry ?deadline ?on_poison ~jobs
-    ~local ?(flush = no_flush) f items =
+let map_local ?chunk ?oversubscribe ?monitor ?retry ?deadline ?on_poison
+    ?trace ~jobs ~local ?(flush = no_flush) f items =
   let n = Array.length items in
   let jobs = effective_jobs ?oversubscribe ~jobs ~items:n () in
   let chunk = match chunk with Some c when c > 0 -> Some c | _ -> None in
   let failure = Atomic.make None in
-  let run l i x = run_one ?retry ?deadline ?on_poison ~failure (f l) i x in
+  let trace_ctx i =
+    match trace with Some lookup -> lookup i | None -> Tc.disabled
+  in
+  let run l i x =
+    let tctx = trace_ctx i in
+    if Tc.enabled tctx then
+      (* From the submitting context's span open (the sweep opens point
+         spans before handing the batch to the pool) to this first
+         execution: the time the item sat unclaimed in the queue. *)
+      Tc.record_since ~cat:"queue" ~name:"queue-wait" tctx;
+    run_one ?retry ?deadline ?on_poison ~failure ~trace:tctx (f l) i x
+  in
   let run_traced w m l i x =
     (match m with Some m -> m.on_task ~worker:w ~busy:true | None -> ());
     Rp.task_begin ();
@@ -190,7 +212,22 @@ let map_local ?chunk ?oversubscribe ?monitor ?retry ?deadline ?on_poison ~jobs
       | Some m -> m.on_worker ~worker:w ~busy:true
       | None -> ());
       let rec loop () =
-        let lo, hi = claim ~next ~n ~workers:jobs ~chunk in
+        let lo, hi =
+          match trace with
+          | None -> claim ~next ~n ~workers:jobs ~chunk
+          | Some lookup ->
+            (* Traced path only: time the claim itself and hang the span
+               off the first claimed item, so queue contention shows up
+               in that point's tree. *)
+            let t0 = Tc.now_ns () in
+            let ((lo, hi) as c) = claim ~next ~n ~workers:jobs ~chunk in
+            if lo < n then
+              Tc.record_interval ~cat:"queue" ~name:"chunk-claim"
+                ~meta:
+                  [ ("lo", string_of_int lo); ("hi", string_of_int hi) ]
+                ~t0_ns:t0 (lookup lo);
+            c
+        in
         if lo < n && Atomic.get failure = None then begin
           let remaining = max 0 (n - hi) in
           (match monitor with
@@ -239,10 +276,11 @@ let map_local ?chunk ?oversubscribe ?monitor ?retry ?deadline ?on_poison ~jobs
     (results, locals)
   end
 
-let map_ctx ?chunk ?oversubscribe ?monitor ?retry ?deadline ?on_poison ~jobs f
-    items =
+let map_ctx ?chunk ?oversubscribe ?monitor ?retry ?deadline ?on_poison ?trace
+    ~jobs f items =
   fst
-    (map_local ?chunk ?oversubscribe ?monitor ?retry ?deadline ?on_poison ~jobs
+    (map_local ?chunk ?oversubscribe ?monitor ?retry ?deadline ?on_poison
+       ?trace ~jobs
        ~local:(fun _ -> ())
        (fun () ctx x -> f ctx x)
        items)

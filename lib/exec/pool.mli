@@ -69,6 +69,10 @@ type ctx = {
           tasks should poll it and raise
           {!Lattol_robust.Retry.Deadline_exceeded} (transient, so the
           retry/poison machinery takes over) *)
+  trace : Lattol_obs.Trace_ctx.ctx;
+      (** the submitting context for this item (from the map's [trace]
+          lookup), under which the task records its own spans;
+          {!Lattol_obs.Trace_ctx.disabled} when the map is untraced *)
 }
 
 type poisoned = {
@@ -97,15 +101,23 @@ val map :
 val map_ctx :
   ?chunk:int -> ?oversubscribe:bool -> ?monitor:monitor ->
   ?retry:Lattol_robust.Retry.policy -> ?deadline:float ->
-  ?on_poison:(poisoned -> 'b) -> jobs:int -> (ctx -> 'a -> 'b) ->
-  'a array -> 'b array
+  ?on_poison:(poisoned -> 'b) -> ?trace:(int -> Lattol_obs.Trace_ctx.ctx) ->
+  jobs:int -> (ctx -> 'a -> 'b) -> 'a array -> 'b array
 (** {!map} with the task's {!ctx} exposed, for tasks that poll
-    [should_stop] or vary behavior by [attempt]. *)
+    [should_stop], vary behavior by [attempt], or record trace spans.
+
+    [trace item_index] supplies the submitting causal context for each
+    item (typically the item's open point span).  A traced map records,
+    per item, a ["queue-wait"] span — submission to first execution —
+    and, per claimed chunk, a ["chunk-claim"] span hung off the first
+    claimed item.  Without [trace] the pool reads no clock at all, so
+    the untraced path stays byte-identical {e and} cost-identical. *)
 
 val map_local :
   ?chunk:int -> ?oversubscribe:bool -> ?monitor:monitor ->
   ?retry:Lattol_robust.Retry.policy -> ?deadline:float ->
-  ?on_poison:(poisoned -> 'b) -> jobs:int -> local:(int -> 'l) ->
+  ?on_poison:(poisoned -> 'b) -> ?trace:(int -> Lattol_obs.Trace_ctx.ctx) ->
+  jobs:int -> local:(int -> 'l) ->
   ?flush:('l -> unit) -> ('l -> ctx -> 'a -> 'b) -> 'a array ->
   'b array * 'l list
 (** {!map_ctx} with per-worker scratch state.  Each worker calls

@@ -37,7 +37,10 @@ let summarize results ~u_p ~lambda =
    replication.  Replay is id-keyed, so batch order never affects a
    resumed run; a crash loses at most the current unflushed chunk, which
    is simply recomputed. *)
-let journaled_map ?journal ?monitor ?chunk ?oversubscribe ~jobs run inputs =
+module Tc = Lattol_obs.Trace_ctx
+
+let journaled_map ?journal ?monitor ?chunk ?oversubscribe
+    ?(causal = Tc.disabled) ~jobs run inputs =
   let arr = Array.of_list inputs in
   let n = Array.length arr in
   let rep_id i = Printf.sprintf "rep%d" i in
@@ -54,23 +57,54 @@ let journaled_map ?journal ?monitor ?chunk ?oversubscribe ~jobs run inputs =
     Array.of_list
       (List.filter (fun i -> rows.(i) = None) (List.init n (fun i -> i)))
   in
+  (* Causal point spans, mirroring Sweep.run: one per still-missing
+     replication, opened at submission (wall time includes queue wait),
+     closed by the task; the [finally] sweeps up error-path leftovers.
+     The batched journal flush runs at chunk boundaries outside any one
+     replication's context, so it records under the run-level context
+     instead. *)
+  let handles = Array.make n Tc.no_handle in
+  if Tc.enabled causal then
+    Array.iter
+      (fun i ->
+        handles.(i) <-
+          Tc.start ~point:(rep_id i) ~cat:"point" ~name:(rep_id i) causal)
+      missing;
+  let pool_trace =
+    if Tc.enabled causal then
+      Some (fun slot -> Tc.ctx_of handles.(missing.(slot)))
+    else None
+  in
   let computed, _locals =
-    Pool.map_local ?monitor ?chunk ?oversubscribe ~jobs
-      ~local:(fun _ -> ref [])
-      ~flush:(fun pending ->
-        match journal with
-        | Some j when !pending <> [] ->
-          Journal.append_batch j (List.rev !pending);
-          pending := []
-        | _ -> ())
-      (fun pending _ctx i ->
-        let m = run arr.(i) in
-        (match journal with
-        | None -> ()
-        | Some _ ->
-          pending := (rep_id i, Cache.encode_measures_line m) :: !pending);
-        m)
-      missing
+    Fun.protect
+      ~finally:(fun () -> Array.iter (fun h -> Tc.finish h) handles)
+      (fun () ->
+        Pool.map_local ?monitor ?chunk ?oversubscribe ?trace:pool_trace ~jobs
+          ~local:(fun _ -> ref [])
+          ~flush:(fun pending ->
+            match journal with
+            | Some j when !pending <> [] ->
+              let t0 = if Tc.enabled causal then Tc.now_ns () else 0L in
+              Journal.append_batch j (List.rev !pending);
+              if Tc.enabled causal then
+                Tc.record_interval ~cat:"journal" ~name:"append-batch"
+                  ~meta:
+                    [ ("records", string_of_int (List.length !pending)) ]
+                  ~t0_ns:t0 causal;
+              pending := []
+            | _ -> ())
+          (fun pending ctx i ->
+            let m =
+              Tc.with_span ~cat:"solve" ~name:"simulate" ctx.Pool.trace
+                (fun _ -> run arr.(i))
+            in
+            (match journal with
+            | None -> ()
+            | Some _ ->
+              pending := (rep_id i, Cache.encode_measures_line m) :: !pending);
+            Tc.finish handles.(i);
+            m)
+          missing)
   in
   Array.iteri (fun slot i -> rows.(i) <- Some computed.(slot)) missing;
   List.init n (fun i ->
@@ -83,14 +117,14 @@ let summarize_measures results =
     ~u_p:(fun m -> m.Measures.u_p)
     ~lambda:(fun m -> m.Measures.lambda)
 
-let des_measures ?(jobs = 1) ?chunk ?oversubscribe ?monitor ?journal
+let des_measures ?(jobs = 1) ?chunk ?oversubscribe ?monitor ?journal ?causal
     ?(config = Des.default_config) ~replications p =
   if replications < 1 then
     invalid_arg "Replicate.des_measures: replications must be at least 1";
   if config.Des.trace <> None || config.Des.metrics <> None then
     invalid_arg "Replicate.des_measures: trace/metrics sinks are per-run";
   summarize_measures
-    (journaled_map ?journal ?monitor ?chunk ?oversubscribe ~jobs
+    (journaled_map ?journal ?monitor ?chunk ?oversubscribe ?causal ~jobs
        (fun rng ->
          (Des.run ~config:{ config with Des.rng = Some rng } p).Des.measures)
        (streams ~seed:config.Des.seed replications))
@@ -99,12 +133,12 @@ let stpn_seeds ~seed n =
   let root = Prng.create ~seed () in
   List.init n (fun _ -> Int64.to_int (Prng.bits64 root) land max_int)
 
-let stpn_measures ?(jobs = 1) ?chunk ?oversubscribe ?monitor ?journal
+let stpn_measures ?(jobs = 1) ?chunk ?oversubscribe ?monitor ?journal ?causal
     ?(seed = 1) ?warmup ?horizon ?memory ?faults ~replications p =
   if replications < 1 then
     invalid_arg "Replicate.stpn_measures: replications must be at least 1";
   summarize_measures
-    (journaled_map ?journal ?monitor ?chunk ?oversubscribe ~jobs
+    (journaled_map ?journal ?monitor ?chunk ?oversubscribe ?causal ~jobs
        (fun s ->
          (Stpn.run ~seed:s ?warmup ?horizon ?memory ?faults p).Stpn.measures)
        (stpn_seeds ~seed replications))

@@ -57,6 +57,7 @@ val des_measures :
   ?oversubscribe:bool ->
   ?monitor:Pool.monitor ->
   ?journal:Journal.t ->
+  ?causal:Lattol_obs.Trace_ctx.ctx ->
   ?config:Lattol_sim.Mms_des.config ->
   replications:int ->
   Params.t ->
@@ -70,7 +71,13 @@ val des_measures :
     per-chunk batches ({!Journal.append_batch}): one fsync per pool chunk,
     so [chunk] trades checkpoint granularity against disk-barrier cost.
     [trace]/[metrics] sinks are rejected at any replication count (a
-    replayed run cannot reproduce them). *)
+    replayed run cannot reproduce them).
+
+    [causal] threads a causal-tracing context (see {!Sweep.run}): each
+    still-missing replication opens a ["point"] span named ["rep<i>"]
+    covering queue wait plus a ["simulate"] solve span, and batched
+    journal flushes record run-level ["journal"] spans.  Disabled by
+    default; results are identical either way. *)
 
 val stpn_measures :
   ?jobs:int ->
@@ -78,6 +85,7 @@ val stpn_measures :
   ?oversubscribe:bool ->
   ?monitor:Pool.monitor ->
   ?journal:Journal.t ->
+  ?causal:Lattol_obs.Trace_ctx.ctx ->
   ?seed:int ->
   ?warmup:float ->
   ?horizon:float ->

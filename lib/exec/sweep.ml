@@ -116,6 +116,45 @@ let decode_row ~ideal_method assigns payload =
   end
   else None
 
+module Tc = Lattol_obs.Trace_ctx
+
+(* Tag iteration phases on a solve span: one child span per residual
+   decade crossed, so a solve's convergence trajectory is visible on the
+   causal waterfall without recording every iteration.  The wrapped hook
+   still returns whatever the caller's hook decides; with tracing off
+   the hook is returned untouched. *)
+let phase_hook tctx hook =
+  if not (Tc.enabled tctx) then hook
+  else begin
+    let mark = ref (Tc.now_ns ()) in
+    let decade = ref max_int in
+    let from_it = ref 0 in
+    Some
+      (fun ~iteration ~residual ->
+        let d =
+          if Float.is_finite residual && residual > 0. then
+            int_of_float (Float.ceil (Float.log10 residual))
+          else max_int
+        in
+        if d < !decade then begin
+          if !decade < max_int then
+            Tc.record_interval ~cat:"solve"
+              ~name:(Printf.sprintf "residual 1e%d" !decade)
+              ~meta:
+                [
+                  ("from_iteration", string_of_int !from_it);
+                  ("to_iteration", string_of_int iteration);
+                ]
+              ~t0_ns:!mark tctx;
+          mark := Tc.now_ns ();
+          decade := d;
+          from_it := iteration
+        end;
+        match hook with
+        | None -> Amva.Continue
+        | Some f -> f ~iteration ~residual)
+  end
+
 let ideal_method_name = function
   | Tolerance.Zero_delay -> "zero-delay"
   | Tolerance.Zero_remote -> "zero-remote"
@@ -135,8 +174,8 @@ let journal_meta ?solver ?(ideal_method = Tolerance.Zero_remote) ~base axes =
   Digest.to_hex (Digest.string (Buffer.contents b))
 
 let run ?solver ?cache ?(jobs = 1) ?chunk ?oversubscribe
-    ?(ideal_method = Tolerance.Zero_remote) ?trace ?on_sweep ?monitor ?journal
-    ?(journal_prefix = "") ?retry ?deadline
+    ?(ideal_method = Tolerance.Zero_remote) ?trace ?(causal = Tc.disabled)
+    ?on_sweep ?monitor ?journal ?(journal_prefix = "") ?retry ?deadline
     ?(chaos = Lattol_robust.Chaos.none) ~base axes =
   if jobs < 1 then invalid_arg "Sweep.run: jobs must be at least 1";
   if axes = [] then invalid_arg "Sweep.run: at least one axis";
@@ -151,10 +190,11 @@ let run ?solver ?cache ?(jobs = 1) ?chunk ?oversubscribe
      the caller's recorder in point order once the pool has joined, so
      the merged trace is byte-identical at any parallelism.  [hook] is
      the per-task on_sweep (the caller's, plus deadline polling). *)
-  let solve_point ?label ?tel ~hook params =
+  let solve_point ?label ?tel ?(tctx = Tc.disabled) ~hook params =
     let resolved =
       match solver with Some s -> s | None -> Mms.default_solver params
     in
+    let hook = phase_hook tctx hook in
     let compute () =
       match tel with
       | Some tel when label <> None && params.Params.n_t > 0 ->
@@ -189,7 +229,7 @@ let run ?solver ?cache ?(jobs = 1) ?chunk ?oversubscribe
        always. *)
     if traced then compute ()
     else
-      Cache.find_or_compute cache
+      Cache.find_or_compute ~trace:tctx cache
         ~key:(Cache.key ~solver_id:(Mms.solver_label resolved) params)
         compute
   in
@@ -218,15 +258,21 @@ let run ?solver ?cache ?(jobs = 1) ?chunk ?oversubscribe
               | None -> Amva.Continue
               | Some f -> f ~iteration ~residual)
       in
-      let real = solve_point ~label:(label assigns) ?tel ~hook p in
+      let tctx = ctx.Pool.trace in
+      let real =
+        Tc.with_span ~cat:"solve" ~name:"solve" tctx (fun sctx ->
+            solve_point ~label:(label assigns) ?tel ~tctx:sctx ~hook p)
+      in
       let ideal_net =
-        solve_point ~hook
-          (Tolerance.ideal_params Tolerance.Network_latency ideal_method p)
+        Tc.with_span ~cat:"solve" ~name:"ideal-net" tctx (fun sctx ->
+            solve_point ~tctx:sctx ~hook
+              (Tolerance.ideal_params Tolerance.Network_latency ideal_method p))
       in
       let ideal_mem =
-        solve_point ~hook
-          (Tolerance.ideal_params Tolerance.Memory_latency Tolerance.Zero_delay
-             p)
+        Tc.with_span ~cat:"solve" ~name:"ideal-mem" tctx (fun sctx ->
+            solve_point ~tctx:sctx ~hook
+              (Tolerance.ideal_params Tolerance.Memory_latency
+                 Tolerance.Zero_delay p))
       in
       { assigns; result = Ok (reports ~ideal_method ~real ~ideal_net ~ideal_mem) }
   in
@@ -250,10 +296,16 @@ let run ?solver ?cache ?(jobs = 1) ?chunk ?oversubscribe
          (fun i -> rows.(i) = None)
          (List.init n (fun i -> i)))
   in
-  let record i row =
+  let record ?(tctx = Tc.disabled) i row =
     (match journal with
     | None -> ()
-    | Some j -> Journal.append j ~id:(point_id i) ~payload:(encode_row row));
+    | Some j ->
+      if Tc.enabled tctx then begin
+        let t0 = Tc.now_ns () in
+        Journal.append j ~id:(point_id i) ~payload:(encode_row row);
+        Tc.record_interval ~cat:"journal" ~name:"append" ~t0_ns:t0 tctx
+      end
+      else Journal.append j ~id:(point_id i) ~payload:(encode_row row));
     row
   in
   (* Poison substitution only arms alongside retry/deadline containment:
@@ -286,13 +338,38 @@ let run ?solver ?cache ?(jobs = 1) ?chunk ?oversubscribe
             ~sample_capacity:(Lattol_obs.Solver_trace.sample_capacity tel)
             ())
   in
+  (* Causal point spans: one handle per still-missing point, opened at
+     submission time — so a point's wall time includes its queue wait —
+     and closed by the task itself right after the journal append.  The
+     [finally] closes whatever an exception or poison path left open
+     (finish is idempotent), so every recorded span's parent exists even
+     on error paths.  Journal-restored points record nothing. *)
+  let handles = Array.make n Tc.no_handle in
+  if Tc.enabled causal then
+    Array.iter
+      (fun i ->
+        handles.(i) <-
+          Tc.start
+            ~point:(Printf.sprintf "%s%d" journal_prefix i)
+            ~cat:"point" ~name:(label pts.(i)) causal)
+      missing;
+  let pool_trace =
+    if Tc.enabled causal then
+      Some (fun slot -> Tc.ctx_of handles.(missing.(slot)))
+    else None
+  in
   let computed =
-    Pool.map_ctx ?chunk ?oversubscribe ?monitor ?retry ?deadline ?on_poison
-      ~jobs
-      (fun ctx i ->
-        let tel = if trace = None then None else Some traces.(i) in
-        record i (eval ~tel ctx pts.(i)))
-      missing
+    Fun.protect
+      ~finally:(fun () -> Array.iter (fun h -> Tc.finish h) handles)
+      (fun () ->
+        Pool.map_ctx ?chunk ?oversubscribe ?monitor ?retry ?deadline
+          ?on_poison ?trace:pool_trace ~jobs
+          (fun ctx i ->
+            let tel = if trace = None then None else Some traces.(i) in
+            let row = record ~tctx:ctx.Pool.trace i (eval ~tel ctx pts.(i)) in
+            Tc.finish handles.(i);
+            row)
+          missing)
   in
   Array.iteri (fun slot i -> rows.(i) <- Some computed.(slot)) missing;
   (match trace with

@@ -88,6 +88,7 @@ val run :
   ?oversubscribe:bool ->
   ?ideal_method:Tolerance.ideal_method ->
   ?trace:Lattol_obs.Solver_trace.t ->
+  ?causal:Lattol_obs.Trace_ctx.ctx ->
   ?on_sweep:(iteration:int -> residual:float -> Amva.progress) ->
   ?monitor:Pool.monitor ->
   ?journal:Journal.t ->
@@ -110,7 +111,20 @@ val run :
     no attempt, and hits depend on scheduling when configurations
     collide), so the recording is one attempt per valid point whatever
     the cache holds; journal-restored points skip evaluation entirely and
-    record nothing.  [on_sweep] observes every AMVA iteration of every solve (real
+    record nothing.
+
+    [causal] is the causal-tracing context (an enabled
+    {!Lattol_obs.Trace_ctx} context, typically the recorder's root): each
+    still-missing point opens a ["point"] span at submission — so its
+    wall time includes queue wait — under which the pool records
+    queue/claim spans, every solve (real and both ideals) records a
+    ["solve"] span with residual-decade phase children, the cache records
+    its wait spans, and the journal append its ["journal"] span.  The
+    default, {!Lattol_obs.Trace_ctx.disabled}, records nothing and reads
+    no clock; either way the returned rows and every byte of downstream
+    output are identical.
+
+    [on_sweep] observes every AMVA iteration of every solve (real
     and ideal) that actually runs; cache hits invoke neither.  [monitor]
     observes pool scheduling (one {!Pool.monitor} item per grid point)
     without affecting results.

@@ -144,6 +144,17 @@ let metas =
          Float.Array/Bigarray scratch, and apply functions fully: flat \
          inner loops are what unlock multicore scaling (ROADMAP item 3)";
     };
+    {
+      id = "obs-bare-printf";
+      family = "observability";
+      summary =
+        "bare stderr print in library code (lib/obs/log.ml excepted)";
+      hint =
+        "emit through Lattol_obs.Log: freeform eprintf lines carry no \
+         level, no source and no trace id, so they cannot be joined \
+         against the causal trace; only the structured logger itself \
+         writes stderr directly";
+    };
   ]
 
 let rule_ids = List.map (fun m -> m.id) metas
@@ -271,6 +282,7 @@ type ctx = {
   wallclock_scope : bool;   (* lib/ minus the layers allowed to read clocks *)
   lib_scope : bool;         (* any path with a lib/ segment *)
   serve_scope : bool;       (* lib/serve: the live exporter layer *)
+  stderr_scope : bool;      (* lib/ minus the structured logger itself *)
   div_scope : bool;         (* lib/queueing, lib/core *)
   stats_scope : bool;       (* lib/stats *)
   (* traversal state *)
@@ -299,6 +311,9 @@ let make_ctx ~path ~enabled ~report =
     wallclock_scope = List.mem "lib" (segs path) && not clock_allowed;
     lib_scope = List.mem "lib" (segs path);
     serve_scope = in_dir path [ "lib"; "serve" ];
+    stderr_scope =
+      List.mem "lib" (segs path)
+      && not (in_dir path [ "lib"; "obs"; "log.ml" ]);
     div_scope = in_dir path [ "lib"; "queueing" ] || in_dir path [ "lib"; "core" ];
     stats_scope = in_dir path [ "lib"; "stats" ];
     guards = [];
@@ -320,6 +335,11 @@ let stdout_printers =
     [ "Printf"; "printf" ]; [ "Format"; "printf" ];
     [ "Format"; "print_string" ]; [ "Format"; "print_newline" ];
     [ "Format"; "open_box" ]; [ "stdout" ] ]
+
+let stderr_printers =
+  [ [ "prerr_string" ]; [ "prerr_endline" ]; [ "prerr_newline" ];
+    [ "prerr_char" ]; [ "prerr_int" ]; [ "prerr_float" ]; [ "prerr_bytes" ];
+    [ "Printf"; "eprintf" ]; [ "Format"; "eprintf" ]; [ "stderr" ] ]
 
 let poly_compare_op = function
   | [ ("=" | "<>" | "compare") ] | [ ("Stdlib" | "Pervasives"); ("=" | "<>" | "compare") ]
@@ -412,6 +432,13 @@ let check_expr ctx e =
          (bound address, shutdown) on process streams by design, and none
          of it lands in golden outputs. *)
       fire ctx "det-stdout" loc "%s writes directly to stdout"
+        (String.concat "." p)
+    | p when ctx.stderr_scope && List.mem p stderr_printers ->
+      (* lib/obs/log.ml is the one exemption: the structured logger is
+         the module whose job is writing the stderr stream everyone else
+         must route through. *)
+      fire ctx "obs-bare-printf" loc
+        "%s writes to stderr outside the structured logger"
         (String.concat "." p)
     | [ "Obj"; "magic" ] ->
       fire ctx "hyg-obj-magic" loc "Obj.magic is never domain- or type-safe"

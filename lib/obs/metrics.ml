@@ -14,7 +14,12 @@ type twa = {
   mutable started : bool;
 }
 
-type histogram = Histogram.t
+type exemplar = { e_trace : string; e_value : float }
+
+(* Exemplar cells: one per bin plus [bins] (underflow) and [bins + 1]
+   (overflow).  Last write wins — the point of an exemplar is "a recent
+   trace id that landed in this bucket", not an exhaustive record. *)
+type histogram = { h : Histogram.t; ex : exemplar option array }
 
 type value =
   | Counter of counter
@@ -82,13 +87,31 @@ let twa_value w =
   if span <= 0. then nan else w.integral /. span
 
 let histogram t ?(labels = []) ?(help = "") ?(lo = 0.) ~hi ~bins name =
-  let h = Histogram.create ~lo ~hi ~bins () in
+  let h =
+    { h = Histogram.create ~lo ~hi ~bins (); ex = Array.make (bins + 2) None }
+  in
   register t ~name ~labels ~help (Hist h);
   h
 
-let record h v = Histogram.add h v
+(* Mirrors Histogram.add's binning so the exemplar lands in the same
+   bucket as the observation. *)
+let bucket_index h v =
+  let lo = Histogram.lo h and hi = Histogram.hi h in
+  let bins = Histogram.bins h in
+  if v < lo then bins
+  else if v >= hi then bins + 1
+  else
+    let w = (hi -. lo) /. float_of_int bins in
+    min (bins - 1) (int_of_float ((v -. lo) /. w))
 
-let histogram_data h = h
+let record ?exemplar hist v =
+  Histogram.add hist.h v;
+  match exemplar with
+  | Some trace when trace <> "" ->
+    hist.ex.(bucket_index hist.h v) <- Some { e_trace = trace; e_value = v }
+  | _ -> ()
+
+let histogram_data hist = hist.h
 
 let size t = List.length t.entries
 
@@ -101,7 +124,7 @@ type snap_value =
   | Counter_v of int
   | Gauge_v of float
   | Twa_v of float
-  | Hist_v of Histogram.t
+  | Hist_v of Histogram.t * exemplar option array
 
 type series = {
   s_name : string;
@@ -116,7 +139,7 @@ let snap_value = function
   | Counter c -> Counter_v !c
   | Gauge g -> Gauge_v !g
   | Twa w -> Twa_v (twa_value w)
-  | Hist h -> Hist_v (Histogram.copy h)
+  | Hist hist -> Hist_v (Histogram.copy hist.h, Array.copy hist.ex)
 
 (* Reading [t.entries] is a single pointer load and the cells behind it
    are immutable, so a snapshot taken while another domain registers new
@@ -134,7 +157,7 @@ let copy_value = function
   | Counter c -> Counter (ref !c)
   | Gauge g -> Gauge (ref !g)
   | Twa w -> Twa { w with started = w.started }
-  | Hist h -> Hist (Histogram.copy h)
+  | Hist hist -> Hist { h = Histogram.copy hist.h; ex = Array.copy hist.ex }
 
 (* Span-weighted combination: integrals and observed spans both add, so
    the merged average is (Ia + Ib) / (Sa + Sb), independent of order. *)
@@ -157,7 +180,17 @@ let merged_value name va vb =
   | Counter a, Counter b -> Counter (ref (!a + !b))
   | Gauge a, Gauge b -> Gauge (ref (if Float.is_nan !b then !a else !b))
   | Twa a, Twa b -> Twa (merge_twa a b)
-  | Hist a, Hist b -> Hist (Histogram.merge a b)
+  | Hist a, Hist b ->
+    (* Exemplars: last write wins, so the right operand's cell shadows
+       the left's where both are present. *)
+    let ex =
+      Array.init
+        (max (Array.length a.ex) (Array.length b.ex))
+        (fun i ->
+          let cell arr = if i < Array.length arr then arr.(i) else None in
+          match cell b.ex with Some e -> Some e | None -> cell a.ex)
+    in
+    Hist { h = Histogram.merge a.h b.h; ex }
   | _ -> Format.kasprintf invalid_arg "Metrics.merge: kind mismatch on %s" name
 
 let merge a b =
@@ -227,7 +260,7 @@ let buf_json_snapshot b snap =
       | Counter_v c -> Printf.bprintf b ",\"value\":%d" c
       | Gauge_v g -> Printf.bprintf b ",\"value\":%s" (Jsonu.number g)
       | Twa_v w -> Printf.bprintf b ",\"value\":%s" (Jsonu.number w)
-      | Hist_v h ->
+      | Hist_v (h, ex) ->
         Printf.bprintf b
           ",\"count\":%d,\"underflow\":%d,\"overflow\":%d,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"counts\":["
           (Histogram.count h) (Histogram.underflow h) (Histogram.overflow h)
@@ -238,7 +271,29 @@ let buf_json_snapshot b snap =
           if i > 0 then Buffer.add_string b ",";
           Printf.bprintf b "%d" (Histogram.bin_count h i)
         done;
-        Buffer.add_string b "]");
+        Buffer.add_string b "]";
+        if Array.exists Option.is_some ex then begin
+          let bins = Histogram.bins h in
+          let bucket_name i =
+            if i = bins then "underflow"
+            else if i = bins + 1 then "overflow"
+            else string_of_int i
+          in
+          Buffer.add_string b ",\"exemplars\":{";
+          let first_ex = ref true in
+          Array.iteri
+            (fun i cell ->
+              match cell with
+              | None -> ()
+              | Some e ->
+                if not !first_ex then Buffer.add_char b ',';
+                first_ex := false;
+                Printf.bprintf b "\"%s\":{\"trace_id\":\"%s\",\"value\":%s}"
+                  (bucket_name i) (Jsonu.escape e.e_trace)
+                  (Jsonu.number e.e_value))
+            ex;
+          Buffer.add_char b '}'
+        end);
       Buffer.add_string b "}")
     snap;
   Buffer.add_string b "\n]}\n"
@@ -269,7 +324,7 @@ let write_csv_snapshot snap oc =
       | Counter_v c -> row "value" (string_of_int c)
       | Gauge_v g -> row "value" (csv_number g)
       | Twa_v w -> row "value" (csv_number w)
-      | Hist_v h ->
+      | Hist_v (h, _) ->
         row "count" (string_of_int (Histogram.count h));
         row "underflow" (string_of_int (Histogram.underflow h));
         row "overflow" (string_of_int (Histogram.overflow h));
@@ -292,6 +347,7 @@ let pp ppf t =
       | Counter c -> Format.fprintf ppf "%s%s = %d" e.name labels !c
       | Gauge g -> Format.fprintf ppf "%s%s = %g" e.name labels !g
       | Twa w -> Format.fprintf ppf "%s%s = %g (twa)" e.name labels (twa_value w)
-      | Hist h -> Format.fprintf ppf "%s%s = %a" e.name labels Histogram.pp h)
+      | Hist hist ->
+        Format.fprintf ppf "%s%s = %a" e.name labels Histogram.pp hist.h)
     (entries t);
   Format.fprintf ppf "@]"

@@ -52,11 +52,20 @@ val twa_value : twa -> float
 
 type histogram
 
+type exemplar = { e_trace : string; e_value : float }
+(** OpenMetrics-style exemplar: the last trace id (and its observed
+    value) that landed in a bucket, linking an aggregate distribution
+    back to one concrete traced request. *)
+
 val histogram :
   t -> ?labels:labels -> ?help:string -> ?lo:float -> hi:float -> bins:int ->
   string -> histogram
 
-val record : histogram -> float -> unit
+val record : ?exemplar:string -> histogram -> float -> unit
+(** Record an observation; with [?exemplar] (a non-empty trace id, e.g.
+    {!Trace_ctx.point_trace_id}) the bucket the value lands in also
+    remembers that id, last write wins. *)
+
 val histogram_data : histogram -> Lattol_stats.Histogram.t
 
 (** {1 Snapshots}
@@ -70,7 +79,9 @@ type snap_value =
   | Counter_v of int
   | Gauge_v of float
   | Twa_v of float  (** the resolved time-weighted average *)
-  | Hist_v of Lattol_stats.Histogram.t  (** a private copy of the bins *)
+  | Hist_v of Lattol_stats.Histogram.t * exemplar option array
+      (** a private copy of the bins, plus the exemplar cells (one per
+          bin, then underflow at index [bins], overflow at [bins + 1]) *)
 
 type series = {
   s_name : string;

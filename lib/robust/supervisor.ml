@@ -1,9 +1,13 @@
 open Lattol_core
 open Lattol_queueing
 
-let log_src = Logs.Src.create "lattol.supervisor" ~doc:"Resilient MMS solver"
+(* -v diagnostics go through the structured JSONL logger so every line
+   carries the causal-trace id of the point being supervised; the
+   freeform Logs reporter is no longer used here. *)
+module Slog = Lattol_obs.Log
+module Tc = Lattol_obs.Trace_ctx
 
-module Log = (val Logs.src_log log_src)
+let log_src = "lattol.supervisor"
 
 type abort_reason =
   | Non_finite
@@ -131,8 +135,11 @@ let solution_finite solution =
 
 let solve ?solvers ?(dampings = default_dampings) ?(tolerance = 1e-8)
     ?(base_iterations = 2_000) ?time_budget ?(stall_window = 1_000)
-    ?(slack = 0.02) ?telemetry p =
+    ?(slack = 0.02) ?telemetry ?(causal = Tc.disabled) p =
   let tel f = Option.iter f telemetry in
+  let trace =
+    if Tc.enabled causal then Some (Tc.point_trace_id causal) else None
+  in
   let p = Params.validate_exn p in
   if dampings = [] then invalid_arg "Supervisor.solve: dampings is empty";
   List.iter
@@ -187,17 +194,39 @@ let solve ?solvers ?(dampings = default_dampings) ?(tolerance = 1e-8)
       | [] -> finish_error ()
       | (solver, damping) :: rest ->
         if out_of_time () then begin
-          Log.warn (fun m ->
-              m "time budget exhausted before rung %d; giving up" (index + 1));
+          Slog.warnf ?trace ~src:log_src
+            "time budget exhausted before rung %d; giving up" (index + 1);
           finish_error ()
         end
         else begin
           let budget = base_iterations * (1 lsl Int.min index 20) in
-          Log.debug (fun m ->
-              m "rung %d/%d: solver %s, damping %g, budget %d sweeps"
-                (index + 1)
-                (index + 1 + List.length rest)
-                (solver_name solver) damping budget);
+          Slog.debugf ?trace
+            ~fields:
+              [
+                ("solver", solver_name solver);
+                ("damping", string_of_float damping);
+                ("budget", string_of_int budget);
+              ]
+            ~src:log_src "rung %d/%d start" (index + 1)
+            (index + 1 + List.length rest);
+          (* One causal span per escalation rung, open across the whole
+             solve attempt; its outcome lands in the span meta. *)
+          let rung_span =
+            Tc.start ~cat:"solve"
+              ~name:(Printf.sprintf "rung %d" (index + 1))
+              causal
+          in
+          let finish_rung outcome =
+            Tc.finish
+              ~meta:
+                [
+                  ("solver", solver_name solver);
+                  ("damping", Printf.sprintf "%g" damping);
+                  ("budget", string_of_int budget);
+                  ("outcome", outcome);
+                ]
+              rung_span
+          in
           tel (fun t ->
               Lattol_obs.Solver_trace.start_attempt t
                 ~label:(Printf.sprintf "rung %d" (index + 1))
@@ -243,9 +272,9 @@ let solve ?solvers ?(dampings = default_dampings) ?(tolerance = 1e-8)
           in
           match outcome with
           | Error reason ->
-            Log.info (fun m ->
-                m "rung %d (%s, damping %g) raised: %s" (index + 1)
-                  (solver_name solver) damping (reason_string reason));
+            finish_rung ("raised: " ^ reason_string reason);
+            Slog.infof ?trace ~src:log_src "rung %d (%s, damping %g) raised: %s"
+              (index + 1) (solver_name solver) damping (reason_string reason);
             tel (fun t ->
                 Lattol_obs.Solver_trace.finish_attempt
                   ~reason:(reason_string reason) t ~converged:false
@@ -264,9 +293,12 @@ let solve ?solvers ?(dampings = default_dampings) ?(tolerance = 1e-8)
           | Ok solution ->
             let accepted = solution.Solution.converged && solution_finite solution in
             if accepted then begin
-              Log.debug (fun m ->
-                  m "rung %d accepted: %s converged in %d sweeps" (index + 1)
-                    (solver_name solver) solution.Solution.iterations);
+              finish_rung "accepted";
+              Slog.debugf ?trace
+                ~fields:
+                  [ ("iterations", string_of_int solution.Solution.iterations) ]
+                ~src:log_src "rung %d accepted: %s converged" (index + 1)
+                (solver_name solver);
               tel (fun t ->
                   Lattol_obs.Solver_trace.finish_attempt t ~converged:true
                     ~iterations:solution.Solution.iterations);
@@ -284,9 +316,8 @@ let solve ?solvers ?(dampings = default_dampings) ?(tolerance = 1e-8)
               let violations = cross_check ~slack p solution measures in
               List.iter
                 (fun v ->
-                  Log.warn (fun m ->
-                      m "bound violation: %s (%g > %g)" v.check v.actual
-                        v.bound))
+                  Slog.warnf ?trace ~src:log_src "bound violation: %s (%g > %g)"
+                    v.check v.actual v.bound)
                 violations;
               Ok
                 ( measures,
@@ -309,9 +340,10 @@ let solve ?solvers ?(dampings = default_dampings) ?(tolerance = 1e-8)
                   then Non_finite
                   else Iteration_cap
               in
-              Log.info (fun m ->
-                  m "rung %d (%s, damping %g, budget %d) failed: %s" (index + 1)
-                    (solver_name solver) damping budget (reason_string reason));
+              finish_rung ("failed: " ^ reason_string reason);
+              Slog.infof ?trace ~src:log_src
+                "rung %d (%s, damping %g, budget %d) failed: %s" (index + 1)
+                (solver_name solver) damping budget (reason_string reason);
               tel (fun t ->
                   Lattol_obs.Solver_trace.finish_attempt
                     ~reason:(reason_string reason) t ~converged:false

@@ -65,6 +65,7 @@ val solve :
   ?stall_window:int ->
   ?slack:float ->
   ?telemetry:Lattol_obs.Solver_trace.t ->
+  ?causal:Lattol_obs.Trace_ctx.ctx ->
   Params.t ->
   (Measures.t * diagnosis, diagnosis) result
 (** Climb the ladder until a solver converges to a finite solution.
@@ -87,6 +88,11 @@ val solve :
       {!Lattol_obs.Solver_trace} attempt, with the per-sweep residual
       trajectory sampled through the same [on_sweep] hook the ladder
       watches.
+    - [causal] (default {!Lattol_obs.Trace_ctx.disabled}) records one
+      ["solve"]-category span per escalation rung (["rung N"], with
+      solver/damping/budget/outcome meta) under the given causal-tracing
+      context, and stamps the context's trace id onto every structured
+      [-v] diagnostic line ({!Lattol_obs.Log}).
 
     [Ok (measures, diagnosis)] carries the first accepted solution;
     [Error diagnosis] means every rung failed (the measures of the last

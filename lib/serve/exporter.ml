@@ -11,6 +11,7 @@ type t = {
   snapshot : unit -> Metrics.snapshot;
   health : unit -> string option;
   runtime : (unit -> string) option;
+  trace : (unit -> string) option;
   stopping : bool Atomic.t;
   scrape_count : int Atomic.t;
   mutable domain : unit Domain.t option;
@@ -92,6 +93,18 @@ let route t path =
         response ~status:"500 Internal Server Error"
           ~content_type:"text/plain; charset=utf-8"
           ("runtime probe raised " ^ Printexc.to_string e ^ "\n")))
+  | "/trace.json" -> (
+    match t.trace with
+    | None ->
+      response ~status:"404 Not Found"
+        ~content_type:"application/json" "{\"tracing\":false}"
+    | Some f -> (
+      match f () with
+      | body -> response ~status:"200 OK" ~content_type:"application/json" body
+      | exception e ->
+        response ~status:"500 Internal Server Error"
+          ~content_type:"text/plain; charset=utf-8"
+          ("trace probe raised " ^ Printexc.to_string e ^ "\n")))
   | "/healthz" -> (
     (* The health probe must answer even if the callback misbehaves: a
        raising probe reads as degraded, never as a wedged endpoint. *)
@@ -191,8 +204,8 @@ let bind_endpoint = function
         (Printf.sprintf "cannot bind socket %s: %s" path
            (Unix.error_message e)))
 
-let start ?(prefix = "lattol_") ?(health = fun () -> None) ?runtime ~snapshot
-    endpoint =
+let start ?(prefix = "lattol_") ?(health = fun () -> None) ?runtime ?trace
+    ~snapshot endpoint =
   match bind_endpoint endpoint with
   | Error _ as e -> e
   | Ok (fd, address, port, unlink) ->
@@ -209,6 +222,7 @@ let start ?(prefix = "lattol_") ?(health = fun () -> None) ?runtime ~snapshot
         snapshot;
         health;
         runtime;
+        trace;
         stopping = Atomic.make false;
         scrape_count = Atomic.make 0;
         domain = None;

@@ -14,7 +14,11 @@
     - [GET /runtime.json]: the live runtime-profiler counters when a
       [runtime] callback was supplied (typically
       [Lattol_obs.Runtime_profile.live_json]), or
-      [{"profiling":false}] (404) when profiling is off.
+      [{"profiling":false}] (404) when profiling is off;
+    - [GET /trace.json]: the live causal-trace report when a [trace]
+      callback was supplied (typically {!Lattol_obs.Trace_report.to_json}
+      over the run's recorder), or [{"tracing":false}] (404) when tracing
+      is off.
 
     Every request re-samples the snapshot callback, so scrapes observe the
     live run.  Connections are serial (scrape traffic, not serving
@@ -32,6 +36,7 @@ val start :
   ?prefix:string ->
   ?health:(unit -> string option) ->
   ?runtime:(unit -> string) ->
+  ?trace:(unit -> string) ->
   snapshot:(unit -> Lattol_obs.Metrics.snapshot) ->
   endpoint ->
   (t, string) result

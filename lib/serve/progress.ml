@@ -152,13 +152,17 @@ let elapsed t =
     let t1 = if Float.is_nan t1 then Unix.gettimeofday () else t1 in
     Float.max 0. (t1 -. t0)
 
+(* Never emits a non-finite value: an unknown ETA (no total declared,
+   nothing done yet, ~0 elapsed) reads as 0, so /metrics.json stays free
+   of inf/nan and downstream JSON parsers never choke on the gauge. *)
 let eta t =
   if not (Float.is_nan (Atomic.get t.finished)) then 0.
   else
     let total = Atomic.get t.total_ and d = Atomic.get t.done_ in
-    if total <= 0 || d <= 0 then nan
-    else if d >= total then 0.
-    else elapsed t /. float_of_int d *. float_of_int (total - d)
+    if total <= 0 || d <= 0 || d >= total then 0.
+    else
+      let e = elapsed t /. float_of_int d *. float_of_int (total - d) in
+      if Float.is_finite e && e > 0. then e else 0.
 
 let to_snapshot t =
   let gauges, pulls =

@@ -80,7 +80,12 @@ val finish : t -> unit
     [--metrics-out] flush — renders identical bytes. *)
 
 val elapsed : t -> float
+
 val eta : t -> float
+(** Linear extrapolation of the remaining work.  Always finite and
+    non-negative: with no declared total, nothing done yet, or ~0 elapsed
+    time the estimate is unknown and reads as [0.] — never [inf]/[nan],
+    so the [eta_seconds] gauge stays JSON-parseable. *)
 
 val to_snapshot : t -> Lattol_obs.Metrics.snapshot
 (** Point-in-time view of everything above, safe to call from any

@@ -70,7 +70,18 @@ let families snap =
     [] snap
   |> List.map (fun (name, members) -> (name, List.rev !members))
 
-let render_histogram b fname labels h =
+(* OpenMetrics-style exemplar suffix on a bucket line:
+   [... # {trace_id="sweep-x/12"} 3.4].  Strict 0.0.4 parsers that stop
+   at the sample value ignore the suffix; OpenMetrics-aware ones link the
+   bucket to the exemplified trace. *)
+let exemplar_suffix (cell : Metrics.exemplar option) =
+  match cell with
+  | None -> ""
+  | Some e ->
+    Printf.sprintf " # {trace_id=\"%s\"} %s" (escape_label e.e_trace)
+      (number e.e_value)
+
+let render_histogram b fname labels h ex =
   let extra_label l =
     match labels with
     | [] -> "{" ^ l ^ "}"
@@ -80,17 +91,21 @@ let render_histogram b fname labels h =
   in
   (* Cumulative counts: underflow sits below every upper bound, overflow
      only below +Inf. *)
+  let bins = Histogram.bins h in
+  let cell i = if i < Array.length ex then ex.(i) else None in
   let acc = ref (Histogram.underflow h) in
-  for i = 0 to Histogram.bins h - 1 do
+  for i = 0 to bins - 1 do
     acc := !acc + Histogram.bin_count h i;
     let _, upper = Histogram.bin_bounds h i in
-    Printf.bprintf b "%s_bucket%s %d\n" fname
+    Printf.bprintf b "%s_bucket%s %d%s\n" fname
       (extra_label (Printf.sprintf "le=\"%s\"" (number upper)))
       !acc
+      (exemplar_suffix (cell i))
   done;
-  Printf.bprintf b "%s_bucket%s %d\n" fname
+  Printf.bprintf b "%s_bucket%s %d%s\n" fname
     (extra_label "le=\"+Inf\"")
-    (Histogram.count h);
+    (Histogram.count h)
+    (exemplar_suffix (cell (bins + 1)));
   Printf.bprintf b "%s_count%s %d\n" fname (label_block labels)
     (Histogram.count h);
   Printf.bprintf b "%s_sum%s %s\n" fname (label_block labels)
@@ -125,7 +140,8 @@ let render ?(prefix = "lattol_") snap =
           | Metrics.Counter_v c -> Printf.bprintf b "%s%s %d\n" fname labels c
           | Metrics.Gauge_v v | Metrics.Twa_v v ->
             Printf.bprintf b "%s%s %s\n" fname labels (number v)
-          | Metrics.Hist_v h -> render_histogram b fname s.Metrics.s_labels h)
+          | Metrics.Hist_v (h, ex) ->
+            render_histogram b fname s.Metrics.s_labels h ex)
         members)
     (families snap);
   Buffer.contents b

@@ -426,6 +426,38 @@ floor binding) is the exec gate CI runs on every push:
     FLOOR demo/speedup_j2: 0.9 < 1.5
   [1]
 
+--json replaces the human report with one machine-readable document —
+every metric's status plus the exit code the process returns, so a CI
+dashboard can ingest the gate's full picture without scraping text.
+Exit semantics are unchanged:
+
+  $ ../tools/bench_compare.exe --json --floor demo/speedup_j2=1.5 --ceiling demo/hit_rate=1.0 floor_base.json floor_slow.json
+  {
+    "schema": "lattol-bench-compare/1",
+    "suite": "demo",
+    "max_rel": 0.5,
+    "exit": 1,
+    "entries": [
+      {"name": "demo/speedup_j2", "status": "ok", "base": 1.8, "current": 0.9, "rel": 0.5},
+      {"name": "demo/hit_rate", "status": "ok", "base": 1, "current": 1, "rel": 0},
+      {"name": "demo/speedup_j2", "status": "floor", "bound": 1.5, "current": 0.9, "ok": false},
+      {"name": "demo/hit_rate", "status": "ceiling", "bound": 1, "current": 1, "ok": true}
+    ]
+  }
+  [1]
+  $ ../tools/bench_compare.exe --json --warn-drift floor_base.json renamed.json
+  {
+    "schema": "lattol-bench-compare/1",
+    "suite": "demo",
+    "max_rel": 0.5,
+    "exit": 0,
+    "entries": [
+      {"name": "demo/hit_rate", "status": "ok", "base": 1, "current": 1, "rel": 0},
+      {"name": "demo/speedup_j2", "status": "missing"},
+      {"name": "demo/speedup_2x", "status": "added", "current": 1.8}
+    ]
+  }
+
 The runtime profiler: `mms prof` runs a workload under a Runtime_events
 consumer on a sampler domain and prints a bottleneck-attribution table —
 per-domain wall time split into compute / GC / queue-idle / spawn with a
@@ -478,3 +510,51 @@ byte-identical to an unprofiled run:
   $ diff profiled.csv plain.csv
   $ grep -Ec '^verdict: (gc-bound|queue-starved|spawn-bound|compute-bound) ' profiled.err
   1
+
+Causal tracing: --causal-trace attaches a trace recorder to a sweep and
+writes a critical-path report — per-point span trees, wall time split
+into queue / cache-wait / solve / journal, a bottleneck verdict per
+point — while the CSV on stdout stays byte-identical to an untraced run:
+
+  $ ../bin/mms_cli.exe sweep --param n_t --from 1 --to 3 --steps 3 -k 2 --jobs 2 --causal-trace sweep_causal.json > traced.csv
+  $ diff traced.csv plain.csv
+  $ grep -c '"schema":"lattol-trace/1"' sweep_causal.json
+  1
+  $ grep -Ec '"verdict":"(queue|cache-wait|solve|journal|untracked)"' sweep_causal.json
+  1
+
+`mms trace` runs a whole figure grid under the recorder and renders the
+waterfall as a table: one row per grid point, a TOTAL row, and a
+--slowest digest linking the worst points back to their exemplar trace
+ids.  Timings are machine-local, so the cram locks the shape:
+
+  $ ../bin/mms_cli.exe trace --figure saturation --jobs 2 --slowest 2 --json trace.json --chrome trace_chrome.json > trace.out; echo "exit: $?"
+  exit: 0
+  $ grep -Ec '^point +label +wall ms' trace.out
+  1
+  $ grep -c '^saturation/' trace.out
+  21
+  $ grep -Ec '^TOTAL ' trace.out
+  1
+  $ grep -Ec '^trace trace-saturation-[0-9a-f]+: 21 points, [0-9]+ spans, run wall [0-9.]+ ms, verdict (queue|cache-wait|solve|journal|untracked)$' trace.out
+  1
+  $ grep -c '^slowest points:$' trace.out
+  1
+  $ grep -Ec '^    trace: trace-saturation-[0-9a-f]+/saturation/[0-9]+$' trace.out
+  2
+  $ grep -c '"schema":"lattol-trace/1"' trace.json
+  1
+  $ head -c 16 trace_chrome.json
+  {"traceEvents":[
+
+Every row's categories must reconcile with its measured wall time (the
+attribution is exact in integer nanoseconds; the printed figures carry
+3 decimals, so the fence is 1e-2 ms of rounding slack):
+
+  $ grep '^saturation/' trace.out | awk '{d=$3-($4+$5+$6+$7+$8); if (d<0) d=-d; if (d>0.01) {print "broken: "$0; bad=1}} END {print (bad ? "mismatch" : "per-point totals reconcile")}'
+  per-point totals reconcile
+
+and an unknown figure name is rejected with the available set:
+
+  $ ../bin/mms_cli.exe trace --figure nope 2>&1 | head -n 1
+  mms_cli: unknown figure nope (available: fig04_grid, fig05_grid, fig06_tolerance, saturation)

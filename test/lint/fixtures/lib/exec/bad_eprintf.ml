@@ -1,0 +1,3 @@
+let warn msg = Printf.eprintf "warning: %s\n" msg
+
+let note msg = prerr_endline ("note: " ^ msg)

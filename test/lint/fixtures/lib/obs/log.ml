@@ -1,0 +1,6 @@
+(* The structured logger itself: the one lib/ module allowed to write
+   stderr directly (everything else routes through it). *)
+let emit line =
+  output_string stderr line;
+  output_char stderr '\n';
+  flush stderr

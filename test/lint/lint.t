@@ -21,6 +21,7 @@ The rule pack itself:
   dom-unprotected-read-write domain-safety module-level mutable state read in the parallel region while also mutated elsewhere (torn-read race)
   det-prng-unsplit           determinism   shared toplevel Prng stream advanced from the parallel region
   hot-alloc                  hot-path      per-iteration heap allocation in a [@lattol.hot] region (closure/tuple/record/list/array or partial application)
+  obs-bare-printf            observability bare stderr print in library code (lib/obs/log.ml excepted)
 
 det-random fires on ambient Random use, but not in lib/stats/prng.ml,
 the sanctioned home of the generator:
@@ -54,6 +55,17 @@ state on process streams by design):
   $ ../../bin/lattol_lint.exe --no-config --rules det-stdout fixtures/lib/core/bad_print.ml fixtures/lib/serve fixtures/bin
   fixtures/lib/core/bad_print.ml:2:15: [det-stdout] Printf.printf writes directly to stdout
       hint: emit through a Format.formatter or a Report/Metrics sink chosen by the caller; library stdout interleaves nondeterministically under --jobs
+  [1]
+
+obs-bare-printf fires on bare stderr prints in library code, but not in
+executables and not in lib/obs/log.ml, the structured logger everyone
+else must route diagnostics through:
+
+  $ ../../bin/lattol_lint.exe --no-config --rules obs-bare-printf fixtures/lib/exec/bad_eprintf.ml fixtures/lib/obs/log.ml fixtures/bin
+  fixtures/lib/exec/bad_eprintf.ml:1:15: [obs-bare-printf] Printf.eprintf writes to stderr outside the structured logger
+      hint: emit through Lattol_obs.Log: freeform eprintf lines carry no level, no source and no trace id, so they cannot be joined against the causal trace; only the structured logger itself writes stderr directly
+  fixtures/lib/exec/bad_eprintf.ml:3:15: [obs-bare-printf] prerr_endline writes to stderr outside the structured logger
+      hint: emit through Lattol_obs.Log: freeform eprintf lines carry no level, no source and no trace id, so they cannot be joined against the causal trace; only the structured logger itself writes stderr directly
   [1]
 
 float-polycompare fires on polymorphic =/compare over float-bearing
@@ -223,5 +235,5 @@ SARIF output (for GitHub code scanning) carries the full rule pack and
 the same findings:
 
   $ ../../bin/lattol_lint.exe --no-config --rules det-prng-unsplit --format sarif fixtures/phase2/lib/par/bad_prng.ml fixtures/phase2/lib/par/tally.ml
-  {"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"lattol-lint","informationUri":"https://github.com/lattol/lattol","rules":[{"id":"det-random","shortDescription":{"text":"ambient Random use outside lib/stats/prng.ml"},"help":{"text":"draw from a Lattol_stats.Prng stream threaded from the experiment seed; the ambient Random is invisible to replay and to the solve cache"},"properties":{"family":"determinism"}},{"id":"det-wallclock","shortDescription":{"text":"wall-clock read in deterministic model/experiment code (lib/ outside the telemetry and supervision layers)"},"help":{"text":"solver results, cache keys and golden CSVs must not depend on time; read clocks only in the layers scoped for it (lib/obs, lib/serve, lib/robust) or in executables"},"properties":{"family":"determinism"}},{"id":"det-stdout","shortDescription":{"text":"direct stdout write in library code (lib/serve excepted)"},"help":{"text":"emit through a Format.formatter or a Report/Metrics sink chosen by the caller; library stdout interleaves nondeterministically under --jobs"},"properties":{"family":"determinism"}},{"id":"float-polycompare","shortDescription":{"text":"polymorphic =/<>/compare/Hashtbl.hash on a float-bearing value"},"help":{"text":"use Float.equal / Float.compare (or a keyed comparison): polymorphic compare diverges on nan and boxes every float, and Hashtbl.hash folds nan/-0. unpredictably into cache keys"},"properties":{"family":"float-safety"}},{"id":"float-div-unguarded","shortDescription":{"text":"float division by a difference with no dominating nonzero guard"},"help":{"text":"guard the branch so the divisor is provably nonzero, or annotate with [@lattol.allow \"float-div-unguarded\"] stating the invariant that keeps it away from zero"},"properties":{"family":"float-safety"}},{"id":"float-sum-naive","shortDescription":{"text":"naive float accumulation via fold_left in lib/stats"},"help":{"text":"use Lattol_stats.Moments (Welford) or Kahan compensation for long sums; annotate when the operand count is small and bounded"},"properties":{"family":"float-safety"}},{"id":"dom-unsync-mutation","shortDescription":{"text":"shared-state mutation inside a Domain.spawn closure without Mutex.protect/Atomic"},"help":{"text":"wrap the mutation in Mutex.protect, use Atomic, or annotate with [@lattol.allow \"dom-unsync-mutation\"] naming the lock that is held"},"properties":{"family":"domain-safety"}},{"id":"hyg-obj-magic","shortDescription":{"text":"Obj.magic defeats the type system"},"help":{"text":"restructure with a GADT, a variant, or a first-class module"},"properties":{"family":"domain-safety"}},{"id":"hyg-catchall","shortDescription":{"text":"catch-all exception handler"},"help":{"text":"match the specific exceptions: a catch-all absorbs the supervisor's escalation exceptions (and Stack_overflow) and turns faults into silent wrong answers"},"properties":{"family":"domain-safety"}},{"id":"hyg-mli-missing","shortDescription":{"text":"library module without an interface file"},"help":{"text":"add a sibling .mli so the module's contract is explicit, or list the file under an 'mli-exempt' directive in .lattol-lint stating why it is a bare executable"},"properties":{"family":"domain-safety"}},{"id":"dom-shared-mutation","shortDescription":{"text":"module-level mutable state mutated from the parallel region (transitively from a Pool/Domain.spawn closure) without synchronization"},"help":{"text":"wrap the access in Mutex.protect or Atomic, carry the state per-worker via Pool.map_local, or have workers return values and merge on the caller"},"properties":{"family":"domain-safety"}},{"id":"dom-unprotected-read-write","shortDescription":{"text":"module-level mutable state read in the parallel region while also mutated elsewhere (torn-read race)"},"help":{"text":"take the same lock on both sides (Mutex.protect), publish through Atomic, or snapshot the state into an immutable value before the fan-out"},"properties":{"family":"domain-safety"}},{"id":"det-prng-unsplit","shortDescription":{"text":"shared toplevel Prng stream advanced from the parallel region"},"help":{"text":"derive one stream per task with Prng.split before the fan-out (see Replicate.streams): draw order on a shared stream depends on scheduling, so results stop being replayable from the seed"},"properties":{"family":"determinism"}},{"id":"hot-alloc","shortDescription":{"text":"per-iteration heap allocation in a [@lattol.hot] region (closure/tuple/record/list/array or partial application)"},"help":{"text":"hoist the allocation out of the loop, reuse preallocated Float.Array/Bigarray scratch, and apply functions fully: flat inner loops are what unlock multicore scaling (ROADMAP item 3)"},"properties":{"family":"hot-path"}}]}},"results":[{"ruleId":"det-prng-unsplit","level":"error","message":{"text":"Prng.float draws from the shared toplevel stream Tally.stream inside the parallel region; hint: derive one stream per task with Prng.split before the fan-out (see Replicate.streams): draw order on a shared stream depends on scheduling, so results stop being replayable from the seed"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"fixtures/phase2/lib/par/bad_prng.ml"},"region":{"startLine":5,"startColumn":30}}}]}]}]}
+  {"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"lattol-lint","informationUri":"https://github.com/lattol/lattol","rules":[{"id":"det-random","shortDescription":{"text":"ambient Random use outside lib/stats/prng.ml"},"help":{"text":"draw from a Lattol_stats.Prng stream threaded from the experiment seed; the ambient Random is invisible to replay and to the solve cache"},"properties":{"family":"determinism"}},{"id":"det-wallclock","shortDescription":{"text":"wall-clock read in deterministic model/experiment code (lib/ outside the telemetry and supervision layers)"},"help":{"text":"solver results, cache keys and golden CSVs must not depend on time; read clocks only in the layers scoped for it (lib/obs, lib/serve, lib/robust) or in executables"},"properties":{"family":"determinism"}},{"id":"det-stdout","shortDescription":{"text":"direct stdout write in library code (lib/serve excepted)"},"help":{"text":"emit through a Format.formatter or a Report/Metrics sink chosen by the caller; library stdout interleaves nondeterministically under --jobs"},"properties":{"family":"determinism"}},{"id":"float-polycompare","shortDescription":{"text":"polymorphic =/<>/compare/Hashtbl.hash on a float-bearing value"},"help":{"text":"use Float.equal / Float.compare (or a keyed comparison): polymorphic compare diverges on nan and boxes every float, and Hashtbl.hash folds nan/-0. unpredictably into cache keys"},"properties":{"family":"float-safety"}},{"id":"float-div-unguarded","shortDescription":{"text":"float division by a difference with no dominating nonzero guard"},"help":{"text":"guard the branch so the divisor is provably nonzero, or annotate with [@lattol.allow \"float-div-unguarded\"] stating the invariant that keeps it away from zero"},"properties":{"family":"float-safety"}},{"id":"float-sum-naive","shortDescription":{"text":"naive float accumulation via fold_left in lib/stats"},"help":{"text":"use Lattol_stats.Moments (Welford) or Kahan compensation for long sums; annotate when the operand count is small and bounded"},"properties":{"family":"float-safety"}},{"id":"dom-unsync-mutation","shortDescription":{"text":"shared-state mutation inside a Domain.spawn closure without Mutex.protect/Atomic"},"help":{"text":"wrap the mutation in Mutex.protect, use Atomic, or annotate with [@lattol.allow \"dom-unsync-mutation\"] naming the lock that is held"},"properties":{"family":"domain-safety"}},{"id":"hyg-obj-magic","shortDescription":{"text":"Obj.magic defeats the type system"},"help":{"text":"restructure with a GADT, a variant, or a first-class module"},"properties":{"family":"domain-safety"}},{"id":"hyg-catchall","shortDescription":{"text":"catch-all exception handler"},"help":{"text":"match the specific exceptions: a catch-all absorbs the supervisor's escalation exceptions (and Stack_overflow) and turns faults into silent wrong answers"},"properties":{"family":"domain-safety"}},{"id":"hyg-mli-missing","shortDescription":{"text":"library module without an interface file"},"help":{"text":"add a sibling .mli so the module's contract is explicit, or list the file under an 'mli-exempt' directive in .lattol-lint stating why it is a bare executable"},"properties":{"family":"domain-safety"}},{"id":"dom-shared-mutation","shortDescription":{"text":"module-level mutable state mutated from the parallel region (transitively from a Pool/Domain.spawn closure) without synchronization"},"help":{"text":"wrap the access in Mutex.protect or Atomic, carry the state per-worker via Pool.map_local, or have workers return values and merge on the caller"},"properties":{"family":"domain-safety"}},{"id":"dom-unprotected-read-write","shortDescription":{"text":"module-level mutable state read in the parallel region while also mutated elsewhere (torn-read race)"},"help":{"text":"take the same lock on both sides (Mutex.protect), publish through Atomic, or snapshot the state into an immutable value before the fan-out"},"properties":{"family":"domain-safety"}},{"id":"det-prng-unsplit","shortDescription":{"text":"shared toplevel Prng stream advanced from the parallel region"},"help":{"text":"derive one stream per task with Prng.split before the fan-out (see Replicate.streams): draw order on a shared stream depends on scheduling, so results stop being replayable from the seed"},"properties":{"family":"determinism"}},{"id":"hot-alloc","shortDescription":{"text":"per-iteration heap allocation in a [@lattol.hot] region (closure/tuple/record/list/array or partial application)"},"help":{"text":"hoist the allocation out of the loop, reuse preallocated Float.Array/Bigarray scratch, and apply functions fully: flat inner loops are what unlock multicore scaling (ROADMAP item 3)"},"properties":{"family":"hot-path"}},{"id":"obs-bare-printf","shortDescription":{"text":"bare stderr print in library code (lib/obs/log.ml excepted)"},"help":{"text":"emit through Lattol_obs.Log: freeform eprintf lines carry no level, no source and no trace id, so they cannot be joined against the causal trace; only the structured logger itself writes stderr directly"},"properties":{"family":"observability"}}]}},"results":[{"ruleId":"det-prng-unsplit","level":"error","message":{"text":"Prng.float draws from the shared toplevel stream Tally.stream inside the parallel region; hint: derive one stream per task with Prng.split before the fan-out (see Replicate.streams): draw order on a shared stream depends on scheduling, so results stop being replayable from the seed"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"fixtures/phase2/lib/par/bad_prng.ml"},"region":{"startLine":5,"startColumn":30}}}]}]}]}
   [1]

@@ -1086,6 +1086,46 @@ let prop_batched_figures_identical =
       in
       write ?chunk:(chunk_opt chunk) ~oversubscribe:over jobs = write 1)
 
+(* Causal traces stay well-formed under any scheduling shape: every
+   span's parent was recorded, children nest inside their parent's
+   interval, and the per-point trees are disjoint (a span's parent never
+   belongs to a different point). *)
+let prop_trace_trees_wellformed =
+  let module Tc = Lattol_obs.Trace_ctx in
+  QCheck.Test.make
+    ~name:"causal span trees well-formed under randomized batching" ~count:8
+    (QCheck.make
+       ~print:(fun (axes, sched) -> axes_print axes ^ " / " ^ sched_print sched)
+       QCheck.Gen.(pair axes_gen sched_gen))
+    (fun (axes, (jobs, chunk, over)) ->
+      let r = Tc.create ~root:"qc" () in
+      ignore
+        (Sweep.run ?chunk:(chunk_opt chunk) ~oversubscribe:over ~jobs
+           ~causal:(Tc.root_ctx r) ~base:Params.default axes);
+      Tc.seal r;
+      let spans = Tc.spans r in
+      let tbl = Hashtbl.create 128 in
+      List.iter (fun (s : Tc.span) -> Hashtbl.replace tbl s.id s) spans;
+      let ok (s : Tc.span) =
+        if s.id = 1 then s.parent = 0
+        else
+          match Hashtbl.find_opt tbl s.parent with
+          | None -> false (* orphan: parent never recorded *)
+          | Some p ->
+            (* nesting within the parent's interval *)
+            Int64.compare s.t0_ns p.t0_ns >= 0
+            && Int64.compare
+                 (Int64.add s.t0_ns s.dur_ns)
+                 (Int64.add p.t0_ns p.dur_ns)
+               <= 0
+            (* point trees disjoint: a child never crosses into another
+               point's subtree *)
+            && (p.point = "" || String.equal p.point s.point)
+      in
+      Tc.dropped r = 0
+      && List.length spans = Tc.count r
+      && List.for_all ok spans)
+
 (* ------------------------------------------------------------------ *)
 (* Figures and replication fan-out *)
 
@@ -1306,5 +1346,6 @@ let () =
             prop_batched_sweep_identical;
             prop_batched_replicate_identical;
             prop_batched_figures_identical;
+            prop_trace_trees_wellformed;
           ] );
     ]

@@ -126,7 +126,7 @@ let test_snapshot_point_in_time () =
   Metrics.record h 2.;
   (match snap with
   | [ { Metrics.s_value = Metrics.Counter_v v; _ };
-      { Metrics.s_value = Metrics.Hist_v hd; _ } ] ->
+      { Metrics.s_value = Metrics.Hist_v (hd, _); _ } ] ->
     Alcotest.(check int) "counter frozen" 3 v;
     Alcotest.(check int) "histogram frozen" 1 (Lattol_stats.Histogram.count hd)
   | _ -> Alcotest.fail "unexpected snapshot shape");
@@ -179,7 +179,7 @@ let test_merge_kinds () =
     check_float "twa span-weighted" 3.5 v
   | _ -> Alcotest.fail "queue not a twa");
   (match (find_series "lat" snap).Metrics.s_value with
-  | Metrics.Hist_v hd ->
+  | Metrics.Hist_v (hd, _) ->
     Alcotest.(check int) "histograms add bin-wise, outliers included" 4
       (Lattol_stats.Histogram.count hd)
   | _ -> Alcotest.fail "lat not a histogram");
@@ -343,6 +343,219 @@ let test_events_chrome_format () =
           "\"ts\":2.5";
           "\"dur\":1.5";
         ])
+
+(* ------------------------------------------------------------------ *)
+(* Causal trace contexts *)
+
+let test_trace_ctx_tree () =
+  let r = Trace_ctx.create ~root:"unit test!" () in
+  Alcotest.(check string) "root name" "unit test!" (Trace_ctx.root_name r);
+  Alcotest.(check bool) "trace id sanitized" true
+    (String.length (Trace_ctx.trace_id r) > 9
+    && String.sub (Trace_ctx.trace_id r) 0 9 = "unit-test");
+  let root = Trace_ctx.root_ctx r in
+  Alcotest.(check bool) "enabled" true (Trace_ctx.enabled root);
+  let h = Trace_ctx.start ~point:"grid/3" ~cat:"point" ~name:"n_t=3" root in
+  let pctx = Trace_ctx.ctx_of h in
+  Alcotest.(check string) "point rescoped" "grid/3" (Trace_ctx.point pctx);
+  Alcotest.(check string) "exemplar id" (Trace_ctx.trace_id r ^ "/grid/3")
+    (Trace_ctx.point_trace_id pctx);
+  Trace_ctx.with_span ~cat:"solve" ~name:"solve" pctx (fun sctx ->
+      Trace_ctx.record_since ~cat:"solve" ~name:"residual" sctx);
+  Trace_ctx.record_since ~cat:"queue" ~name:"queue-wait" pctx;
+  Trace_ctx.finish ~meta:[ ("k", "v") ] h;
+  Trace_ctx.finish h (* idempotent: must not double-buffer *);
+  Trace_ctx.seal r;
+  Trace_ctx.seal r;
+  let spans = Trace_ctx.spans r in
+  Alcotest.(check int) "span count" 5 (List.length spans);
+  Alcotest.(check int) "count agrees" 5 (Trace_ctx.count r);
+  Alcotest.(check int) "nothing dropped" 0 (Trace_ctx.dropped r);
+  let by_name n =
+    List.find (fun (s : Trace_ctx.span) -> s.name = n) spans
+  in
+  let root_s = by_name "unit test!"
+  and point_s = by_name "n_t=3"
+  and solve_s = by_name "solve"
+  and leaf_s = by_name "residual" in
+  Alcotest.(check int) "root id" 1 root_s.id;
+  Alcotest.(check int) "root parentless" 0 root_s.parent;
+  Alcotest.(check int) "point under root" root_s.id point_s.parent;
+  Alcotest.(check int) "solve under point" point_s.id solve_s.parent;
+  Alcotest.(check int) "leaf under solve" solve_s.id leaf_s.parent;
+  Alcotest.(check string) "point inherited" "grid/3" leaf_s.point;
+  Alcotest.(check string) "run-level span has no point" "" root_s.point;
+  Alcotest.(check (list (pair string string))) "meta kept" [ ("k", "v") ]
+    point_s.meta;
+  List.iter
+    (fun (s : Trace_ctx.span) ->
+      Alcotest.(check bool) (s.name ^ " duration non-negative") true
+        (Int64.compare s.dur_ns 0L >= 0))
+    spans;
+  (* children nest within the parent's interval *)
+  let within (c : Trace_ctx.span) (p : Trace_ctx.span) =
+    Int64.compare c.t0_ns p.t0_ns >= 0
+    && Int64.compare (Int64.add c.t0_ns c.dur_ns)
+         (Int64.add p.t0_ns p.dur_ns)
+       <= 0
+  in
+  Alcotest.(check bool) "solve within point" true (within solve_s point_s);
+  Alcotest.(check bool) "point within root" true (within point_s root_s)
+
+let test_trace_ctx_disabled () =
+  Alcotest.(check bool) "disabled" false (Trace_ctx.enabled Trace_ctx.disabled);
+  Alcotest.(check string) "no exemplar id" ""
+    (Trace_ctx.point_trace_id Trace_ctx.disabled);
+  Alcotest.(check bool) "opened_ns zero (no clock read)" true
+    (Int64.equal 0L (Trace_ctx.opened_ns Trace_ctx.disabled));
+  let h = Trace_ctx.start ~cat:"solve" ~name:"x" Trace_ctx.disabled in
+  Trace_ctx.finish h;
+  Trace_ctx.record_since ~name:"y" Trace_ctx.disabled;
+  Trace_ctx.with_span ~name:"z" Trace_ctx.disabled (fun c ->
+      Alcotest.(check bool) "child stays disabled" false (Trace_ctx.enabled c))
+
+let test_trace_ctx_capacity () =
+  let r = Trace_ctx.create ~capacity:3 ~root:"tiny" () in
+  let ctx = Trace_ctx.root_ctx r in
+  for i = 1 to 5 do
+    Trace_ctx.record_since ~name:(string_of_int i) ctx
+  done;
+  Alcotest.(check int) "buffer clamped" 3 (Trace_ctx.count r);
+  Alcotest.(check int) "overflow counted" 2 (Trace_ctx.dropped r)
+
+(* ------------------------------------------------------------------ *)
+(* Critical-path report *)
+
+let test_trace_report_reconciles () =
+  let r = Trace_ctx.create ~root:"report" () in
+  let root = Trace_ctx.root_ctx r in
+  (* Spans mirror the sweep's shape: queue-wait measured from the point
+     span's open, solve nested inside it.  Real (small) sleeps make the
+     verdicts deterministic; reconciliation is exact by construction. *)
+  let mk_point ~point ~label ~queue_s ~solve_s =
+    let h = Trace_ctx.start ~point ~cat:"point" ~name:label root in
+    let pctx = Trace_ctx.ctx_of h in
+    Unix.sleepf queue_s;
+    Trace_ctx.record_since ~cat:"queue" ~name:"queue-wait" pctx;
+    Trace_ctx.with_span ~cat:"solve" ~name:"solve" pctx (fun _ ->
+        Unix.sleepf solve_s);
+    Trace_ctx.finish h
+  in
+  (* natural order must put grid/9 before grid/10 *)
+  mk_point ~point:"grid/10" ~label:"n_t=10" ~queue_s:0.001 ~solve_s:0.012;
+  mk_point ~point:"grid/9" ~label:"n_t=9" ~queue_s:0.012 ~solve_s:0.001;
+  Trace_ctx.seal r;
+  let rep = Trace_report.analyze r in
+  Alcotest.(check (list string)) "natural point order" [ "grid/9"; "grid/10" ]
+    (List.map (fun p -> p.Trace_report.point) rep.Trace_report.r_points);
+  List.iter
+    (fun (p : Trace_report.point_report) ->
+      close ~eps:1e-4 (p.point ^ " reconciles") p.wall_ms
+        (p.queue_ms +. p.cache_ms +. p.solve_ms +. p.journal_ms +. p.other_ms))
+    rep.Trace_report.r_points;
+  (match rep.Trace_report.r_points with
+  | [ nine; ten ] ->
+    Alcotest.(check string) "queue-bound point" "queue" nine.verdict;
+    Alcotest.(check string) "solve-bound point" "solve" ten.verdict;
+    Alcotest.(check string) "exemplar ids carried"
+      (Trace_ctx.trace_id r ^ "/grid/9")
+      nine.Trace_report.p_trace_id;
+    Alcotest.(check bool) "critical path starts at the point span" true
+      (match ten.Trace_report.critical_path with
+      | top :: _ -> top.Trace_report.s_name = "n_t=10"
+      | [] -> false)
+  | ps -> Alcotest.failf "expected 2 points, got %d" (List.length ps));
+  (* slowest: wall is dominated by the 40ms solve *)
+  (match Trace_report.slowest 1 rep with
+  | [ p ] -> Alcotest.(check string) "slowest" "grid/10" p.Trace_report.point
+  | _ -> Alcotest.fail "slowest 1 should yield one point");
+  let b = Buffer.create 512 in
+  Trace_report.to_json b rep;
+  let json = Buffer.contents b in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (contains ~needle json))
+    [
+      "\"schema\":\"lattol-trace/1\"";
+      "\"verdict\"";
+      "\"critical_path\"";
+      "\"cache_wait_ms\"";
+    ]
+
+let test_trace_report_live_probe () =
+  (* analyze must not seal: a live probe mid-run sees elapsed-so-far and
+     the recorder keeps accepting spans afterwards. *)
+  let r = Trace_ctx.create ~root:"live" () in
+  let ctx = Trace_ctx.root_ctx r in
+  Trace_ctx.record_since ~cat:"solve" ~name:"early" ctx;
+  let rep = Trace_report.analyze r in
+  Alcotest.(check bool) "elapsed-so-far wall" true
+    (rep.Trace_report.r_wall_ms >= 0.);
+  Trace_ctx.record_since ~cat:"solve" ~name:"late" ctx;
+  Alcotest.(check int) "recorder still open" 2 (Trace_ctx.count r)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram exemplars *)
+
+let test_histogram_exemplars () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~hi:10. ~bins:10 "lat" in
+  Metrics.record ~exemplar:"t/1" h 2.5;
+  Metrics.record ~exemplar:"t/2" h 2.6 (* same bucket: last write wins *);
+  Metrics.record ~exemplar:"t/over" h 99. (* overflow cell *);
+  Metrics.record h 7.5 (* no exemplar: cell stays empty *);
+  match Metrics.snapshot reg with
+  | [ { Metrics.s_value = Metrics.Hist_v (_, cells); _ } ] ->
+    Alcotest.(check int) "bins + under/overflow cells" 12 (Array.length cells);
+    (match cells.(2) with
+    | Some e ->
+      Alcotest.(check string) "last write wins" "t/2" e.Metrics.e_trace;
+      close ~eps:1e-9 "exemplar value" 2.6 e.Metrics.e_value
+    | None -> Alcotest.fail "bucket 2 should carry an exemplar");
+    (match cells.(11) with
+    | Some e -> Alcotest.(check string) "overflow exemplar" "t/over" e.Metrics.e_trace
+    | None -> Alcotest.fail "overflow cell should carry an exemplar");
+    Alcotest.(check bool) "unexemplared bucket empty" true (cells.(7) = None)
+  | _ -> Alcotest.fail "expected one histogram series"
+
+(* ------------------------------------------------------------------ *)
+(* Structured logging *)
+
+let test_log_jsonl () =
+  with_temp_file (fun file ->
+      let oc = open_out file in
+      Log.set_channel oc;
+      Log.set_level (Some Log.Info);
+      Fun.protect
+        ~finally:(fun () ->
+          Log.set_level None;
+          Log.set_channel stderr;
+          close_out oc)
+        (fun () ->
+          Alcotest.(check bool) "info enabled" true (Log.enabled Log.Info);
+          Alcotest.(check bool) "debug gated" false (Log.enabled Log.Debug);
+          Log.infof ~trace:"t/3" ~fields:[ ("solver", "amva") ]
+            ~src:"lattol.test" "rung %d" 2;
+          Log.debugf ~src:"lattol.test" "suppressed %s" "line";
+          Log.errorf ~src:"lattol.test" "with \"quotes\"");
+      let lines =
+        String.split_on_char '\n' (read_file file)
+        |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check int) "debug suppressed" 2 (List.length lines);
+      let first = List.nth lines 0 in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) needle true (contains ~needle first))
+        [
+          "\"level\":\"info\"";
+          "\"src\":\"lattol.test\"";
+          "\"trace\":\"t/3\"";
+          "\"msg\":\"rung 2\"";
+          "\"solver\":\"amva\"";
+        ];
+      Alcotest.(check bool) "quotes escaped" true
+        (contains ~needle:"with \\\"quotes\\\"" (List.nth lines 1)));
+  Alcotest.(check bool) "level restored" true (Log.level () = None)
 
 (* ------------------------------------------------------------------ *)
 (* Solver trace *)
@@ -760,6 +973,24 @@ let () =
           Alcotest.test_case "capacity" `Quick test_events_capacity;
           Alcotest.test_case "chrome format" `Quick test_events_chrome_format;
         ] );
+      ( "trace-ctx",
+        [
+          Alcotest.test_case "span tree" `Quick test_trace_ctx_tree;
+          Alcotest.test_case "disabled is inert" `Quick
+            test_trace_ctx_disabled;
+          Alcotest.test_case "capacity drop" `Quick test_trace_ctx_capacity;
+        ] );
+      ( "trace-report",
+        [
+          Alcotest.test_case "attribution reconciles" `Quick
+            test_trace_report_reconciles;
+          Alcotest.test_case "live probe does not seal" `Quick
+            test_trace_report_live_probe;
+        ] );
+      ( "exemplars",
+        [ Alcotest.test_case "bucket exemplars" `Quick test_histogram_exemplars ] );
+      ( "log",
+        [ Alcotest.test_case "structured jsonl" `Quick test_log_jsonl ] );
       ( "solver-trace",
         [
           Alcotest.test_case "supervised converged" `Quick

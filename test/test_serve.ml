@@ -104,6 +104,60 @@ let test_progress_snapshot () =
   let b = Metrics.json_of_snapshot (Progress.to_snapshot p) in
   Alcotest.(check string) "frozen after finish" a b
 
+let test_progress_eta_guard () =
+  (* The degenerate shapes — no total declared, nothing done, ~0 elapsed,
+     done = total — must all read ETA 0, and the snapshot JSON must stay
+     free of inf/nan.  A fresh heartbeat's snapshot is fully
+     deterministic, so it is pinned byte-for-byte: any new series or a
+     non-finite value shows up as a diff here before it reaches
+     /metrics.json. *)
+  let fresh = Progress.create ~phase:"sweep" () in
+  Alcotest.(check (float 0.)) "no total, not started" 0. (Progress.eta fresh);
+  Alcotest.(check string) "fresh snapshot JSON pinned"
+    ("{\"metrics\":[\n\
+      {\"name\":\"sweep_points_done\",\"type\":\"counter\",\"labels\":{},\"help\":\"work \
+      items completed so far\",\"value\":0},\n\
+      {\"name\":\"sweep_points_total\",\"type\":\"gauge\",\"labels\":{},\"help\":\"work \
+      items planned for this run\",\"value\":0},\n\
+      {\"name\":\"pool_workers\",\"type\":\"gauge\",\"labels\":{},\"help\":\"domains \
+      the work pool was configured with\",\"value\":0},\n\
+      {\"name\":\"pool_busy_domains\",\"type\":\"gauge\",\"labels\":{},\"help\":\"pool \
+      domains currently executing work\",\"value\":0},\n\
+      {\"name\":\"pool_queue_depth\",\"type\":\"gauge\",\"labels\":{},\"help\":\"work \
+      items not yet claimed by any domain\",\"value\":0},\n\
+      {\"name\":\"elapsed_seconds\",\"type\":\"gauge\",\"labels\":{},\"help\":\"wall-clock \
+      time since the run started\",\"value\":0},\n\
+      {\"name\":\"eta_seconds\",\"type\":\"gauge\",\"labels\":{},\"help\":\"estimated \
+      wall-clock time to completion (linear extrapolation)\",\"value\":0}\n\
+      ]}\n")
+    (Metrics.json_of_snapshot (Progress.to_snapshot fresh));
+  (* started with zero total: progress with no denominator *)
+  let zero_total = Progress.create ~phase:"sweep" () in
+  Progress.start zero_total;
+  Progress.step zero_total ~n:3;
+  Alcotest.(check (float 0.)) "total 0 reads 0" 0. (Progress.eta zero_total);
+  (* total declared, nothing done yet, elapsed ~0 *)
+  let nothing_done = Progress.create ~phase:"sweep" () in
+  Progress.set_total nothing_done 100;
+  Progress.start nothing_done;
+  Alcotest.(check (float 0.)) "0 done reads 0" 0. (Progress.eta nothing_done);
+  (* everything done: no forward extrapolation from a finished run *)
+  let all_done = Progress.create ~phase:"sweep" () in
+  Progress.set_total all_done 5;
+  Progress.start all_done;
+  Progress.step all_done ~n:5;
+  Alcotest.(check (float 0.)) "done = total reads 0" 0.
+    (Progress.eta all_done);
+  List.iter
+    (fun p ->
+      let json = Metrics.json_of_snapshot (Progress.to_snapshot p) in
+      List.iter
+        (fun needle ->
+          if contains ~needle json then
+            Alcotest.failf "snapshot leaked %S:\n%s" needle json)
+        [ "inf"; "nan"; "Infinity"; "NaN" ])
+    [ fresh; zero_total; nothing_done; all_done ]
+
 (* ------------------------------------------------------------------ *)
 (* HTTP plumbing over a Unix-domain socket (sandbox-friendly) *)
 
@@ -370,6 +424,54 @@ let test_runtime_route () =
           "HTTP/1.0 500 Internal Server Error" (status_of r);
         check_contains "names the exception" "probe blew up" (body_of r))
 
+let test_trace_route () =
+  (* /trace.json mirrors /runtime.json: 404 {"tracing":false} without a
+     probe, the live critical-path report with one — re-analyzed per
+     scrape, so a mid-run probe sees spans recorded since the last one. *)
+  let path = socket_path () in
+  (match Exporter.start ~snapshot:(fun () -> []) (Exporter.Unix_path path) with
+  | Error msg -> Alcotest.fail msg
+  | Ok t ->
+    Fun.protect
+      ~finally:(fun () -> Exporter.stop t)
+      (fun () ->
+        let r = scrape path "/trace.json" in
+        Alcotest.(check string) "404 when tracing is off"
+          "HTTP/1.0 404 Not Found" (status_of r);
+        Alcotest.(check string) "body says so" "{\"tracing\":false}"
+          (body_of r)));
+  let module Tc = Lattol_obs.Trace_ctx in
+  let module Trace_report = Lattol_obs.Trace_report in
+  let recorder = Tc.create ~root:"serve test" () in
+  let trace () =
+    let b = Buffer.create 1024 in
+    Trace_report.to_json b (Trace_report.analyze recorder);
+    Buffer.contents b
+  in
+  let path = socket_path () in
+  match
+    Exporter.start ~trace ~snapshot:(fun () -> []) (Exporter.Unix_path path)
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok t ->
+    Fun.protect
+      ~finally:(fun () -> Exporter.stop t)
+      (fun () ->
+        let r = scrape path "/trace.json" in
+        Alcotest.(check string) "200 with a probe" "HTTP/1.0 200 OK"
+          (status_of r);
+        check_contains "schema" "\"schema\":\"lattol-trace/1\"" (body_of r);
+        check_contains "trace id" (Tc.trace_id recorder) (body_of r);
+        (* the live probe must not seal: spans recorded after a scrape
+           show up in the next one *)
+        let h =
+          Tc.start ~point:"p/0" ~cat:"point" ~name:"live point"
+            (Tc.root_ctx recorder)
+        in
+        Tc.finish h;
+        check_contains "later spans visible" "\"point\":\"p/0\""
+          (body_of (scrape path "/trace.json")))
+
 let () =
   Alcotest.run "lattol_serve"
     [
@@ -384,6 +486,8 @@ let () =
           Alcotest.test_case "snapshot" `Quick test_progress_snapshot;
           Alcotest.test_case "worker busy/idle accounting" `Quick
             test_worker_times;
+          Alcotest.test_case "eta degenerate shapes" `Quick
+            test_progress_eta_guard;
         ] );
       ( "exporter",
         [
@@ -392,5 +496,6 @@ let () =
           Alcotest.test_case "scrapes under load" `Quick
             test_scrapes_under_load;
           Alcotest.test_case "runtime route" `Quick test_runtime_route;
+          Alcotest.test_case "trace route" `Quick test_trace_route;
         ] );
     ]

@@ -1,6 +1,6 @@
 (* Gate a BENCH_*.json document against a committed baseline.
 
-     bench_compare [--max-rel R] [--warn-drift]
+     bench_compare [--max-rel R] [--warn-drift] [--json]
                    [--floor NAME=MIN]... [--warn-floors]
                    [--ceiling NAME=MAX]... [--warn-ceilings]
                    BASELINE CURRENT
@@ -27,14 +27,22 @@
    exit code then reflects only the hard floors and ceilings.  This is
    the CI shape for wall-clock suites on noisy shared runners: absolute
    times drift with the machine, but a speedup floor is a property of
-   the code. *)
+   the code.
+
+   --json replaces the human report on stdout with one machine-readable
+   document (schema lattol-bench-compare/1): a flat entry list carrying
+   every metric's status — ok | drift | missing | added for the
+   symmetric gate, floor | ceiling for the one-sided bounds (with an
+   "ok" boolean and the bound) — plus the suite, threshold and the exit
+   code the process is about to return.  Exit semantics are identical
+   in both modes. *)
 
 module J = Lattol_bench.Bench_json
 
 let usage =
-  "usage: bench_compare [--max-rel R] [--warn-drift] [--floor NAME=MIN]... \
-   [--warn-floors] [--ceiling NAME=MAX]... [--warn-ceilings] BASELINE \
-   CURRENT"
+  "usage: bench_compare [--max-rel R] [--warn-drift] [--json] [--floor \
+   NAME=MIN]... [--warn-floors] [--ceiling NAME=MAX]... [--warn-ceilings] \
+   BASELINE CURRENT"
 
 let fail_usage msg =
   prerr_endline msg;
@@ -61,6 +69,7 @@ let parse_ceiling = parse_bound ~flag:"--ceiling" ~shape:"NAME=MAX"
 let parse_args () =
   let max_rel = ref 0.5 in
   let warn_drift = ref false in
+  let json = ref false in
   let floors = ref [] in
   let warn_floors = ref false in
   let ceilings = ref [] in
@@ -77,6 +86,9 @@ let parse_args () =
     | [ "--max-rel" ] -> fail_usage "--max-rel needs a value"
     | "--warn-drift" :: rest ->
       warn_drift := true;
+      go rest
+    | "--json" :: rest ->
+      json := true;
       go rest
     | "--floor" :: spec :: rest ->
       floors := parse_floor spec :: !floors;
@@ -103,6 +115,7 @@ let parse_args () =
   | [ base; current ] ->
     ( !max_rel,
       !warn_drift,
+      !json,
       List.rev !floors,
       !warn_floors,
       List.rev !ceilings,
@@ -120,9 +133,101 @@ let load file =
 
 let percent rel = 100. *. rel
 
+(* Minimal JSON emission, mirroring Bench_json.write's conventions:
+   shortest round-tripping decimals, non-finite values as null. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_number v =
+  if not (Float.is_finite v) then "null"
+  else
+    let s = Printf.sprintf "%.15g" v in
+    if Float.equal (float_of_string s) v then s
+    else
+      let s = Printf.sprintf "%.16g" v in
+      if Float.equal (float_of_string s) v then s
+      else Printf.sprintf "%.17g" v
+
+let print_json ~suite ~max_rel ~exit_code ~current (c : J.comparison)
+    ~floor_results ~ceiling_results =
+  let entries = Buffer.create 1024 in
+  let entry fmt =
+    Printf.ksprintf
+      (fun line ->
+        if Buffer.length entries > 0 then Buffer.add_string entries ",\n";
+        Buffer.add_string entries ("    " ^ line))
+      fmt
+  in
+  let delta_entry status (d : J.delta) =
+    entry
+      "{\"name\": \"%s\", \"status\": \"%s\", \"base\": %s, \"current\": %s, \
+       \"rel\": %s}"
+      (json_escape d.J.metric) status (json_number d.J.base_value)
+      (json_number d.J.current_value) (json_number d.J.rel)
+  in
+  List.iter (delta_entry "ok") c.J.within;
+  List.iter (delta_entry "drift") c.J.regressions;
+  List.iter
+    (fun name -> entry "{\"name\": \"%s\", \"status\": \"missing\"}"
+        (json_escape name))
+    c.J.missing;
+  List.iter
+    (fun name ->
+      let v =
+        match J.find_metric current name with
+        | Some m -> m.J.value
+        | None -> nan
+      in
+      entry "{\"name\": \"%s\", \"status\": \"added\", \"current\": %s}"
+        (json_escape name) (json_number v))
+    c.J.added;
+  let bound_entry status (name, bound, r) =
+    match r with
+    | J.Holds ->
+      let v =
+        match J.find_metric current name with
+        | Some m -> m.J.value
+        | None -> nan
+      in
+      entry
+        "{\"name\": \"%s\", \"status\": \"%s\", \"bound\": %s, \"current\": \
+         %s, \"ok\": true}"
+        (json_escape name) status (json_number bound) (json_number v)
+    | J.Broken v ->
+      entry
+        "{\"name\": \"%s\", \"status\": \"%s\", \"bound\": %s, \"current\": \
+         %s, \"ok\": false}"
+        (json_escape name) status (json_number bound) (json_number v)
+    | J.Absent ->
+      entry
+        "{\"name\": \"%s\", \"status\": \"%s\", \"bound\": %s, \"current\": \
+         null, \"ok\": false}"
+        (json_escape name) status (json_number bound)
+  in
+  List.iter (bound_entry "floor") floor_results;
+  List.iter (bound_entry "ceiling") ceiling_results;
+  Printf.printf
+    "{\n  \"schema\": \"lattol-bench-compare/1\",\n  \"suite\": \"%s\",\n  \
+     \"max_rel\": %s,\n  \"exit\": %d,\n  \"entries\": [\n%s\n  ]\n}\n"
+    (json_escape suite) (json_number max_rel) exit_code
+    (Buffer.contents entries)
+
 let () =
   let ( max_rel,
         warn_drift,
+        json,
         floors,
         warn_floors,
         ceilings,
@@ -139,54 +244,56 @@ let () =
     exit 2
   end;
   let c = J.compare_docs ~max_rel ~base ~current in
-  Printf.printf "suite %s: %d metrics within %.0f%%, %d beyond, %d missing, %d added\n"
-    base.J.suite (List.length c.J.within) (percent max_rel)
-    (List.length c.J.regressions)
-    (List.length c.J.missing) (List.length c.J.added);
-  let drift_tag = if warn_drift then "WARN" else "DRIFT" in
-  List.iter
-    (fun (d : J.delta) ->
-      Printf.printf "  %s %s: %g -> %g (%.0f%% > %.0f%%) [%s]\n" drift_tag
-        d.J.metric d.J.base_value d.J.current_value (percent d.J.rel)
-        (percent max_rel)
-        (if Float.abs d.J.current_value > Float.abs d.J.base_value then
-           "regressed"
-         else "improved — refresh the baseline?"))
-    c.J.regressions;
-  List.iter
-    (Printf.printf "  %s %s (was in the baseline)\n"
-       (if warn_drift then "WARN missing" else "MISSING"))
-    c.J.missing;
-  List.iter (Printf.printf "  new metric %s (not gated)\n") c.J.added;
-  let report_bounds ~severity ~rel results =
-    List.filter
-      (fun (name, bound, r) ->
-        match r with
-        | J.Holds -> false
-        | J.Broken v ->
-          Printf.printf "  %s %s: %g %s %g\n" severity name v rel bound;
-          true
-        | J.Absent ->
-          Printf.printf "  %s %s: metric absent from %s\n" severity name
-            current_file;
-          true)
-      results
-  in
-  let broken_floors =
-    report_bounds
-      ~severity:(if warn_floors then "WARN" else "FLOOR")
-      ~rel:"<"
-      (List.map (J.check_floor current) floors)
-  in
-  let broken_ceilings =
-    report_bounds
-      ~severity:(if warn_ceilings then "WARN" else "CEILING")
-      ~rel:">"
-      (List.map (J.check_ceiling current) ceilings)
-  in
+  let floor_results = List.map (J.check_floor current) floors in
+  let ceiling_results = List.map (J.check_ceiling current) ceilings in
+  let broken (_, _, r) = match r with J.Holds -> false | _ -> true in
+  let broken_floors = List.filter broken floor_results in
+  let broken_ceilings = List.filter broken ceiling_results in
   let drift_fail =
     (not warn_drift) && (c.J.regressions <> [] || c.J.missing <> [])
   in
   let floors_fail = (not warn_floors) && broken_floors <> [] in
   let ceilings_fail = (not warn_ceilings) && broken_ceilings <> [] in
-  if drift_fail || floors_fail || ceilings_fail then exit 1
+  let exit_code = if drift_fail || floors_fail || ceilings_fail then 1 else 0 in
+  if json then
+    print_json ~suite:base.J.suite ~max_rel ~exit_code ~current c
+      ~floor_results ~ceiling_results
+  else begin
+    Printf.printf
+      "suite %s: %d metrics within %.0f%%, %d beyond, %d missing, %d added\n"
+      base.J.suite (List.length c.J.within) (percent max_rel)
+      (List.length c.J.regressions)
+      (List.length c.J.missing) (List.length c.J.added);
+    let drift_tag = if warn_drift then "WARN" else "DRIFT" in
+    List.iter
+      (fun (d : J.delta) ->
+        Printf.printf "  %s %s: %g -> %g (%.0f%% > %.0f%%) [%s]\n" drift_tag
+          d.J.metric d.J.base_value d.J.current_value (percent d.J.rel)
+          (percent max_rel)
+          (if Float.abs d.J.current_value > Float.abs d.J.base_value then
+             "regressed"
+           else "improved — refresh the baseline?"))
+      c.J.regressions;
+    List.iter
+      (Printf.printf "  %s %s (was in the baseline)\n"
+         (if warn_drift then "WARN missing" else "MISSING"))
+      c.J.missing;
+    List.iter (Printf.printf "  new metric %s (not gated)\n") c.J.added;
+    let report_bounds ~severity ~rel =
+      List.iter (fun (name, bound, r) ->
+          match r with
+          | J.Holds -> ()
+          | J.Broken v ->
+            Printf.printf "  %s %s: %g %s %g\n" severity name v rel bound
+          | J.Absent ->
+            Printf.printf "  %s %s: metric absent from %s\n" severity name
+              current_file)
+    in
+    report_bounds
+      ~severity:(if warn_floors then "WARN" else "FLOOR")
+      ~rel:"<" floor_results;
+    report_bounds
+      ~severity:(if warn_ceilings then "WARN" else "CEILING")
+      ~rel:">" ceiling_results
+  end;
+  exit exit_code
